@@ -1,0 +1,67 @@
+// Ablation A5 — adaptive window tuning (implemented future work).
+//
+// The paper tuned W per (structure, thread count) by hand and proposed
+// contention-driven tuning as future work (Section 5.2). This bench pits
+// fixed windows {2, 8, 16, 32} against the WindowTuner's dynamic policy
+// on the singly linked list, 10-bit keys, 33% lookups.
+//
+// Expected shape: each fixed window wins somewhere (large at 1 thread,
+// small at 8); adaptive tracks within a modest margin of the best fixed
+// choice at every thread count — the point of the feature is removing
+// the per-deployment tuning table, not beating it.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/sll_hoh.hpp"
+
+namespace {
+
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+using List = hohtm::ds::SllHoh<TM, hohtm::rr::RrV<TM>>;
+
+void run_fixed(const BenchEnv& env, int window) {
+  for (int threads : env.thread_counts) {
+    WorkloadConfig config;
+    config.key_bits = 10;
+    config.lookup_pct = 33;
+    config.threads = threads;
+    config.ops_per_thread = env.ops_per_thread;
+    config.trials = env.trials;
+    const auto cell = hohtm::harness::run_cell(
+        config, [&] { return std::make_unique<List>(window); });
+    hohtm::harness::emit_row("ablA5", "fixed-W" + std::to_string(window),
+                             "RR-V", threads, cell);
+  }
+}
+
+void run_adaptive(const BenchEnv& env) {
+  for (int threads : env.thread_counts) {
+    WorkloadConfig config;
+    config.key_bits = 10;
+    config.lookup_pct = 33;
+    config.threads = threads;
+    config.ops_per_thread = env.ops_per_thread;
+    config.trials = env.trials;
+    const auto cell = hohtm::harness::run_cell(config, [&] {
+      auto list = std::make_unique<List>(8);
+      list->enable_adaptive_window(2, 32);
+      return list;
+    });
+    hohtm::harness::emit_row("ablA5", "adaptive-2..32", "RR-V", threads, cell);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_header(
+      "ablA5",
+      "adaptive vs fixed window, singly list, RR-V, 10-bit keys, 33% "
+      "lookups");
+  for (int window : {2, 8, 16, 32}) run_fixed(env, window);
+  run_adaptive(env);
+  return 0;
+}

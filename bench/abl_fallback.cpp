@@ -1,0 +1,61 @@
+// Ablation A4 — serial-fallback threshold (the paper's GCC retry knob).
+//
+// "GCC's language-level support for HTM falls back to a serial mode
+// after hardware transactions fail twice. For the lists, this policy is
+// adequate, but for the trees, we changed the number to 8" (Section 5).
+// This bench sweeps the threshold for both a list and an internal tree.
+//
+// Expected shape: lists are insensitive (2 is adequate); trees lose
+// throughput at low thresholds because long traversals that abort once
+// or twice get serialized even though a retry would have committed.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/bst_internal.hpp"
+#include "ds/sll_hoh.hpp"
+#include "tm/config.hpp"
+
+namespace {
+
+using hohtm::bench::run_series;
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+namespace ds = hohtm::ds;
+namespace rr = hohtm::rr;
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_header(
+      "ablA4",
+      "serial fallback threshold sweep {0,1,2,8,32}: list vs internal "
+      "tree, RR-V, 33/50% lookups");
+  for (std::uint32_t threshold : {0u, 1u, 2u, 8u, 32u}) {
+    hohtm::tm::Config::set_serial_threshold(threshold);
+    const std::string suffix = "thresh" + std::to_string(threshold);
+    {
+      WorkloadConfig base;
+      base.key_bits = 10;
+      base.lookup_pct = 33;
+      run_series("ablA4", "list-" + suffix, "RR-V", base, env,
+                 [](const WorkloadConfig& c) {
+                   using List = ds::SllHoh<TM, rr::RrV<TM>>;
+                   return std::make_unique<List>(c.window);
+                 });
+    }
+    {
+      WorkloadConfig base;
+      base.key_bits = 16;
+      base.lookup_pct = 50;
+      run_series("ablA4", "tree-" + suffix, "RR-V", base, env,
+                 [](const WorkloadConfig& c) {
+                   using Tree = ds::BstInternal<TM, rr::RrV<TM>>;
+                   return std::make_unique<Tree>(c.window);
+                 });
+    }
+  }
+  hohtm::tm::Config::set_serial_threshold(8);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation A1 — latency of the reservation primitives themselves.
+//
+// google-benchmark microbenchmarks of Reserve / Get / Release / Revoke
+// for each implementation (single transaction around each op, NOrec
+// backend). Quantifies the per-operation constants behind DESIGN.md's
+// complexity table: Revoke is O(T) for RR-FA, bucket-scan for RR-DM/SA,
+// and one word write / increment for RR-XO / RR-V.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/rr.hpp"
+#include "util/barrier.hpp"
+
+namespace {
+
+using TM = hohtm::tm::Norec;
+using Tx = TM::Tx;
+namespace rr = hohtm::rr;
+using RrSa8 = rr::RrSa<TM, 8>;
+using RrSo8 = rr::RrSo<TM, 8>;
+
+long g_targets[64];
+
+template <class RR>
+void BM_ReserveRelease(benchmark::State& state) {
+  RR res;
+  TM::atomically([&](Tx& tx) { res.register_thread(tx); });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    TM::atomically([&](Tx& tx) {
+      res.reserve(tx, &g_targets[i % 64]);
+      res.release(tx);
+    });
+    ++i;
+  }
+}
+
+template <class RR>
+void BM_ReserveGetRelease(benchmark::State& state) {
+  RR res;
+  TM::atomically([&](Tx& tx) { res.register_thread(tx); });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    TM::atomically([&](Tx& tx) { res.reserve(tx, &g_targets[i % 64]); });
+    const void* got = TM::atomically([&](Tx& tx) { return res.get(tx); });
+    benchmark::DoNotOptimize(got);
+    TM::atomically([&](Tx& tx) { res.release(tx); });
+    ++i;
+  }
+}
+
+template <class RR>
+void BM_Revoke(benchmark::State& state) {
+  RR res;
+  TM::atomically([&](Tx& tx) { res.register_thread(tx); });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    TM::atomically([&](Tx& tx) { res.revoke(tx, &g_targets[i % 64]); });
+    ++i;
+  }
+}
+
+template <class RR>
+void BM_RevokeWithHolders(benchmark::State& state) {
+  // Revoke while `holders` other registered threads have live (other)
+  // reservations: the strict algorithms must scan past them.
+  RR res;
+  const int holders = static_cast<int>(state.range(0));
+  std::vector<std::thread> threads;
+  hohtm::util::SpinBarrier ready(static_cast<std::size_t>(holders) + 1);
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < holders; ++t) {
+    threads.emplace_back([&, t] {
+      TM::atomically([&](Tx& tx) {
+        res.register_thread(tx);
+        res.reserve(tx, &g_targets[t]);
+      });
+      ready.arrive_and_wait();
+      while (!stop.load(std::memory_order_acquire)) std::this_thread::yield();
+    });
+  }
+  ready.arrive_and_wait();
+  TM::atomically([&](Tx& tx) { res.register_thread(tx); });
+  for (auto _ : state) {
+    TM::atomically([&](Tx& tx) { res.revoke(tx, &g_targets[63]); });
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+}
+
+#define RR_BENCH(NAME, TYPE)                                       \
+  BENCHMARK(BM_ReserveRelease<TYPE>)->Name("ReserveRelease/" NAME); \
+  BENCHMARK(BM_ReserveGetRelease<TYPE>)                            \
+      ->Name("ReserveGetRelease/" NAME);                           \
+  BENCHMARK(BM_Revoke<TYPE>)->Name("Revoke/" NAME);                \
+  BENCHMARK(BM_RevokeWithHolders<TYPE>)                            \
+      ->Name("RevokeWithHolders/" NAME)                            \
+      ->Arg(1)                                                     \
+      ->Arg(4)
+
+RR_BENCH("RR-FA", rr::RrFa<TM>);
+RR_BENCH("RR-DM", rr::RrDm<TM>);
+RR_BENCH("RR-SA", RrSa8);
+RR_BENCH("RR-XO", rr::RrXo<TM>);
+RR_BENCH("RR-SO", RrSo8);
+RR_BENCH("RR-V", rr::RrV<TM>);
+
+}  // namespace
+
+BENCHMARK_MAIN();

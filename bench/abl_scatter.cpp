@@ -1,0 +1,56 @@
+// Ablation A6 — the scatter optimization.
+//
+// Listing 5's `scatter` randomizes the length of each operation's first
+// window so threads do not pause (and reserve) on the same nodes in lock
+// step. The paper: "for RR-XO, scattering the initial window size is an
+// important optimization, since threads will otherwise conflict when
+// reserving nodes" (Section 5.2; RR-XO's Reserve *writes* the ownership
+// slot, so colliding reservations abort each other).
+//
+// Expected shape: scatter on/off is near-noise for RR-V (Reserve writes
+// nothing shared) but visibly helps RR-XO at higher thread counts.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/sll_hoh.hpp"
+
+namespace {
+
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+namespace ds = hohtm::ds;
+namespace rr = hohtm::rr;
+
+template <class RR>
+void scatter_series(const char* name, bool scatter, const BenchEnv& env) {
+  const std::string panel = scatter ? "scatter-on" : "scatter-off";
+  for (int threads : env.thread_counts) {
+    WorkloadConfig config;
+    config.key_bits = 10;
+    config.lookup_pct = 33;
+    config.threads = threads;
+    config.window = hohtm::bench::tuned_window(threads);
+    config.ops_per_thread = env.ops_per_thread;
+    config.trials = env.trials;
+    const auto cell = hohtm::harness::run_cell(config, [&] {
+      return std::make_unique<ds::SllHoh<TM, RR>>(config.window, scatter);
+    });
+    hohtm::harness::emit_row("ablA6", panel, name, threads, cell);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_header(
+      "ablA6",
+      "scatter optimization on/off, singly list, 10-bit keys, 33% "
+      "lookups; RR-XO (write-on-reserve) vs RR-V (read-only reserve)");
+  scatter_series<rr::RrXo<TM>>("RR-XO", true, env);
+  scatter_series<rr::RrXo<TM>>("RR-XO", false, env);
+  scatter_series<rr::RrV<TM>>("RR-V", true, env);
+  scatter_series<rr::RrV<TM>>("RR-V", false, env);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation A2 — choice of TM backend.
+//
+// The paper ran on Intel TSX; this reproduction substitutes four software
+// TMs (DESIGN.md Section 1.4). This bench quantifies how much of the data
+// structure results depends on that substitution: the singly-linked-list
+// workload (10-bit keys, 33% lookups, RR-V) under each backend.
+//
+// Expected shape: GLock flat-lines (serial); TML scales for read-heavy
+// mixes only (single writer); NOrec and TL2 scale and track each other,
+// which is why NOrec is the default for the figure benches.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/sll_hoh.hpp"
+
+namespace {
+
+using hohtm::bench::run_series;
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+namespace ds = hohtm::ds;
+namespace rr = hohtm::rr;
+namespace tm = hohtm::tm;
+
+template <class TM>
+void backend_series(const BenchEnv& env, int lookup_pct) {
+  const std::string panel = "10bit-" + std::to_string(lookup_pct) + "pct";
+  WorkloadConfig base;
+  base.key_bits = 10;
+  base.lookup_pct = lookup_pct;
+  run_series("ablA2", panel, TM::name(), base, env,
+             [](const WorkloadConfig& c) {
+               using List = ds::SllHoh<TM, rr::RrV<TM>>;
+               return std::make_unique<List>(c.window);
+             });
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_header(
+      "ablA2",
+      "TM backend ablation: singly list, RR-V, 10-bit keys; backends "
+      "glock/tml/norec/tl2/tleager (tleager = encounter-time conflicts, "
+      "the closest software analog of HTM's immediate aborts)");
+  for (int lookup_pct : {33, 80}) {
+    backend_series<tm::GLock>(env, lookup_pct);
+    backend_series<tm::Tml>(env, lookup_pct);
+    backend_series<tm::Norec>(env, lookup_pct);
+    backend_series<tm::Tl2>(env, lookup_pct);
+    backend_series<tm::TlEager>(env, lookup_pct);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation A7 — RR-DM's delayed-unlink optimization.
+//
+// The paper, on RR-DM Release: the thread "should remove its node from
+// the list. As a contention-avoiding optimization ... a thread can delay
+// removing the node from its list until a subsequent transaction." This
+// bench runs the singly linked list over RR-DM both ways.
+//
+// Expected shape: delayed unlink trims two shared-list writes from every
+// Release at the cost of longer bucket scans for Revoke; under mixed
+// workloads (Release outnumbers Revoke) delayed should win or tie.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/sll_hoh.hpp"
+
+namespace {
+
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+using List = hohtm::ds::SllHoh<TM, hohtm::rr::RrDm<TM>>;
+
+void run_variant(const BenchEnv& env, bool delayed, int lookup_pct) {
+  const std::string panel = "10bit-" + std::to_string(lookup_pct) + "pct";
+  const char* series = delayed ? "RR-DM-delayed" : "RR-DM-eager";
+  for (int threads : env.thread_counts) {
+    WorkloadConfig config;
+    config.key_bits = 10;
+    config.lookup_pct = lookup_pct;
+    config.threads = threads;
+    config.window = hohtm::bench::tuned_window(threads);
+    config.ops_per_thread = env.ops_per_thread;
+    config.trials = env.trials;
+    const auto cell = hohtm::harness::run_cell(config, [&] {
+      // SllHoh forwards trailing args to the reservation constructor.
+      return std::make_unique<List>(config.window, true,
+                                    /*log2_buckets=*/6, delayed);
+    });
+    hohtm::harness::emit_row("ablA7", panel, series, threads, cell);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_header(
+      "ablA7",
+      "RR-DM delayed vs eager node unlink on Release; singly list, "
+      "10-bit keys");
+  for (int lookup_pct : {0, 33, 80}) {
+    run_variant(env, /*delayed=*/true, lookup_pct);
+    run_variant(env, /*delayed=*/false, lookup_pct);
+  }
+  return 0;
+}

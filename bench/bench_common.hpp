@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+namespace hohtm::bench {
+
+/// Window size heuristic from the paper's Figure 4 study: "Up to 4
+/// threads, a window size of 16 is best. At 8 threads, the balance tips
+/// in favor of a window size of 8."
+inline int tuned_window(int threads) noexcept { return threads > 4 ? 8 : 16; }
+
+/// Sweep one series (one curve of a figure panel) across thread counts.
+/// MakeSet: (const harness::WorkloadConfig&) -> std::unique_ptr<Set>.
+template <class MakeSet>
+void run_series(const std::string& figure, const std::string& panel,
+                const std::string& series, harness::WorkloadConfig config,
+                const harness::BenchEnv& env, MakeSet&& make_set) {
+  for (int threads : env.thread_counts) {
+    config.threads = threads;
+    config.window = tuned_window(threads);
+    config.ops_per_thread = env.ops_per_thread;
+    config.trials = env.trials;
+    const harness::CellResult cell =
+        harness::run_cell(config, [&] { return make_set(config); });
+    harness::emit_row(figure, panel, series, threads, cell);
+  }
+}
+
+}  // namespace hohtm::bench

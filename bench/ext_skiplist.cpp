@@ -1,0 +1,61 @@
+// Extension E2 — skip list ("balanced trees" future work).
+//
+// Lookups are hand-over-hand (reservation-resumed); updates are single
+// short transactions. Compares the reservation variants against the
+// all-single-transaction baseline at lookup-heavy mixes, where the HOH
+// lookups are the differentiator, and at write-heavy mixes, where the
+// identical update paths should converge.
+//
+// Expected shape: at 80–98% lookups the HOH variants degrade less as
+// threads rise (lookup transactions stay small and restart cheaply);
+// at 0% lookups all variants — sharing the same update path — bunch up.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/skiplist.hpp"
+
+namespace {
+
+using hohtm::bench::run_series;
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+namespace ds = hohtm::ds;
+namespace rr = hohtm::rr;
+
+template <class RR>
+void reservation_series(const std::string& panel, const char* name,
+                        const WorkloadConfig& base, const BenchEnv& env) {
+  run_series("extE2", panel, name, base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::SkipList<TM, RR>>(c.window);
+  });
+}
+
+void run_panel(const BenchEnv& env, int key_bits, int lookup_pct) {
+  const std::string panel =
+      std::to_string(key_bits) + "bit-" + std::to_string(lookup_pct) + "pct";
+  hohtm::harness::emit_panel_note("extE2", panel);
+  WorkloadConfig base;
+  base.key_bits = key_bits;
+  base.lookup_pct = lookup_pct;
+
+  run_series("extE2", panel, "HTM", base, env, [](const WorkloadConfig&) {
+    using List = ds::SkipList<TM, rr::RrNull<TM>>;
+    return std::make_unique<List>(List::kUnbounded);
+  });
+  reservation_series<rr::RrV<TM>>(panel, "RR-V", base, env);
+  reservation_series<rr::RrXo<TM>>(panel, "RR-XO", base, env);
+  reservation_series<rr::RrFa<TM>>(panel, "RR-FA", base, env);
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_header(
+      "extE2",
+      "skip list extension: panels {10,14}-bit x {0,80,98}% lookups");
+  for (int key_bits : {10, 14})
+    for (int lookup_pct : {0, 80, 98}) run_panel(env, key_bits, lookup_pct);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 2 — singly linked list microbenchmark.
+//
+// Panels: {6-bit, 10-bit} key ranges x {0, 33, 80}% lookups (remaining
+// ops split evenly between inserts and removes); structures pre-filled to
+// 50%. Series: the single-transaction baseline (HTM in the paper, here
+// one NOrec transaction per operation), the six revocable-reservation
+// algorithms, the lock-free list with no reclamation (LFLeak) and with
+// hazard pointers (LFHP, 10-bit panels only as in the paper), the
+// transactional hazard-pointer list (TMHP), and the reference-counted
+// list (REF).
+//
+// Expected shape (paper Section 5.1): O(1)-Revoke algorithms (RR-XO,
+// RR-SO, RR-V) beat the O(T) ones (RR-FA, RR-DM, RR-SA) at small key
+// ranges; hand-over-hand beats the single-transaction baseline when
+// lookups do not dominate; LFLeak upper-bounds everything; REF performs
+// poorly throughout.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/lf_list.hpp"
+#include "ds/sll_hoh.hpp"
+#include "ds/sll_ref.hpp"
+#include "ds/sll_tmhp.hpp"
+
+namespace {
+
+using hohtm::bench::run_series;
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+namespace ds = hohtm::ds;
+namespace rr = hohtm::rr;
+
+template <class RR>
+void reservation_series(const std::string& panel, const char* name,
+                        const WorkloadConfig& base, const BenchEnv& env) {
+  run_series("fig2", panel, name, base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::SllHoh<TM, RR>>(c.window);
+  });
+}
+
+void run_panel(const BenchEnv& env, int key_bits, int lookup_pct) {
+  const std::string panel =
+      std::to_string(key_bits) + "bit-" + std::to_string(lookup_pct) + "pct";
+  hohtm::harness::emit_panel_note("fig2", panel);
+  WorkloadConfig base;
+  base.key_bits = key_bits;
+  base.lookup_pct = lookup_pct;
+
+  // Single-big-transaction baseline ("HTM" in the paper).
+  run_series("fig2", panel, "HTM", base, env, [](const WorkloadConfig&) {
+    using List = ds::SllHoh<TM, rr::RrNull<TM>>;
+    return std::make_unique<List>(List::kUnbounded);
+  });
+
+  reservation_series<rr::RrFa<TM>>(panel, "RR-FA", base, env);
+  reservation_series<rr::RrDm<TM>>(panel, "RR-DM", base, env);
+  reservation_series<rr::RrSa<TM, 8>>(panel, "RR-SA", base, env);
+  reservation_series<rr::RrXo<TM>>(panel, "RR-XO", base, env);
+  reservation_series<rr::RrSo<TM, 8>>(panel, "RR-SO", base, env);
+  reservation_series<rr::RrV<TM>>(panel, "RR-V", base, env);
+
+  run_series("fig2", panel, "LFLeak", base, env, [](const WorkloadConfig&) {
+    return std::make_unique<ds::LfList<ds::LeakyReclaimer>>();
+  });
+  if (key_bits >= 10) {  // the paper omits LFHP from the 6-bit panels
+    run_series("fig2", panel, "LFHP", base, env, [](const WorkloadConfig&) {
+      return std::make_unique<ds::LfList<ds::HazardReclaimer>>(64);
+    });
+  }
+  run_series("fig2", panel, "TMHP", base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::SllTmhp<TM>>(c.window, true, 64);
+  });
+  run_series("fig2", panel, "REF", base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::SllRef<TM>>(c.window);
+  });
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_header(
+      "fig2",
+      "singly linked list, 50% prefill; panels {6,10}-bit x {0,33,80}% "
+      "lookups; Mops/s vs threads");
+  for (int key_bits : {6, 10})
+    for (int lookup_pct : {0, 33, 80}) run_panel(env, key_bits, lookup_pct);
+  return 0;
+}

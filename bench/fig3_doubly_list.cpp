@@ -1,0 +1,69 @@
+// Figure 3 — doubly linked list microbenchmark.
+//
+// Same panels as Figure 2. Series: the single-transaction baseline, the
+// six reservation algorithms (strict ones use the separate
+// unlink-and-revoke transaction of Section 4.2), and TMHP. As in the
+// paper, REF and lock-free doubly linked lists are omitted.
+//
+// Expected shape: trends follow the singly linked list with a slightly
+// smaller gap between the reservation algorithms and TMHP, because the
+// small second transaction reduces conflicts inside the reservation
+// mechanism.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/dll_hoh.hpp"
+#include "ds/dll_tmhp.hpp"
+
+namespace {
+
+using hohtm::bench::run_series;
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+namespace ds = hohtm::ds;
+namespace rr = hohtm::rr;
+
+template <class RR>
+void reservation_series(const std::string& panel, const char* name,
+                        const WorkloadConfig& base, const BenchEnv& env) {
+  run_series("fig3", panel, name, base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::DllHoh<TM, RR>>(c.window);
+  });
+}
+
+void run_panel(const BenchEnv& env, int key_bits, int lookup_pct) {
+  const std::string panel =
+      std::to_string(key_bits) + "bit-" + std::to_string(lookup_pct) + "pct";
+  hohtm::harness::emit_panel_note("fig3", panel);
+  WorkloadConfig base;
+  base.key_bits = key_bits;
+  base.lookup_pct = lookup_pct;
+
+  run_series("fig3", panel, "HTM", base, env, [](const WorkloadConfig&) {
+    using List = ds::DllHoh<TM, rr::RrNull<TM>>;
+    return std::make_unique<List>(List::kUnbounded);
+  });
+  reservation_series<rr::RrFa<TM>>(panel, "RR-FA", base, env);
+  reservation_series<rr::RrDm<TM>>(panel, "RR-DM", base, env);
+  reservation_series<rr::RrSa<TM, 8>>(panel, "RR-SA", base, env);
+  reservation_series<rr::RrXo<TM>>(panel, "RR-XO", base, env);
+  reservation_series<rr::RrSo<TM, 8>>(panel, "RR-SO", base, env);
+  reservation_series<rr::RrV<TM>>(panel, "RR-V", base, env);
+  run_series("fig3", panel, "TMHP", base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::DllTmhp<TM>>(c.window, true, 64);
+  });
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_header(
+      "fig3",
+      "doubly linked list, 50% prefill; panels {6,10}-bit x {0,33,80}% "
+      "lookups; Mops/s vs threads");
+  for (int key_bits : {6, 10})
+    for (int lookup_pct : {0, 33, 80}) run_panel(env, key_bits, lookup_pct);
+  return 0;
+}

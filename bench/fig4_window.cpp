@@ -1,0 +1,55 @@
+// Figure 4 — impact of the transaction window size W.
+//
+// Singly linked list, 10-bit keys, 33% lookups; RR-FA (strict
+// representative) and RR-XO (relaxed representative); W in {1..32}.
+//
+// Expected shape (paper Section 5.2): at 1 thread large windows win (no
+// conflicts, fewer transaction boundaries); as threads rise the optimum
+// shrinks — 16 is best up to 4 threads, 8 wins at 8 threads — and RR-FA
+// degrades faster with large windows because its Revoke conflicts with
+// in-window Reserve/Release traffic.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/sll_hoh.hpp"
+
+namespace {
+
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+namespace ds = hohtm::ds;
+namespace rr = hohtm::rr;
+
+template <class RR>
+void window_series(const char* name, const BenchEnv& env) {
+  for (int window : {1, 2, 4, 8, 16, 32}) {
+    const std::string panel = "W" + std::to_string(window);
+    for (int threads : env.thread_counts) {
+      WorkloadConfig config;
+      config.key_bits = 10;
+      config.lookup_pct = 33;
+      config.threads = threads;
+      config.window = window;
+      config.ops_per_thread = env.ops_per_thread;
+      config.trials = env.trials;
+      const auto cell = hohtm::harness::run_cell(config, [&] {
+        return std::make_unique<ds::SllHoh<TM, RR>>(window);
+      });
+      hohtm::harness::emit_row("fig4", panel, name, threads, cell);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_header(
+      "fig4",
+      "window size sweep, singly list, 10-bit keys, 33% lookups; series "
+      "RR-FA and RR-XO; panel = window size");
+  window_series<rr::RrFa<TM>>("RR-FA", env);
+  window_series<rr::RrXo<TM>>("RR-XO", env);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 5 — impact of the memory allocator.
+//
+// Doubly linked list, 9-bit keys, 0% and 98% lookup ratios; TMHP vs
+// RR-XO. The paper contrasts jemalloc ("J-") and Hoard ("H-"); neither
+// ships here, so the substitution (DESIGN.md Section 1.4) contrasts the
+// system allocator ("M-") with this library's thread-caching pool
+// allocator ("P-") — the same axis: thread-local caching and
+// cross-thread-free handling vs a general-purpose heap.
+//
+// Expected shape: allocator choice moves TMHP (which batches frees and
+// stresses allocator metadata locality) more than RR-XO, and the effect
+// persists even at 98% lookups, echoing the paper's observation that the
+// pathology is not just allocation volume.
+#include <memory>
+
+#include "alloc/pool.hpp"
+#include "bench_common.hpp"
+#include "ds/dll_hoh.hpp"
+#include "ds/dll_tmhp.hpp"
+
+namespace {
+
+using hohtm::bench::run_series;
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+namespace ds = hohtm::ds;
+namespace rr = hohtm::rr;
+
+void run_backend(const BenchEnv& env, bool pool, int lookup_pct) {
+  hohtm::alloc::use_pool(pool);
+  const std::string prefix = pool ? "P-" : "M-";
+  const std::string panel = "9bit-" + std::to_string(lookup_pct) + "pct";
+  WorkloadConfig base;
+  base.key_bits = 9;
+  base.lookup_pct = lookup_pct;
+
+  run_series("fig5", panel, prefix + "RR-XO", base, env,
+             [](const WorkloadConfig& c) {
+               return std::make_unique<ds::DllHoh<TM, rr::RrXo<TM>>>(c.window);
+             });
+  run_series("fig5", panel, prefix + "TMHP", base, env,
+             [](const WorkloadConfig& c) {
+               return std::make_unique<ds::DllTmhp<TM>>(c.window, true, 64);
+             });
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_header(
+      "fig5",
+      "allocator impact, doubly list, 9-bit keys, {0,98}% lookups; M- = "
+      "system malloc, P- = hohtm pool (paper: J- jemalloc, H- Hoard)");
+  for (int lookup_pct : {0, 98}) {
+    run_backend(env, /*pool=*/false, lookup_pct);
+    run_backend(env, /*pool=*/true, lookup_pct);
+  }
+  hohtm::alloc::use_pool(false);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 6 — internal unbalanced binary search tree.
+//
+// Panels: {8-bit, 21-bit} key ranges x {0, 50, 80}% lookups; 50%
+// prefill with random keys. Series: the single-transaction baseline and
+// the six reservation algorithms (no external comparators exist for
+// internal trees, as the paper notes).
+//
+// Expected shape (paper Section 5.4): at 8-bit the whole operation fits
+// in one window, so the gap to HTM at 1 thread is pure reservation
+// overhead; at 21-bit only RR-XO and RR-V scale — the others pay for
+// multi-reference Revoke along the successor path in removals.
+//
+// The paper raises the serial-fallback threshold from 2 to 8 for trees;
+// so does this bench.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/bst_internal.hpp"
+#include "tm/config.hpp"
+
+namespace {
+
+using hohtm::bench::run_series;
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+namespace ds = hohtm::ds;
+namespace rr = hohtm::rr;
+
+template <class RR>
+void reservation_series(const std::string& panel, const char* name,
+                        const WorkloadConfig& base, const BenchEnv& env) {
+  run_series("fig6", panel, name, base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::BstInternal<TM, RR>>(c.window);
+  });
+}
+
+void run_panel(const BenchEnv& env, int key_bits, int lookup_pct) {
+  const std::string panel =
+      std::to_string(key_bits) + "bit-" + std::to_string(lookup_pct) + "pct";
+  hohtm::harness::emit_panel_note("fig6", panel);
+  WorkloadConfig base;
+  base.key_bits = key_bits;
+  base.lookup_pct = lookup_pct;
+
+  run_series("fig6", panel, "HTM", base, env, [](const WorkloadConfig&) {
+    using Tree = ds::BstInternal<TM, rr::RrNull<TM>>;
+    return std::make_unique<Tree>(Tree::kUnbounded);
+  });
+  reservation_series<rr::RrFa<TM>>(panel, "RR-FA", base, env);
+  reservation_series<rr::RrDm<TM>>(panel, "RR-DM", base, env);
+  reservation_series<rr::RrSa<TM, 8>>(panel, "RR-SA", base, env);
+  reservation_series<rr::RrXo<TM>>(panel, "RR-XO", base, env);
+  reservation_series<rr::RrSo<TM, 8>>(panel, "RR-SO", base, env);
+  reservation_series<rr::RrV<TM>>(panel, "RR-V", base, env);
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::tm::Config::set_serial_threshold(8);  // the paper's tree setting
+  hohtm::harness::emit_header(
+      "fig6",
+      "internal unbalanced BST, 50% prefill; panels {8,BIG}-bit x "
+      "{0,50,80}% lookups (paper: BIG=21, default 16 for laptop runs — "
+      "set HOH_BENCH_BIGBITS=21 for paper scale); Mops/s vs threads");
+  for (int key_bits : {8, env.big_key_bits})
+    for (int lookup_pct : {0, 50, 80}) run_panel(env, key_bits, lookup_pct);
+  return 0;
+}

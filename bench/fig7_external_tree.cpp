@@ -1,0 +1,74 @@
+// Figure 7 — external unbalanced binary search tree.
+//
+// Panels as Figure 6 (the paper shows 8-bit and 21-bit mixes). Series:
+// single-transaction baseline, the best reservation algorithms (RR-XO,
+// RR-V) plus the strict ones, TMHP, and the lock-free Natarajan–Mittal
+// tree that leaks memory (LFLeak).
+//
+// Expected shape (paper Section 5.4): LFLeak wins at every thread count
+// and scales best; TMHP is nearly indistinguishable from RR-XO/RR-V;
+// the strict algorithms recover relative to the internal tree because
+// external-tree removals revoke only two nodes (no key swaps).
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ds/bst_external.hpp"
+#include "ds/bst_external_tmhp.hpp"
+#include "ds/nm_tree.hpp"
+#include "tm/config.hpp"
+
+namespace {
+
+using hohtm::bench::run_series;
+using hohtm::harness::BenchEnv;
+using hohtm::harness::WorkloadConfig;
+using TM = hohtm::tm::Norec;
+namespace ds = hohtm::ds;
+namespace rr = hohtm::rr;
+
+void run_panel(const BenchEnv& env, int key_bits, int lookup_pct) {
+  const std::string panel =
+      std::to_string(key_bits) + "bit-" + std::to_string(lookup_pct) + "pct";
+  hohtm::harness::emit_panel_note("fig7", panel);
+  WorkloadConfig base;
+  base.key_bits = key_bits;
+  base.lookup_pct = lookup_pct;
+
+  run_series("fig7", panel, "HTM", base, env, [](const WorkloadConfig&) {
+    using Tree = ds::BstExternal<TM, rr::RrNull<TM>>;
+    return std::make_unique<Tree>(Tree::kUnbounded);
+  });
+  run_series("fig7", panel, "RR-XO", base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::BstExternal<TM, rr::RrXo<TM>>>(c.window);
+  });
+  run_series("fig7", panel, "RR-V", base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::BstExternal<TM, rr::RrV<TM>>>(c.window);
+  });
+  run_series("fig7", panel, "RR-FA", base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::BstExternal<TM, rr::RrFa<TM>>>(c.window);
+  });
+  run_series("fig7", panel, "RR-SA", base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::BstExternal<TM, rr::RrSa<TM, 8>>>(c.window);
+  });
+  run_series("fig7", panel, "TMHP", base, env, [](const WorkloadConfig& c) {
+    return std::make_unique<ds::BstExternalTmhp<TM>>(c.window, true, 64);
+  });
+  run_series("fig7", panel, "LFLeak", base, env, [](const WorkloadConfig&) {
+    return std::make_unique<ds::NmTree<>>();
+  });
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::tm::Config::set_serial_threshold(8);
+  hohtm::harness::emit_header(
+      "fig7",
+      "external unbalanced BST, 50% prefill; panels {8,BIG}-bit x "
+      "{0,50,80}% lookups (paper: BIG=21, default 16 — set "
+      "HOH_BENCH_BIGBITS=21 for paper scale); Mops/s vs threads");
+  for (int key_bits : {8, env.big_key_bits})
+    for (int lookup_pct : {0, 50, 80}) run_panel(env, key_bits, lookup_pct);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// bank: composing the TM substrate with a reservation-based index.
+//
+// A toy payment system: account balances live in a flat array guarded by
+// the TM; the set of *open* account ids lives in a hand-over-hand BST.
+// Transfer transactions move money between open accounts; auditors sum
+// every balance inside one transaction and must always see the invariant
+// total; churn threads open and close accounts, and closing an account
+// frees its index node immediately (precise reclamation).
+//
+// Demonstrates: TM::atomically as a general atomic block, flat nesting
+// (set operations inside a user transaction), and invariant auditing.
+//
+// Build & run:   ./build/examples/bank
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ds/bst_internal.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using TM = hohtm::tm::Norec;
+using Tx = TM::Tx;
+using Index = hohtm::ds::BstInternal<TM, hohtm::rr::RrV<TM>>;
+
+constexpr int kAccounts = 64;
+constexpr long kInitialBalance = 1000;
+constexpr long kExpectedTotal = kAccounts * kInitialBalance;
+
+struct Bank {
+  long balances[kAccounts] = {};
+  long open[kAccounts] = {};  // 1 if the account is open
+  Index open_index{/*window=*/8};
+};
+
+void transfer(Bank& bank, int from, int to, long amount) {
+  TM::atomically([&](Tx& tx) {
+    if (tx.read(bank.open[from]) == 0 || tx.read(bank.open[to]) == 0)
+      return;  // closed accounts do not move money
+    const long available = tx.read(bank.balances[from]);
+    const long moved = amount < available ? amount : available;
+    tx.write(bank.balances[from], available - moved);
+    tx.write(bank.balances[to], tx.read(bank.balances[to]) + moved);
+  });
+}
+
+long audit(Bank& bank) {
+  return TM::atomically([&](Tx& tx) {
+    long total = 0;
+    for (const long& balance : bank.balances) total += tx.read(balance);
+    return total;
+  });
+}
+
+void toggle_account(Bank& bank, int id) {
+  // Close: drain the balance to a neighbour, drop from the index (the
+  // index node is revoked and freed inside the remove), mark closed.
+  // Open: the reverse. All inside one transaction — the index operation
+  // nests flat within it.
+  TM::atomically([&](Tx& tx) {
+    const int neighbour = (id + 1) % kAccounts;
+    if (tx.read(bank.open[id]) != 0 && tx.read(bank.open[neighbour]) != 0) {
+      tx.write(bank.balances[neighbour], tx.read(bank.balances[neighbour]) +
+                                             tx.read(bank.balances[id]));
+      tx.write(bank.balances[id], 0L);
+      tx.write(bank.open[id], 0L);
+      bank.open_index.remove(id);
+    } else if (tx.read(bank.open[id]) == 0) {
+      tx.write(bank.open[id], 1L);
+      bank.open_index.insert(id);
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  Bank bank;
+  for (int i = 0; i < kAccounts; ++i) {
+    bank.balances[i] = kInitialBalance;
+    bank.open[i] = 1;
+    bank.open_index.insert(i);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_audits{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {  // transfer threads
+    threads.emplace_back([&, t] {
+      hohtm::util::Xoshiro256 rng(t + 1);
+      for (int i = 0; i < 20000; ++i) {
+        transfer(bank, static_cast<int>(rng.next_below(kAccounts)),
+                 static_cast<int>(rng.next_below(kAccounts)),
+                 static_cast<long>(rng.next_below(100)));
+      }
+    });
+  }
+  threads.emplace_back([&] {  // churn thread: open/close accounts
+    hohtm::util::Xoshiro256 rng(99);
+    for (int i = 0; i < 4000; ++i)
+      toggle_account(bank, static_cast<int>(rng.next_below(kAccounts)));
+  });
+  threads.emplace_back([&] {  // auditor
+    while (!stop.load(std::memory_order_acquire)) {
+      if (audit(bank) != kExpectedTotal) bad_audits.fetch_add(1);
+    }
+  });
+
+  for (std::size_t i = 0; i + 1 < threads.size(); ++i) threads[i].join();
+  stop.store(true);
+  threads.back().join();
+
+  std::printf("final total       = %ld (expected %ld)\n", audit(bank),
+              kExpectedTotal);
+  std::printf("inconsistent audits seen = %d (expected 0)\n",
+              bad_audits.load());
+  std::printf("open accounts in index   = %zu\n", bank.open_index.size());
+  return bad_audits.load() == 0 ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// mem_pressure: the memory-footprint argument of the paper, live.
+//
+// Three identical churn workloads run on three lists that differ only in
+// how removed nodes are reclaimed:
+//
+//   precise   — revocable reservations (RR-V): freed inside the remove
+//   hazard    — TMHP: retired, freed by batched hazard scans
+//   stalled   — TMHP whose scan threshold is effectively infinite while
+//               one reader parks a hazard pointer: the unbounded backlog
+//               the paper's introduction warns about
+//
+// After each phase the live-object gauge is compared with the logical
+// set size; the difference is unreclaimed garbage.
+//
+// Build & run:   ./build/examples/mem_pressure
+#include <cstdio>
+
+#include "ds/sll_hoh.hpp"
+#include "ds/sll_tmhp.hpp"
+#include "reclaim/gauge.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using TM = hohtm::tm::Norec;
+
+template <class List>
+long churn_and_measure(List& list, const char* label) {
+  const auto live_before = hohtm::reclaim::Gauge::live();
+  hohtm::util::Xoshiro256 rng(7);
+  constexpr long kRange = 512;
+  for (long k = 0; k < kRange; k += 2) list.insert(k);
+  for (int i = 0; i < 30000; ++i) {
+    const long key = static_cast<long>(rng.next_below(kRange));
+    if (rng.next() & 1)
+      list.insert(key);
+    else
+      list.remove(key);
+  }
+  const long logical = static_cast<long>(list.size());
+  const long live = hohtm::reclaim::Gauge::live() - live_before;
+  const long garbage = live - logical;
+  std::printf("%-10s live=%5ld  logical=%5ld  unreclaimed=%5ld\n", label,
+              live, logical, garbage);
+  return garbage;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("churn: 30k mixed ops over 512-key range, then measure\n\n");
+
+  long precise_garbage;
+  {
+    hohtm::ds::SllHoh<TM, hohtm::rr::RrV<TM>> list(8);
+    precise_garbage = churn_and_measure(list, "precise");
+  }
+  {
+    hohtm::ds::SllTmhp<TM> list(8, true, /*scan_threshold=*/64);
+    churn_and_measure(list, "hazard");
+  }
+  {
+    // A "stalled" deployment: scans so rare they never trigger during
+    // the phase. Every removed node is still resident.
+    hohtm::ds::SllTmhp<TM> list(8, true, /*scan_threshold=*/1 << 30);
+    churn_and_measure(list, "stalled");
+  }
+
+  std::printf(
+      "\nprecise reclamation leaves %ld unreclaimed nodes (the paper's "
+      "claim: zero,\nalways, with no tuning); deferred schemes leave a "
+      "threshold- and luck-dependent\nbacklog and are unbounded if scans "
+      "stall.\n",
+      precise_garbage);
+  return precise_garbage == 0 ? 0 : 1;
+}

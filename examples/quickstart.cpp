@@ -1,0 +1,48 @@
+// Quickstart: a concurrent sorted set with hand-over-hand transactions
+// and revocable reservations, in under a minute.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ds/sll_hoh.hpp"
+
+int main() {
+  // Pick a TM backend and a reservation algorithm. NOrec + RR-V is the
+  // configuration the paper's evaluation crowns for lists.
+  using TM = hohtm::tm::Norec;
+  using Set = hohtm::ds::SllHoh<TM, hohtm::rr::RrV<TM>>;
+
+  // Traverse at most 8 nodes per transaction (the hand-over-hand window).
+  Set set(/*window=*/8);
+
+  // Plain calls — every operation is internally a chain of small
+  // transactions linked by reservations.
+  set.insert(30);
+  set.insert(10);
+  set.insert(20);
+  std::printf("contains(20) = %s\n", set.contains(20) ? "yes" : "no");
+
+  // Concurrent use needs no extra setup: 4 threads hammer the set.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&set, t] {
+      for (long i = 0; i < 1000; ++i) {
+        const long key = i * 4 + t;  // disjoint key stripes
+        set.insert(key);
+        if (i % 3 == 0) set.remove(key);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // remove() unlinked, revoked, and *freed* every node inside its own
+  // transaction — no epochs, no deferred scans, no leaked zombies.
+  // The three seed keys fall inside the threads' stripes, so the final
+  // count is exactly the stripes' net: 4 * (1000 inserts - 334 removes).
+  std::printf("final size = %zu (expect 2664 = 4*(1000-334))\n", set.size());
+  std::printf("sorted invariant holds = %s\n",
+              set.is_sorted() ? "yes" : "no");
+  return 0;
+}

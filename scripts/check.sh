@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# One-command verification: configure, build, test, smoke the examples,
+# and run a fast benchmark pass. Mirrors what a CI pipeline would do.
+#
+# Usage: scripts/check.sh [--tsan] [--full-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+SANITIZE=""
+FULL_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan)
+      BUILD_DIR=build-tsan
+      SANITIZE="-DHOHTM_SANITIZE=thread"
+      ;;
+    --full-bench) FULL_BENCH=1 ;;
+    *)
+      echo "unknown option: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "== configure (${BUILD_DIR})"
+cmake -B "$BUILD_DIR" -G Ninja $SANITIZE
+
+echo "== build"
+cmake --build "$BUILD_DIR"
+
+echo "== tests"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "== examples"
+for example in quickstart bank mem_pressure task_queue backend_tour; do
+  echo "-- $example"
+  "./$BUILD_DIR/examples/$example" > /dev/null
+done
+
+echo "== benches"
+if [ "$FULL_BENCH" -eq 1 ]; then
+  for bench in "$BUILD_DIR"/bench/*; do
+    echo "-- $bench"
+    "$bench"
+  done
+else
+  # Quick smoke: tiny op counts, two thread points, one short bench.
+  HOH_BENCH_OPS=2000 HOH_BENCH_TRIALS=1 HOH_BENCH_THREADS=1,2 \
+    "./$BUILD_DIR/bench/fig4_window" > /dev/null
+  echo "-- fig4_window (smoke) ok"
+fi
+
+echo "ALL CHECKS PASSED"

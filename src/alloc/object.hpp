@@ -1,0 +1,32 @@
+#pragma once
+
+#include <new>
+#include <utility>
+
+#include "alloc/pool.hpp"
+
+namespace hohtm::alloc {
+
+/// Typed construct/destroy on the switchable allocation backend. Every
+/// object that may ever be freed by `destroy` (or by `tx.dealloc`) must
+/// be created by `create` (or `tx.alloc`) — mixing in plain new/delete
+/// would corrupt whichever heap did not issue the block.
+template <class T, class... Args>
+T* create(Args&&... args) {
+  void* mem = allocate(sizeof(T));
+  try {
+    return new (mem) T(std::forward<Args>(args)...);
+  } catch (...) {
+    deallocate(mem);
+    throw;
+  }
+}
+
+template <class T>
+void destroy(T* p) noexcept {
+  if (p == nullptr) return;
+  p->~T();
+  deallocate(p);
+}
+
+}  // namespace hohtm::alloc

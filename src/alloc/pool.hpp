@@ -1,0 +1,38 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hohtm::alloc {
+
+/// Allocation backend selector.
+///
+/// The paper found "the choice of memory allocator had a significant
+/// impact on scalability" (Figure 5, Hoard vs jemalloc). We cannot ship
+/// those allocators, so the experiment contrasts the system allocator
+/// with this thread-caching pool allocator — the same axis (thread-local
+/// caching + cross-thread free handling vs a general-purpose heap).
+///
+/// All transactional allocations (`tx.alloc` / `tx.dealloc`) route through
+/// `allocate`/`deallocate`; `use_pool` flips the backend between benchmark
+/// phases (never mid-workload). Every block carries a one-word header
+/// recording its origin, so frees are always routed correctly even across
+/// a switch.
+void* allocate(std::size_t bytes);
+void deallocate(void* p) noexcept;
+
+void use_pool(bool enabled) noexcept;
+bool pool_enabled() noexcept;
+const char* backend_name() noexcept;
+
+/// Pool internals exposed for tests/diagnostics.
+struct PoolStats {
+  std::uint64_t slabs_created = 0;
+  std::uint64_t local_hits = 0;     // served from the thread's free list
+  std::uint64_t remote_reclaims = 0;  // batches pulled back from other threads
+  std::uint64_t carve_allocs = 0;   // served by carving a fresh slab region
+};
+PoolStats pool_stats() noexcept;
+
+}  // namespace hohtm::alloc

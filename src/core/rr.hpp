@@ -1,0 +1,39 @@
+#pragma once
+
+/// Umbrella header for revocable reservations — the paper's primary
+/// contribution (Sections 2 and 3).
+///
+/// A revocable reservation lets one transaction *reserve* a node, commit,
+/// and have a later transaction *get* the node back — unless some other
+/// thread *revoked* it in between (because it removed and freed the node).
+/// Six implementations trade off Revoke cost against Reserve/Release
+/// conflict rates:
+///
+///   strict  : RrFa   (list scan Revoke, O(T))
+///             RrDm   (hash bucket Revoke)
+///             RrSa   (A bucket arrays)
+///   relaxed : RrXo   (ownership stamps, O(1) Revoke)
+///             RrSo   (A ownership arrays)
+///             RrV    (version counters, O(1) everything)
+///
+/// plus RrNull (no-op) to express single-transaction baselines.
+
+#include "core/rr_bucketed.hpp"
+#include "core/rr_common.hpp"
+#include "core/rr_fa.hpp"
+#include "core/rr_null.hpp"
+#include "core/rr_so.hpp"
+#include "core/rr_v.hpp"
+#include "core/rr_xo.hpp"
+
+namespace hohtm::rr {
+
+static_assert(Reservation<RrFa<tm::Norec>, tm::Norec>);
+static_assert(Reservation<RrDm<tm::Norec>, tm::Norec>);
+static_assert(Reservation<RrSa<tm::Norec>, tm::Norec>);
+static_assert(Reservation<RrXo<tm::Norec>, tm::Norec>);
+static_assert(Reservation<RrSo<tm::Norec>, tm::Norec>);
+static_assert(Reservation<RrV<tm::Norec>, tm::Norec>);
+static_assert(Reservation<RrNull<tm::Norec>, tm::Norec>);
+
+}  // namespace hohtm::rr

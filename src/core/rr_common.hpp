@@ -1,0 +1,79 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "tm/tm.hpp"
+#include "util/cacheline.hpp"
+#include "util/thread_registry.hpp"
+
+namespace hohtm::rr {
+
+/// A *reference* is an opaque pointer to a node of some client data
+/// structure. Reservations never dereference it — they only store, compare,
+/// and return it — which is exactly what lets a reserved node be freed.
+using Ref = const void*;
+
+/// Multiplicative pointer hash used by the hash-indexed reservation
+/// algorithms (RR-DM/SA map references to bucket lists; RR-XO/SO/V map
+/// them to metadata slots). Low bits are dropped first: node allocations
+/// are at least 16-byte aligned, so they carry no entropy.
+inline std::size_t hash_ref(Ref ref, std::size_t log2_buckets) noexcept {
+  if (log2_buckets == 0) return 0;  // a 64-bit shift would be UB
+  auto key = reinterpret_cast<std::uintptr_t>(ref) >> 4;
+  key *= 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>(key >> (64 - log2_buckets));
+}
+
+/// Compile-time contract for a revocable-reservation implementation.
+/// All five methods must be called from inside a transaction (they take
+/// the Tx); the sequential specification is Listing 1 of the paper.
+///
+/// Traits:
+///  - kStrict: Get returns nil only if the reservation was released or the
+///    reserved reference revoked (Section 3.1). Relaxed implementations
+///    (kStrict == false) may return nil spuriously (Section 3.2), which
+///    forbids the doubly-linked-list remove optimization.
+///  - kReal: false only for RrNull, the no-op used to express the
+///    single-big-transaction baseline through the same data-structure code.
+template <class R, class TM>
+concept Reservation =
+    tm::TMBackend<TM> && requires(R r, typename TM::Tx& tx, Ref ref) {
+      { r.register_thread(tx) };
+      { r.reserve(tx, ref) };
+      { r.release(tx) };
+      { r.get(tx) } -> std::same_as<Ref>;
+      { r.revoke(tx, ref) };
+      { R::kStrict } -> std::convertible_to<bool>;
+      { R::kReal } -> std::convertible_to<bool>;
+      { R::name() } -> std::convertible_to<const char*>;
+    };
+
+/// Per-slot thread-generation tracking shared by all implementations.
+///
+/// The paper's Register() runs once per thread; in this library thread
+/// slots are recycled, so "once per thread" becomes "whenever the slot's
+/// recorded generation differs from the calling thread's". A reservation
+/// object whose slot was inherited from a dead thread must scrub that
+/// slot's state (a stale reservation would hand the new thread a dangling
+/// reference). Writes go through the transaction so aborted registrations
+/// unwind.
+class SlotGenerations {
+ public:
+  template <class Tx>
+  bool is_registered(Tx& tx) const {
+    return tx.read(gen_[util::ThreadRegistry::slot()].value) ==
+           util::ThreadRegistry::generation();
+  }
+
+  template <class Tx>
+  void mark_registered(Tx& tx) {
+    tx.write(gen_[util::ThreadRegistry::slot()].value,
+             util::ThreadRegistry::generation());
+  }
+
+ private:
+  util::CachePadded<std::uint64_t> gen_[util::kMaxThreads];
+};
+
+}  // namespace hohtm::rr

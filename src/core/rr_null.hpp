@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/rr_common.hpp"
+
+namespace hohtm::rr {
+
+/// RR-Null — the no-op reservation.
+///
+/// Get always returns nil, so a hand-over-hand traversal always restarts
+/// from the root; combined with an unbounded window this turns the
+/// HOH data-structure templates into the paper's "HTM" baseline, where
+/// every operation is one big transaction. Not a real reservation
+/// implementation (kReal == false): data structures must not rely on
+/// reservations persisting when instantiated with it.
+template <class TM>
+class RrNull {
+ public:
+  using Tx = typename TM::Tx;
+  static constexpr bool kStrict = false;
+  static constexpr bool kReal = false;
+  static constexpr const char* name() noexcept { return "RR-Null"; }
+
+  void register_thread(Tx&) {}
+  void reserve(Tx&, Ref) {}
+  void release(Tx&) {}
+  Ref get(Tx&) { return nullptr; }
+  void revoke(Tx&, Ref) {}
+};
+
+}  // namespace hohtm::rr

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rr_common.hpp"
+#include "util/cacheline.hpp"
+
+namespace hohtm::rr {
+
+/// RR-XO — exclusive-ownership reservations (paper Listing 3).
+///
+/// A hash-indexed array OWN maps references many-to-one onto thread-id
+/// slots. Reserve stamps the caller's id into OWN[hash(ref)] and the
+/// reference into a thread-private cell; Get succeeds only if the stamp
+/// is still the caller's; Revoke overwrites the stamp with -1. Every
+/// operation is O(1); Revoke is a single word write.
+///
+/// Relaxed: a Get may return nil spuriously — another thread reserving a
+/// *different* reference that hashes to the same OWN slot evicts the
+/// caller's stamp (and at most one thread can hold a reservation on any
+/// given slot). Progress, not correctness, is what this costs (§3.2).
+template <class TM>
+class RrXo {
+ public:
+  using Tx = typename TM::Tx;
+  static constexpr bool kStrict = false;
+  static constexpr bool kReal = true;
+  static constexpr const char* name() noexcept { return "RR-XO"; }
+
+  explicit RrXo(std::size_t log2_slots = 12)
+      : log2_slots_(log2_slots), own_(std::size_t{1} << log2_slots, kRevoked) {}
+
+  RrXo(const RrXo&) = delete;
+  RrXo& operator=(const RrXo&) = delete;
+
+  /// The dense thread-registry slot doubles as the paper's unique id, so
+  /// registration only needs to scrub a recycled slot's stale reference.
+  void register_thread(Tx& tx) {
+    if (generations_.is_registered(tx)) return;
+    tx.write(my_ref(), static_cast<Ref>(nullptr));
+    generations_.mark_registered(tx);
+  }
+
+  void reserve(Tx& tx, Ref ref) {
+    tx.write(own_[hash_ref(ref, log2_slots_)], my_id());
+    tx.write(my_ref(), ref);
+  }
+
+  /// Thread-local only: never causes transaction conflicts.
+  void release(Tx& tx) { tx.write(my_ref(), static_cast<Ref>(nullptr)); }
+
+  Ref get(Tx& tx) {
+    const Ref ref = tx.read(my_ref());
+    if (ref == nullptr) return nullptr;
+    if (tx.read(own_[hash_ref(ref, log2_slots_)]) != my_id()) return nullptr;
+    return ref;
+  }
+
+  void revoke(Tx& tx, Ref ref) {
+    tx.write(own_[hash_ref(ref, log2_slots_)], kRevoked);
+  }
+
+ private:
+  static constexpr std::int64_t kRevoked = -1;
+
+  std::int64_t my_id() const noexcept {
+    return static_cast<std::int64_t>(util::ThreadRegistry::slot());
+  }
+
+  Ref& my_ref() noexcept { return refs_[util::ThreadRegistry::slot()].value; }
+
+  std::size_t log2_slots_;
+  std::vector<std::int64_t> own_;
+  util::CachePadded<Ref> refs_[util::kMaxThreads];
+  SlotGenerations generations_;
+};
+
+}  // namespace hohtm::rr

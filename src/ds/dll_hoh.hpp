@@ -1,0 +1,226 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "alloc/object.hpp"
+#include "core/rr.hpp"
+#include "tm/tm.hpp"
+#include "util/random.hpp"
+#include "util/thread_registry.hpp"
+
+namespace hohtm::ds {
+
+/// Sorted doubly-linked set with hand-over-hand transactions and revocable
+/// reservations — paper Section 4.2.
+///
+/// Traversal is identical to the singly linked list. The difference is in
+/// Remove: because a node's predecessor and successor are both reachable
+/// from the node itself, a Remove can find-and-reserve the victim in one
+/// transaction and unlink-revoke-free it in a *second* transaction. This
+/// keeps the writing transaction small and keeps Revoke out of traversing
+/// transactions.
+///
+/// The optimization is only sound for *strict* reservation algorithms:
+/// there, "Get returned nil" proves a concurrent Remove revoked (and
+/// removed) this exact node, so the operation can return false. With a
+/// relaxed algorithm the nil may be spurious, so the operation must retry
+/// from scratch (the paper calls this out explicitly). RrNull (the
+/// single-transaction baseline) skips the second transaction entirely.
+template <class TM, class RR, class Key = long>
+class DllHoh {
+ public:
+  using Tx = typename TM::Tx;
+  static constexpr int kUnbounded = std::numeric_limits<int>::max();
+
+  template <class... RrArgs>
+  explicit DllHoh(int window = 16, bool scatter = true, RrArgs&&... rr_args)
+      : window_(window),
+        scatter_(scatter),
+        reservation_(std::forward<RrArgs>(rr_args)...) {
+    head_ = alloc::create<Node>(std::numeric_limits<Key>::min(), nullptr,
+                                nullptr);
+    reclaim::Gauge::on_alloc();
+  }
+
+  DllHoh(const DllHoh&) = delete;
+  DllHoh& operator=(const DllHoh&) = delete;
+
+  ~DllHoh() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      alloc::destroy(n);
+      reclaim::Gauge::on_free();
+      n = next;
+    }
+  }
+
+  bool insert(Key key) {
+    return apply(
+        key, [](Tx&, Node*, Node*) { return FindOutcome::found_no_change(); },
+        [&](Tx& tx, Node* prev, Node* curr) {
+          Node* fresh = tx.template alloc<Node>(key, prev, curr);
+          tx.write(prev->next, fresh);
+          if (curr != nullptr) tx.write(curr->prev, fresh);
+          return FindOutcome::done(true);
+        }).value;
+  }
+
+  bool contains(Key key) {
+    return apply(
+        key, [](Tx&, Node*, Node*) { return FindOutcome::done(true); },
+        [](Tx&, Node*, Node*) { return FindOutcome::done(false); }).value;
+  }
+
+  bool remove(Key key) {
+    for (;;) {
+      const FindOutcome found = apply(
+          key,
+          [&](Tx& tx, Node* prev, Node* curr) {
+            if constexpr (!RR::kReal) {
+              // Single-transaction baseline: unlink right here.
+              unlink_revoke_free(tx, prev, curr);
+              return FindOutcome::done(true);
+            } else {
+              // Two-phase removal: hold the victim via the reservation
+              // and finish in a dedicated small transaction.
+              reservation_.release(tx);
+              reservation_.reserve(tx, curr);
+              return FindOutcome::two_phase();
+            }
+          },
+          [](Tx&, Node*, Node*) { return FindOutcome::done(false); });
+      if (!found.needs_second_phase) return found.value;
+
+      const std::optional<bool> unlinked =
+          TM::atomically([&](Tx& tx) -> std::optional<bool> {
+            reservation_.register_thread(tx);
+            Node* victim = static_cast<Node*>(
+                const_cast<void*>(reservation_.get(tx)));
+            if (victim == nullptr) {
+              reservation_.release(tx);
+              if constexpr (RR::kStrict) {
+                // Only an actual Revoke(victim) can have cleared a strict
+                // reservation: a concurrent Remove beat us to this node,
+                // and our operation serializes right after it.
+                return false;
+              } else {
+                return std::nullopt;  // possibly spurious: retry the find
+              }
+            }
+            Node* prev = tx.read(victim->prev);
+            unlink_revoke_free(tx, prev, victim);
+            reservation_.release(tx);
+            return true;
+          });
+      if (unlinked.has_value()) return *unlinked;
+    }
+  }
+
+  std::size_t size() {
+    return TM::atomically([&](Tx& tx) {
+      std::size_t count = 0;
+      for (Node* n = tx.read(head_->next); n != nullptr; n = tx.read(n->next))
+        ++count;
+      return count;
+    });
+  }
+
+  /// Validates both directions: sorted forward, and every prev pointer
+  /// inverse to its next pointer.
+  bool is_consistent() {
+    return TM::atomically([&](Tx& tx) {
+      Node* previous = head_;
+      for (Node* n = tx.read(head_->next); n != nullptr;
+           n = tx.read(n->next)) {
+        if (tx.read(n->prev) != previous) return false;
+        if (previous != head_ && tx.read(n->key) <= tx.read(previous->key))
+          return false;
+        previous = n;
+      }
+      return true;
+    });
+  }
+
+  int window() const noexcept { return window_; }
+  static const char* reservation_name() noexcept { return RR::name(); }
+
+ private:
+  struct Node {
+    Key key;
+    Node* prev;
+    Node* next;
+    Node(Key k, Node* p, Node* n) : key(k), prev(p), next(n) {}
+  };
+
+  /// Outcome of the find phase: a final value, or "go run phase two".
+  struct FindOutcome {
+    bool value = false;
+    bool needs_second_phase = false;
+    static FindOutcome done(bool v) { return {v, false}; }
+    static FindOutcome two_phase() { return {false, true}; }
+    static FindOutcome found_no_change() { return {false, false}; }
+  };
+
+  void unlink_revoke_free(Tx& tx, Node* prev, Node* curr) {
+    Node* next = tx.read(curr->next);
+    tx.write(prev->next, next);
+    if (next != nullptr) tx.write(next->prev, prev);
+    reservation_.revoke(tx, curr);
+    tx.dealloc(curr);
+  }
+
+  template <class FFound, class FNotFound>
+  FindOutcome apply(Key key, FFound&& on_found, FNotFound&& on_not_found) {
+    for (;;) {
+      const std::optional<FindOutcome> outcome =
+          TM::atomically([&](Tx& tx) -> std::optional<FindOutcome> {
+            reservation_.register_thread(tx);
+            Node* prev = static_cast<Node*>(
+                const_cast<void*>(reservation_.get(tx)));
+            int used = 0;
+            if (prev == nullptr) {
+              prev = head_;
+              used = initial_scatter();
+            }
+            Node* curr = tx.read(prev->next);
+            while (curr != nullptr && tx.read(curr->key) < key &&
+                   used < window_) {
+              prev = curr;
+              curr = tx.read(curr->next);
+              ++used;
+            }
+            if (curr != nullptr && tx.read(curr->key) == key) {
+              const FindOutcome result = on_found(tx, prev, curr);
+              if (!result.needs_second_phase) reservation_.release(tx);
+              return result;
+            }
+            if (curr == nullptr || tx.read(curr->key) > key) {
+              const FindOutcome result = on_not_found(tx, prev, curr);
+              reservation_.release(tx);
+              return result;
+            }
+            reservation_.release(tx);
+            reservation_.reserve(tx, curr);
+            return std::nullopt;
+          });
+      if (outcome.has_value()) return *outcome;
+    }
+  }
+
+  int initial_scatter() {
+    if (!scatter_ || window_ <= 1 || window_ == kUnbounded) return 0;
+    thread_local util::Xoshiro256 rng(
+        util::ThreadRegistry::generation() * 0x9E3779B97F4A7C15ULL + 2);
+    return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(window_)));
+  }
+
+  int window_;
+  bool scatter_;
+  Node* head_;
+  RR reservation_;
+};
+
+}  // namespace hohtm::ds

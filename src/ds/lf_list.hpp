@@ -1,0 +1,249 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "reclaim/gauge.hpp"
+#include "reclaim/hazard_pointers.hpp"
+
+namespace hohtm::ds {
+
+/// Reclamation policies for the lock-free list. The paper benchmarks two:
+/// "one that never reclaims memory, and one that uses hazard pointers".
+
+/// LeakyReclaimer — logically removed nodes are never freed during the
+/// run (the paper's LFLeak: "approximates the best-case performance of an
+/// epoch-based allocator ... but has no bounds on memory overheads").
+/// Retired nodes are recorded and released only at destruction so test
+/// binaries stay leak-clean while the Gauge still shows the run-time
+/// backlog.
+class LeakyReclaimer {
+ public:
+  ~LeakyReclaimer() {
+    for (const auto& r : tombstones_) r.deleter(r.ptr);
+  }
+  void protect(std::size_t, const void*) noexcept {}
+  void clear_all() noexcept {}
+  bool validate() noexcept { return true; }
+  void retire(void* ptr, void (*deleter)(void*) noexcept) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tombstones_.push_back({ptr, deleter});
+  }
+  std::size_t backlog() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tombstones_.size();
+  }
+  static constexpr const char* name() noexcept { return "LFLeak"; }
+
+ private:
+  struct Tombstone {
+    void* ptr;
+    void (*deleter)(void*) noexcept;
+  };
+  mutable std::mutex mu_;
+  std::vector<Tombstone> tombstones_;
+};
+
+/// HazardReclaimer — Michael's hazard pointers with batched scans.
+class HazardReclaimer {
+ public:
+  explicit HazardReclaimer(std::size_t scan_threshold = 64)
+      : domain_(scan_threshold) {}
+  void protect(std::size_t index, const void* ptr) noexcept {
+    domain_.protect(index, ptr);
+  }
+  void clear_all() noexcept { domain_.clear_all(); }
+  void retire(void* ptr, void (*deleter)(void*) noexcept) {
+    domain_.retire(ptr, deleter);
+  }
+  std::size_t backlog() const noexcept { return domain_.total_backlog(); }
+  static constexpr const char* name() noexcept { return "LFHP"; }
+
+ private:
+  reclaim::HazardDomain domain_;
+};
+
+/// Lock-free sorted linked-list set (Harris 2001 / Michael 2002): the
+/// mark bit in the successor pointer logically deletes a node; traversals
+/// physically unlink marked nodes as they pass. This is the hand-crafted
+/// baseline the paper concedes its reservations do not beat when the
+/// baseline is allowed to leak (Figure 2, LFLeak).
+template <class Reclaimer, class Key = long>
+class LfList {
+ public:
+  template <class... RecArgs>
+  explicit LfList(RecArgs&&... rec_args)
+      : reclaimer_(std::forward<RecArgs>(rec_args)...),
+        head_(new Node(std::numeric_limits<Key>::min())) {
+    reclaim::Gauge::on_alloc();
+  }
+
+  LfList(const LfList&) = delete;
+  LfList& operator=(const LfList&) = delete;
+
+  ~LfList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = strip(n->next.load(std::memory_order_relaxed));
+      delete n;
+      reclaim::Gauge::on_free();
+      n = next;
+    }
+  }
+
+  bool insert(Key key) {
+    Node* fresh = nullptr;
+    for (;;) {
+      Window w = find(key);
+      if (w.curr != nullptr && w.curr->key == key) {
+        if (fresh != nullptr) {
+          delete fresh;
+          reclaim::Gauge::on_free();
+        }
+        reclaimer_.clear_all();
+        return false;
+      }
+      if (fresh == nullptr) {
+        fresh = new Node(key);
+        reclaim::Gauge::on_alloc();
+      }
+      fresh->next.store(pack(w.curr, false), std::memory_order_relaxed);
+      std::uintptr_t expected = pack(w.curr, false);
+      if (w.prev->compare_exchange_strong(expected, pack(fresh, false),
+                                          std::memory_order_acq_rel)) {
+        reclaimer_.clear_all();
+        return true;
+      }
+    }
+  }
+
+  bool remove(Key key) {
+    for (;;) {
+      Window w = find(key);
+      if (w.curr == nullptr || w.curr->key != key) {
+        reclaimer_.clear_all();
+        return false;
+      }
+      std::uintptr_t successor = w.curr->next.load(std::memory_order_acquire);
+      if (marked(successor)) continue;  // someone else is removing it
+      // Logical removal: set the mark bit.
+      if (!w.curr->next.compare_exchange_strong(
+              successor, successor | 1, std::memory_order_acq_rel))
+        continue;
+      // Physical removal: unlink; on failure a later find() will help.
+      std::uintptr_t expected = pack(w.curr, false);
+      if (w.prev->compare_exchange_strong(expected, successor & ~1ULL,
+                                          std::memory_order_acq_rel)) {
+        reclaimer_.retire(w.curr, &delete_node);
+      } else {
+        find(key);  // helping path unlinks and retires
+      }
+      reclaimer_.clear_all();
+      return true;
+    }
+  }
+
+  bool contains(Key key) {
+    Window w = find(key);
+    const bool present = w.curr != nullptr && w.curr->key == key;
+    reclaimer_.clear_all();
+    return present;
+  }
+
+  /// Elements currently in the set (nodes whose next pointer is not
+  /// marked). Follows raw links: only meaningful quiescently (tests).
+  std::size_t size() const {
+    std::size_t count = 0;
+    Node* n = strip(head_->next.load(std::memory_order_acquire));
+    while (n != nullptr) {
+      const std::uintptr_t next_word = n->next.load(std::memory_order_acquire);
+      if (!marked(next_word)) ++count;
+      n = strip(next_word);
+    }
+    return count;
+  }
+
+  /// Sorted-order invariant over live nodes; quiescent use only.
+  bool is_sorted() const {
+    Node* n = strip(head_->next.load(std::memory_order_acquire));
+    Key last = std::numeric_limits<Key>::min();
+    while (n != nullptr) {
+      const std::uintptr_t next_word = n->next.load(std::memory_order_acquire);
+      if (!marked(next_word)) {
+        if (n->key <= last) return false;
+        last = n->key;
+      }
+      n = strip(next_word);
+    }
+    return true;
+  }
+
+  std::size_t reclaimer_backlog() const noexcept { return reclaimer_.backlog(); }
+  static const char* reclaimer_name() noexcept { return Reclaimer::name(); }
+
+ private:
+  struct Node {
+    Key key;
+    std::atomic<std::uintptr_t> next{0};
+    explicit Node(Key k) : key(k) {}
+  };
+
+  struct Window {
+    std::atomic<std::uintptr_t>* prev;
+    Node* curr;  // first unmarked node with key >= target (or null)
+  };
+
+  static Node* strip(std::uintptr_t p) noexcept {
+    return reinterpret_cast<Node*>(p & ~std::uintptr_t{1});
+  }
+  static bool marked(std::uintptr_t p) noexcept { return (p & 1) != 0; }
+  static std::uintptr_t pack(Node* p, bool mark) noexcept {
+    return reinterpret_cast<std::uintptr_t>(p) | (mark ? 1 : 0);
+  }
+  static void delete_node(void* p) noexcept {
+    delete static_cast<Node*>(p);
+    reclaim::Gauge::on_free();
+  }
+
+  /// Michael's find: returns a window (prev, curr) with hazard pointers
+  /// published on both; unlinks (and retires) marked nodes encountered.
+  /// Hazard slots: 0 = curr, 1 = prev node (head needs none).
+  Window find(Key key) {
+  retry:
+    std::atomic<std::uintptr_t>* prev = &head_->next;
+    reclaimer_.protect(1, head_);
+    std::uintptr_t curr_word = prev->load(std::memory_order_acquire);
+    for (;;) {
+      Node* curr = strip(curr_word);
+      if (curr == nullptr) return Window{prev, nullptr};
+      reclaimer_.protect(0, curr);
+      // Validate: prev must still point (unmarked) at curr, otherwise the
+      // hazard may have been published after curr was freed.
+      if (prev->load(std::memory_order_seq_cst) != pack(curr, false))
+        goto retry;
+      std::uintptr_t next_word = curr->next.load(std::memory_order_acquire);
+      if (marked(next_word)) {
+        // Help unlink the logically removed node.
+        std::uintptr_t expected = pack(curr, false);
+        if (!prev->compare_exchange_strong(expected, next_word & ~1ULL,
+                                           std::memory_order_acq_rel))
+          goto retry;
+        reclaimer_.retire(curr, &delete_node);
+        curr_word = next_word & ~1ULL;
+        continue;
+      }
+      if (curr->key >= key) return Window{prev, curr};
+      prev = &curr->next;
+      reclaimer_.protect(1, curr);
+      curr_word = next_word;
+    }
+  }
+
+  Reclaimer reclaimer_;
+  Node* head_;
+};
+
+}  // namespace hohtm::ds

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tm/config.hpp"
+#include "util/cacheline.hpp"
+#include "util/thread_registry.hpp"
+
+namespace hohtm::ds {
+
+/// Dynamic window-size tuning — the future work the paper could not
+/// build: "Doing so will entail hand-crafting the transactions, instead
+/// of using GCC TM support: GCC TM does not expose the fact of an abort,
+/// or its cause, to the programmer" (Section 5.2). This library owns its
+/// TM, so abort counts are one read away (tm::Stats), and the paper's
+/// suggested contention-driven policy becomes implementable.
+///
+/// Policy (multiplicative decrease / streak-based increase, per thread):
+///  - an operation that suffered any abort halves the window (floor
+///    min_window): contention favours smaller windows (Figure 4);
+///  - `kGrowStreak` consecutive abort-free operations double it (ceiling
+///    max_window): quiet periods favour fewer transaction boundaries.
+class WindowTuner {
+ public:
+  WindowTuner(int min_window, int max_window) noexcept
+      : min_window_(min_window), max_window_(max_window) {}
+
+  /// Call at operation start; returns the window to use and remembers
+  /// the abort counter to diff against in `observe`.
+  int begin_op() noexcept {
+    State& s = mine();
+    if (s.window == 0) s.window = initial_window();
+    s.aborts_at_start = tm::Stats::mine().aborts;
+    return s.window;
+  }
+
+  /// Call when the operation completes; adapts the thread's window.
+  void observe() noexcept {
+    State& s = mine();
+    const std::uint64_t aborts = tm::Stats::mine().aborts;
+    if (aborts != s.aborts_at_start) {
+      s.window = s.window / 2 < min_window_ ? min_window_ : s.window / 2;
+      s.clean_streak = 0;
+      return;
+    }
+    if (++s.clean_streak >= kGrowStreak) {
+      s.clean_streak = 0;
+      s.window = s.window * 2 > max_window_ ? max_window_ : s.window * 2;
+    }
+  }
+
+  /// Current per-thread window (diagnostics).
+  int current() noexcept {
+    State& s = mine();
+    return s.window == 0 ? initial_window() : s.window;
+  }
+
+ private:
+  static constexpr int kGrowStreak = 32;
+
+  struct State {
+    int window = 0;  // 0 = uninitialized for this thread
+    int clean_streak = 0;
+    std::uint64_t aborts_at_start = 0;
+  };
+
+  int initial_window() const noexcept {
+    // Geometric midpoint of the range, rounded to a power of two.
+    int w = min_window_;
+    while (w < max_window_ && w * w < min_window_ * max_window_) w *= 2;
+    return w;
+  }
+
+  State& mine() noexcept {
+    return states_[util::ThreadRegistry::slot()].value;
+  }
+
+  const int min_window_;
+  const int max_window_;
+  util::CachePadded<State> states_[util::kMaxThreads];
+};
+
+}  // namespace hohtm::ds

@@ -1,0 +1,4 @@
+#include "harness/driver.hpp"
+
+// run_cell is a template; this TU anchors the module.
+namespace hohtm::harness {}

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "harness/workload.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace hohtm::harness {
+
+/// One trial's outcome.
+struct TrialResult {
+  double seconds = 0.0;
+  double mops = 0.0;
+};
+
+/// Aggregate over trials; the paper reports the mean of 5 trials and a
+/// variance below 3% — cv_percent lets the harness print the same check.
+struct CellResult {
+  util::Summary mops;
+};
+
+/// Run `config.trials` trials of the standard mixed workload against a
+/// freshly built set per trial.
+///
+/// SetFactory: () -> std::unique_ptr<Set>, with Set providing
+/// insert/remove/contains(long). The set is pre-filled to 50% of the key
+/// range before timing starts (as in the paper), and timed threads run
+/// ops_per_thread operations each, started simultaneously via a spin
+/// barrier.
+template <class SetFactory>
+CellResult run_cell(const WorkloadConfig& config, SetFactory&& make_set) {
+  std::vector<double> mops_samples;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    auto set = make_set();
+    for (long key : prefill_keys(config)) set->insert(key);
+
+    util::SpinBarrier barrier(static_cast<std::size_t>(config.threads) + 1);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(config.threads));
+    for (int t = 0; t < config.threads; ++t) {
+      threads.emplace_back([&, t] {
+        util::Xoshiro256 rng(config.seed + 0x1000u * (trial + 1) + t);
+        const long range = config.key_range();
+        barrier.arrive_and_wait();  // line up the start
+        for (std::uint64_t i = 0; i < config.ops_per_thread; ++i) {
+          const long key = static_cast<long>(rng.next_below(range));
+          const int dice = static_cast<int>(rng.next_below(100));
+          if (dice < config.lookup_pct) {
+            set->contains(key);
+          } else if ((dice - config.lookup_pct) % 2 == 0) {
+            set->insert(key);
+          } else {
+            set->remove(key);
+          }
+        }
+        barrier.arrive_and_wait();  // line up the finish
+      });
+    }
+    barrier.arrive_and_wait();
+    const auto start = std::chrono::steady_clock::now();
+    barrier.arrive_and_wait();
+    const auto stop = std::chrono::steady_clock::now();
+    for (auto& th : threads) th.join();
+
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    const double total_ops =
+        static_cast<double>(config.ops_per_thread) * config.threads;
+    mops_samples.push_back(total_ops / seconds / 1e6);
+  }
+  return CellResult{util::summarize(mops_samples)};
+}
+
+}  // namespace hohtm::harness

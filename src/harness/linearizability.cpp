@@ -1,0 +1,146 @@
+#include "harness/linearizability.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+namespace hohtm::harness {
+namespace {
+
+/// Does applying `op` to `state` produce `op.result` under the
+/// sequential set specification? Mutates `state` on a match.
+bool apply(const SetOp& op, std::set<long>& state) {
+  switch (op.kind) {
+    case SetOp::kInsert: {
+      const bool inserted = state.insert(op.key).second;
+      if (inserted == op.result) return true;
+      if (inserted) state.erase(op.key);  // undo the speculative insert
+      return false;
+    }
+    case SetOp::kRemove: {
+      const bool removed = state.erase(op.key) == 1;
+      if (removed == op.result) return true;
+      if (removed) state.insert(op.key);
+      return false;
+    }
+    case SetOp::kContains:
+      return state.contains(op.key) == op.result;
+  }
+  return false;
+}
+
+void unapply(const SetOp& op, std::set<long>& state) {
+  switch (op.kind) {
+    case SetOp::kInsert:
+      if (op.result) state.erase(op.key);
+      break;
+    case SetOp::kRemove:
+      if (op.result) state.insert(op.key);
+      break;
+    case SetOp::kContains:
+      break;
+  }
+}
+
+/// FNV-style hash of the current abstract state (order-independent mix
+/// would risk collisions; sorted iteration of std::set gives a canonical
+/// sequence, so a sequential hash is exact up to 64-bit collisions).
+std::uint64_t hash_state(const std::set<long>& state) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (long k : state) {
+    h ^= static_cast<std::uint64_t>(k) + 0x9E3779B97F4A7C15ULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::size_t kMaxOps = 512;
+
+/// Search configuration shared by the recursive walk.
+struct Search {
+  const std::vector<SetOp>* ops;
+  // Doubly linked list over op indices (+1 shift; 0 is the head
+  // sentinel) giving the remaining-set in invocation order.
+  std::vector<std::size_t> next;
+  std::vector<std::size_t> prev;
+  // Taken-set bitmap (canonical identity of a search node along with the
+  // state hash — the same subset can be reached by many paths).
+  std::uint64_t taken_bits[kMaxOps / 64] = {};
+  std::unordered_set<std::uint64_t> visited;
+  std::size_t remaining = 0;
+
+  void unlink(std::size_t idx) {
+    next[prev[idx + 1]] = next[idx + 1];
+    prev[next[idx + 1]] = prev[idx + 1];
+    taken_bits[idx / 64] |= 1ULL << (idx % 64);
+    --remaining;
+  }
+
+  void relink(std::size_t idx) {
+    next[prev[idx + 1]] = idx + 1;
+    prev[next[idx + 1]] = idx + 1;
+    taken_bits[idx / 64] &= ~(1ULL << (idx % 64));
+    ++remaining;
+  }
+
+  std::uint64_t memo_key(std::uint64_t state_hash) const {
+    std::uint64_t h = state_hash;
+    const std::size_t words = (ops->size() + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+      h ^= taken_bits[w] + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  bool walk(std::set<long>& state) {
+    if (remaining == 0) return true;
+    if (!visited.insert(memo_key(hash_state(state))).second)
+      return false;  // this (subset, state) already failed
+    // Candidates: remaining ops whose invocation precedes every remaining
+    // response — i.e. ops that could legally linearize first. Walking the
+    // list in invocation order, stop once we pass the smallest response.
+    std::uint64_t response_bar = ~0ULL;
+    for (std::size_t cursor = next[0]; cursor != 0; cursor = next[cursor]) {
+      const std::size_t idx = cursor - 1;
+      const SetOp& op = (*ops)[idx];
+      if (op.invoke > response_bar) break;  // later ops can't go first
+      response_bar = std::min(response_bar, op.response);
+      if (!apply(op, state)) continue;  // result inconsistent here
+      unlink(idx);
+      if (walk(state)) {
+        relink(idx);   // restore structure for the caller (result stands)
+        unapply(op, state);
+        return true;
+      }
+      relink(idx);
+      unapply(op, state);
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool is_linearizable(std::vector<SetOp> history, std::set<long> initial) {
+  if (history.size() > kMaxOps) return false;  // refuse oversized input
+  std::sort(history.begin(), history.end(),
+            [](const SetOp& a, const SetOp& b) { return a.invoke < b.invoke; });
+  Search search;
+  search.ops = &history;
+  const std::size_t n = history.size();
+  search.next.resize(n + 1);
+  search.prev.resize(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    search.next[i] = (i + 1) % (n + 1);
+    search.prev[i] = (i + n) % (n + 1);
+  }
+  search.remaining = n;
+  return search.walk(initial);
+}
+
+std::uint64_t next_history_stamp() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_seq_cst);
+}
+
+}  // namespace hohtm::harness

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace hohtm::harness {
+
+/// Linearizability checking for set histories (Wing & Gong style search
+/// with Lowe-style memoization).
+///
+/// The concurrent tests elsewhere in this suite check *invariants*
+/// (conserved sums, exclusive removals). This checker is stronger: it
+/// records complete concurrent histories — invocation and response
+/// timestamps per operation — and decides whether some legal sequential
+/// ordering of the operations explains every result while respecting
+/// real-time order. It is the ground-truth correctness notion the paper
+/// implicitly claims for its structures ("The composition of these
+/// linked transactions appears atomic").
+///
+/// Intended for small histories (a few hundred events): the problem is
+/// NP-hard in general; memoization keeps the common case fast.
+
+/// One completed operation on a set of long keys.
+struct SetOp {
+  enum Kind : std::uint8_t { kInsert, kRemove, kContains };
+  Kind kind = kContains;
+  long key = 0;
+  bool result = false;
+  std::uint64_t invoke = 0;    // global sequence number before the call
+  std::uint64_t response = 0;  // global sequence number after the call
+};
+
+/// True iff `history` is linearizable with respect to the sequential
+/// set specification, starting from `initial` contents.
+bool is_linearizable(std::vector<SetOp> history, std::set<long> initial);
+
+/// Global sequence source for recording histories. fetch_add'ed around
+/// every operation; monotonic across threads.
+std::uint64_t next_history_stamp();
+
+/// Convenience recorder: wraps a set operation with stamps.
+template <class F>
+SetOp record_op(SetOp::Kind kind, long key, F&& call) {
+  SetOp op;
+  op.kind = kind;
+  op.key = key;
+  op.invoke = next_history_stamp();
+  op.result = call();
+  op.response = next_history_stamp();
+  return op;
+}
+
+}  // namespace hohtm::harness

@@ -1,0 +1,26 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+
+namespace hohtm::harness {
+
+void emit_header(const std::string& figure, const std::string& description) {
+  std::printf("# %s: %s\n", figure.c_str(), description.c_str());
+  std::printf("# columns: figure,panel,series,threads,mops,cv_pct\n");
+  std::fflush(stdout);
+}
+
+void emit_panel_note(const std::string& figure, const std::string& panel) {
+  std::printf("# %s panel=%s\n", figure.c_str(), panel.c_str());
+  std::fflush(stdout);
+}
+
+void emit_row(const std::string& figure, const std::string& panel,
+              const std::string& series, int threads, const CellResult& cell) {
+  std::printf("%s,%s,%s,%d,%.4f,%.2f\n", figure.c_str(), panel.c_str(),
+              series.c_str(), threads, cell.mops.mean,
+              cell.mops.cv_percent());
+  std::fflush(stdout);
+}
+
+}  // namespace hohtm::harness

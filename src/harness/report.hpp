@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "harness/driver.hpp"
+
+namespace hohtm::harness {
+
+/// Uniform reporting for the figure-reproduction benches. Each bench
+/// binary prints one block per figure panel:
+///
+///   # fig2 panel=6bit-33pct series=RR-XO
+///   fig2,6bit-33pct,RR-XO,1,1.234,0.8
+///   fig2,6bit-33pct,RR-XO,2,1.876,1.1
+///
+/// Columns: figure, panel, series, threads, Mops/s (mean), cv%.
+/// The CSV rows regenerate the paper's throughput-vs-threads curves.
+void emit_header(const std::string& figure, const std::string& description);
+void emit_panel_note(const std::string& figure, const std::string& panel);
+void emit_row(const std::string& figure, const std::string& panel,
+              const std::string& series, int threads, const CellResult& cell);
+
+}  // namespace hohtm::harness

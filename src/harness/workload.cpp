@@ -1,0 +1,40 @@
+#include "harness/workload.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+#include "util/random.hpp"
+
+namespace hohtm::harness {
+
+BenchEnv BenchEnv::from_environment() {
+  BenchEnv env;
+  if (const char* ops = std::getenv("HOH_BENCH_OPS"))
+    env.ops_per_thread = std::strtoull(ops, nullptr, 10);
+  if (const char* trials = std::getenv("HOH_BENCH_TRIALS"))
+    env.trials = static_cast<int>(std::strtol(trials, nullptr, 10));
+  if (const char* bits = std::getenv("HOH_BENCH_BIGBITS"))
+    env.big_key_bits = static_cast<int>(std::strtol(bits, nullptr, 10));
+  if (const char* threads = std::getenv("HOH_BENCH_THREADS")) {
+    env.thread_counts.clear();
+    std::stringstream stream(threads);
+    std::string token;
+    while (std::getline(stream, token, ','))
+      env.thread_counts.push_back(static_cast<int>(std::strtol(token.c_str(), nullptr, 10)));
+    if (env.thread_counts.empty()) env.thread_counts = {1, 2, 4, 8};
+  }
+  return env;
+}
+
+std::vector<long> prefill_keys(const WorkloadConfig& config) {
+  std::vector<long> keys(static_cast<std::size_t>(config.key_range()));
+  std::iota(keys.begin(), keys.end(), 0L);
+  util::Xoshiro256 rng(config.seed ^ 0xC0FFEE);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  keys.resize(keys.size() / 2);
+  return keys;
+}
+
+}  // namespace hohtm::harness

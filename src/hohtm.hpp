@@ -1,0 +1,44 @@
+#pragma once
+
+/// hohtm — Hand-Over-Hand Transactions with Precise Memory Reclamation.
+///
+/// Single-include convenience header for the whole public API. Larger
+/// builds should include the specific module headers instead (each
+/// data-structure template instantiation is nontrivial to compile).
+///
+///   TM backends        tm/tm.hpp        (GLock, Tml, Norec, Tl2)
+///   Reservations       core/rr.hpp      (RrFa/Dm/Sa, RrXo/So/V, RrNull)
+///   Multi-reservations core/multi_rr.hpp
+///   Data structures    ds/*.hpp
+///   Reclamation        reclaim/*.hpp    (hazard pointers, epochs, gauge)
+///   Allocation         alloc/*.hpp      (switchable malloc/pool)
+///   Benchmark harness  harness/*.hpp
+///
+/// See README.md for a quickstart and DESIGN.md for the architecture.
+
+#include "alloc/object.hpp"
+#include "alloc/pool.hpp"
+#include "core/multi_rr.hpp"
+#include "core/rr.hpp"
+#include "ds/bst_external.hpp"
+#include "ds/bst_external_tmhp.hpp"
+#include "ds/bst_internal.hpp"
+#include "ds/dll_hoh.hpp"
+#include "ds/dll_tmhp.hpp"
+#include "ds/hash_set.hpp"
+#include "ds/lf_list.hpp"
+#include "ds/nm_tree.hpp"
+#include "ds/skiplist.hpp"
+#include "ds/sll_hoh.hpp"
+#include "ds/sll_move.hpp"
+#include "ds/sll_ref.hpp"
+#include "ds/sll_tmhp.hpp"
+#include "ds/window_tuner.hpp"
+#include "harness/driver.hpp"
+#include "harness/linearizability.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/gauge.hpp"
+#include "reclaim/hazard_pointers.hpp"
+#include "tm/tm.hpp"

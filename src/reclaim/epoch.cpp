@@ -1,0 +1,54 @@
+#include "reclaim/epoch.hpp"
+
+namespace hohtm::reclaim {
+
+EpochDomain::~EpochDomain() {
+  for (auto& bucket : buckets_) {
+    for (auto& generation : bucket->generation) {
+      for (const Retired& r : generation) r.deleter(r.ptr);
+      generation.clear();
+    }
+  }
+}
+
+void EpochDomain::retire(void* ptr, void (*deleter)(void*) noexcept) {
+  Bucket& mine = buckets_[util::ThreadRegistry::slot()].value;
+  const std::uint64_t e = global_epoch_->load(std::memory_order_acquire);
+  mine.generation[e % kGenerations].push_back(Retired{ptr, deleter});
+  if (++mine.since_advance >= advance_threshold_) {
+    mine.since_advance = 0;
+    try_advance();
+  }
+}
+
+bool EpochDomain::try_advance() {
+  const std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
+  const std::size_t threads = util::ThreadRegistry::high_watermark();
+  for (std::size_t i = 0; i < threads; ++i) {
+    const std::uint64_t local =
+        cells_[i]->local_epoch.load(std::memory_order_seq_cst);
+    if (local != kIdle && local < e) return false;  // a reader lags behind
+  }
+  // All pinned threads have seen epoch e; retired nodes from generation
+  // e-2 (i.e. slot (e+1) % 3) can no longer be reached by anyone.
+  std::uint64_t expected = e;
+  if (!global_epoch_->compare_exchange_strong(expected, e + 1,
+                                              std::memory_order_seq_cst))
+    return false;  // someone else advanced; their free pass covers us
+  Bucket& mine = buckets_[util::ThreadRegistry::slot()].value;
+  auto& reclaimable = mine.generation[(e + 1) % kGenerations];
+  for (const Retired& r : reclaimable) r.deleter(r.ptr);
+  reclaimable.clear();
+  return true;
+}
+
+std::size_t EpochDomain::total_backlog() const noexcept {
+  std::size_t total = 0;
+  const std::size_t threads = util::ThreadRegistry::high_watermark();
+  for (std::size_t i = 0; i < threads; ++i)
+    for (const auto& generation : buckets_[i]->generation)
+      total += generation.size();
+  return total;
+}
+
+}  // namespace hohtm::reclaim

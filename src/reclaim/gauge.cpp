@@ -1,0 +1,5 @@
+#include "reclaim/gauge.hpp"
+
+// Gauge is fully inline; this translation unit exists so the module has a
+// stable home in the library and a place for future non-inline additions.
+namespace hohtm::reclaim {}

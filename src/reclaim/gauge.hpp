@@ -1,0 +1,61 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+#include "util/thread_registry.hpp"
+
+namespace hohtm::reclaim {
+
+/// Process-wide live-object gauge.
+///
+/// Every allocation/free routed through the TM (`tx.alloc` / `tx.dealloc`)
+/// and through the reclamation baselines (hazard pointers, epochs) ticks
+/// this gauge. It is how tests and the mem_pressure example *prove*
+/// precision: with revocable reservations, `live()` equals the logical
+/// structure size plus O(threads) at every quiescent point, while deferred
+/// schemes show a backlog of logically-deleted-but-unreclaimed nodes.
+///
+/// Counters are per-thread and padded; `live()` sums them (allocs and frees
+/// by different threads net out across slots).
+class Gauge {
+ public:
+  // Each cell is written only by its owning thread, so a relaxed
+  // load-modify-store (not an RMW) is sufficient and cheap.
+  static void on_alloc() noexcept { bump(cell().allocs); }
+  static void on_free() noexcept { bump(cell().frees); }
+
+  static std::int64_t live() noexcept {
+    std::int64_t allocs = 0;
+    std::int64_t frees = 0;
+    const std::size_t n = util::ThreadRegistry::high_watermark();
+    for (std::size_t i = 0; i < n; ++i) {
+      allocs += slots_[i]->allocs.load(std::memory_order_acquire);
+      frees += slots_[i]->frees.load(std::memory_order_acquire);
+    }
+    return allocs - frees;
+  }
+
+  /// Not resettable per-test via zeroing (racy); tests snapshot live()
+  /// before and after instead.
+
+ private:
+  struct Cell {
+    // No default member initializers: CachePadded<Cell> is instantiated
+    // inside this class, before such initializers would be complete. The
+    // C++20 std::atomic default constructor value-initializes to zero.
+    std::atomic<std::int64_t> allocs;
+    std::atomic<std::int64_t> frees;
+  };
+  static Cell& cell() noexcept {
+    return slots_[util::ThreadRegistry::slot()].value;
+  }
+  static void bump(std::atomic<std::int64_t>& counter) noexcept {
+    counter.store(counter.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
+  }
+  static inline util::CachePadded<Cell> slots_[util::kMaxThreads];
+};
+
+}  // namespace hohtm::reclaim

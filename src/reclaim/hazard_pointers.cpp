@@ -1,0 +1,54 @@
+#include "reclaim/hazard_pointers.hpp"
+
+#include <algorithm>
+
+namespace hohtm::reclaim {
+
+HazardDomain::~HazardDomain() {
+  for (auto& list : lists_) {
+    for (const Retired& r : list->items) r.deleter(r.ptr);
+    list->items.clear();
+  }
+}
+
+void HazardDomain::retire(void* ptr, void (*deleter)(void*) noexcept) {
+  RetireList& mine = lists_[util::ThreadRegistry::slot()].value;
+  mine.items.push_back(Retired{ptr, deleter});
+  if (mine.items.size() >= scan_threshold_) scan();
+}
+
+void HazardDomain::scan() {
+  if (prescan_ != nullptr) prescan_();
+  // Stage 1: snapshot every published hazard.
+  std::vector<const void*> hazards;
+  const std::size_t threads = util::ThreadRegistry::high_watermark();
+  hazards.reserve(threads * kSlotsPerThread);
+  for (std::size_t i = 0; i < threads * kSlotsPerThread; ++i) {
+    const void* p = slots_[i]->load(std::memory_order_seq_cst);
+    if (p != nullptr) hazards.push_back(p);
+  }
+  std::sort(hazards.begin(), hazards.end());
+
+  // Stage 2: free what is not protected; keep the rest queued.
+  RetireList& mine = lists_[util::ThreadRegistry::slot()].value;
+  std::vector<Retired> still_hazardous;
+  still_hazardous.reserve(mine.items.size());
+  for (const Retired& r : mine.items) {
+    if (std::binary_search(hazards.begin(), hazards.end(),
+                           static_cast<const void*>(r.ptr))) {
+      still_hazardous.push_back(r);
+    } else {
+      r.deleter(r.ptr);
+    }
+  }
+  mine.items = std::move(still_hazardous);
+}
+
+std::size_t HazardDomain::total_backlog() const noexcept {
+  std::size_t total = 0;
+  const std::size_t threads = util::ThreadRegistry::high_watermark();
+  for (std::size_t i = 0; i < threads; ++i) total += lists_[i]->items.size();
+  return total;
+}
+
+}  // namespace hohtm::reclaim

@@ -1,0 +1,10 @@
+#pragma once
+
+namespace hohtm::tm {
+
+/// Control-flow exception thrown when a transaction observes a conflict
+/// (or the user requests a retry). It unwinds to the retry loop in
+/// `atomically`; it never escapes to user code.
+struct Conflict {};
+
+}  // namespace hohtm::tm

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "tm/abort.hpp"
+#include "tm/config.hpp"
+#include "util/backoff.hpp"
+
+namespace hohtm::tm {
+
+/// Shared retry harness used by every backend's `atomically`.
+///
+/// Semantics:
+///  - Nesting is flattened: an `atomically` inside a running transaction
+///    simply runs in the enclosing transaction (composability without
+///    closed nesting).
+///  - A `Conflict` unwinds to this loop; the transaction backs off and
+///    retries. After `Config::serial_threshold()` aborts it re-executes in
+///    the backend's serial-irrevocable mode, which cannot abort — this is
+///    the analog of the GCC HTM fallback policy the paper tunes (2 retries
+///    for lists, 8 for trees).
+///  - Any other exception aborts the transaction (rolling back its writes
+///    and allocations) and propagates to the caller.
+template <class TM, class F>
+decltype(auto) run_transaction(F&& f) {
+  using Tx = typename TM::Tx;
+  if (Tx* enclosing = TM::current()) return f(*enclosing);
+
+  using R = std::invoke_result_t<F&, Tx&>;
+  util::Backoff backoff;
+  for (std::uint32_t attempts = 0;; ++attempts) {
+    if (attempts >= Config::serial_threshold()) {
+      return TM::run_serial(std::forward<F>(f));
+    }
+    Tx& tx = TM::tls_tx();
+    TM::set_current(&tx);
+    struct ClearCurrent {
+      ~ClearCurrent() { TM::set_current(nullptr); }
+    } clear_guard;
+    try {
+      tx.begin();
+      if constexpr (std::is_void_v<R>) {
+        f(tx);
+        tx.commit();
+        Stats::mine().commits += 1;
+        return;
+      } else {
+        R result = f(tx);
+        tx.commit();
+        Stats::mine().commits += 1;
+        return result;
+      }
+    } catch (const Conflict&) {
+      tx.on_abort();
+      Stats::mine().aborts += 1;
+      backoff.pause();
+    } catch (...) {
+      tx.on_abort();
+      throw;
+    }
+  }
+}
+
+/// Serial-mode retry loop: serial transactions cannot conflict, but user
+/// code may still call `tx.retry()`; the backend's serial runner wraps the
+/// body with this helper so a retry rolls back and re-executes in place.
+template <class TM, class Tx, class F>
+decltype(auto) run_serial_body(Tx& tx, F&& f) {
+  using R = std::invoke_result_t<F&, Tx&>;
+  for (;;) {
+    try {
+      tx.begin_serial();
+      if constexpr (std::is_void_v<R>) {
+        f(tx);
+        tx.commit_serial();
+        Stats::mine().serial_commits += 1;
+        return;
+      } else {
+        R result = f(tx);
+        tx.commit_serial();
+        Stats::mine().serial_commits += 1;
+        return result;
+      }
+    } catch (const Conflict&) {
+      tx.abort_serial();
+      Stats::mine().aborts += 1;
+    } catch (...) {
+      tx.abort_serial();
+      throw;
+    }
+  }
+}
+
+}  // namespace hohtm::tm

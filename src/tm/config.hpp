@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+#include "util/thread_registry.hpp"
+
+namespace hohtm::tm {
+
+/// Runtime-tunable knobs for the TM runtime.
+///
+/// `serial_threshold` mirrors the GCC TM policy the paper relies on: a
+/// transaction that aborts this many times re-executes in a serial
+/// (irrevocable) mode that is guaranteed to commit. The paper used the
+/// default of 2 for lists and raised it to 8 for trees (Section 5); the
+/// Figure-A4 ablation bench sweeps this knob.
+struct Config {
+  static std::uint32_t serial_threshold() noexcept {
+    return threshold_.load(std::memory_order_relaxed);
+  }
+  static void set_serial_threshold(std::uint32_t n) noexcept {
+    threshold_.store(n, std::memory_order_relaxed);
+  }
+
+ private:
+  static inline std::atomic<std::uint32_t> threshold_{8};
+};
+
+/// Per-thread transaction counters, padded to avoid false sharing; each
+/// slot is written only by its owning thread, so plain relaxed loads
+/// suffice to aggregate.
+struct StatCounters {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t serial_commits = 0;
+  std::uint64_t user_retries = 0;
+};
+
+class Stats {
+ public:
+  static StatCounters& mine() noexcept {
+    return slots_[util::ThreadRegistry::slot()].value;
+  }
+
+  static StatCounters total() noexcept {
+    StatCounters sum;
+    const std::size_t n = util::ThreadRegistry::high_watermark();
+    for (std::size_t i = 0; i < n; ++i) {
+      const StatCounters& c = slots_[i].value;
+      sum.commits += c.commits;
+      sum.aborts += c.aborts;
+      sum.serial_commits += c.serial_commits;
+      sum.user_retries += c.user_retries;
+    }
+    return sum;
+  }
+
+  static void reset() noexcept {
+    for (auto& s : slots_) s.value = StatCounters{};
+  }
+
+ private:
+  static inline util::CachePadded<StatCounters> slots_[util::kMaxThreads];
+};
+
+}  // namespace hohtm::tm

@@ -1,0 +1,16 @@
+#include "tm/global_clocks.hpp"
+
+#include "util/backoff.hpp"
+
+namespace hohtm::tm {
+
+std::uint64_t SeqLock::wait_even() const noexcept {
+  util::Backoff backoff;
+  for (;;) {
+    const std::uint64_t v = clock_->load(std::memory_order_acquire);
+    if ((v & 1) == 0) return v;
+    backoff.pause();
+  }
+}
+
+}  // namespace hohtm::tm

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+
+namespace hohtm::tm {
+
+/// Global sequence lock shared by the NOrec and TML backends (each backend
+/// has its own instance). Even values mean "no writer"; a writer commits by
+/// moving the clock from even to odd and back. Padded so the clock never
+/// shares a line with neighbouring globals.
+class SeqLock {
+ public:
+  std::uint64_t load_acquire() const noexcept {
+    return clock_->load(std::memory_order_acquire);
+  }
+
+  /// Spin until the clock is even, return its value.
+  std::uint64_t wait_even() const noexcept;
+
+  /// Try to move even `expected` to odd; true on success.
+  bool try_lock_from(std::uint64_t expected) noexcept {
+    return clock_->compare_exchange_strong(expected, expected + 1,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed);
+  }
+
+  /// Release a held (odd) lock, completing one writer generation.
+  void unlock_to(std::uint64_t next_even) noexcept {
+    clock_->store(next_even, std::memory_order_release);
+  }
+
+ private:
+  util::CachePadded<std::atomic<std::uint64_t>> clock_{0};
+};
+
+/// Global version clock + ownership-record (orec) table for TL2.
+/// The table maps word addresses many-to-one onto versioned locks:
+///   unlocked: (version << 1)      locked: (owner_slot << 1) | 1
+class OrecTable {
+ public:
+  static constexpr std::size_t kOrecCount = std::size_t{1} << 18;
+
+  static bool is_locked(std::uint64_t word) noexcept { return word & 1; }
+  static std::uint64_t version_of(std::uint64_t word) noexcept { return word >> 1; }
+  static std::uint64_t locked_by(std::size_t slot) noexcept {
+    return (static_cast<std::uint64_t>(slot) << 1) | 1;
+  }
+  static std::uint64_t unlocked(std::uint64_t version) noexcept {
+    return version << 1;
+  }
+
+  std::atomic<std::uint64_t>& orec_for(const void* addr) noexcept {
+    // Group by 16-byte granule: adjacent fields of a node share one orec,
+    // which reduces per-read overhead without inflating false conflicts
+    // between distinct nodes (nodes are allocated on separate granules).
+    auto key = reinterpret_cast<std::uintptr_t>(addr) >> 4;
+    key *= 0x9E3779B97F4A7C15ULL;
+    return orecs_[(key >> 40) & (kOrecCount - 1)];
+  }
+
+  std::uint64_t clock() const noexcept {
+    return gvc_->load(std::memory_order_acquire);
+  }
+
+  std::uint64_t advance_clock() noexcept {
+    return gvc_->fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+ private:
+  util::CachePadded<std::atomic<std::uint64_t>> gvc_{0};
+  std::atomic<std::uint64_t> orecs_[kOrecCount] = {};
+};
+
+}  // namespace hohtm::tm

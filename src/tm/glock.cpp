@@ -1,0 +1,5 @@
+#include "tm/glock.hpp"
+
+// GLock is fully inline (header-only); this TU anchors the module in the
+// library so link order and future non-inline helpers have a home.
+namespace hohtm::tm {}

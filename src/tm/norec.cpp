@@ -1,0 +1,4 @@
+#include "tm/norec.hpp"
+
+// NOrec is fully inline; anchor TU.
+namespace hohtm::tm {}

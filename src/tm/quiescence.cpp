@@ -1,0 +1,28 @@
+#include "tm/quiescence.hpp"
+
+#include "util/backoff.hpp"
+
+namespace hohtm::tm {
+
+void Quiescence::wait_until(std::uint64_t ts) const noexcept {
+  const std::size_t n = util::ThreadRegistry::high_watermark();
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Backoff backoff;
+    for (;;) {
+      const std::uint64_t published =
+          slots_[i]->load(std::memory_order_acquire);
+      if (published == 0 || published >= ts + 1) break;
+      backoff.pause();
+    }
+  }
+}
+
+void Quiescence::wait_all_inactive() const noexcept {
+  const std::size_t n = util::ThreadRegistry::high_watermark();
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Backoff backoff;
+    while (slots_[i]->load(std::memory_order_acquire) != 0) backoff.pause();
+  }
+}
+
+}  // namespace hohtm::tm

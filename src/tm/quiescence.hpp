@@ -1,0 +1,59 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+#include "util/thread_registry.hpp"
+
+namespace hohtm::tm {
+
+/// Privatization / reclamation fence.
+///
+/// The paper leans on HTM's *immediacy of aborts*: once a Revoke commits,
+/// no doomed hardware transaction can still be running, so the revoker may
+/// free the node at once. Our STM substitute is a quiescence fence: every
+/// transaction publishes the timestamp its snapshot is valid at; a
+/// committer that has deferred frees waits, after its commit is visible,
+/// until every in-flight transaction has either finished or (re)validated
+/// at a timestamp at or past the commit. Doomed "zombie" readers therefore
+/// drain before the memory they might still dereference is returned to the
+/// allocator — frees stay *precise* (they happen at commit, not epochs
+/// later) yet are safe.
+///
+/// Each TM backend owns one Quiescence instance (its timestamp domain).
+/// Slots store (timestamp + 1); zero means inactive, so the object is
+/// usable from zero-initialized static storage (no init-order hazards).
+class Quiescence {
+ public:
+  /// Calling thread begins (or revalidates) a transaction at `ts`.
+  /// seq_cst: pairs with the scans in wait_* and with serial-mode flags
+  /// (Dekker-style publish-then-check / set-then-scan).
+  void publish(std::uint64_t ts) noexcept {
+    slots_[util::ThreadRegistry::slot()]->store(ts + 1,
+                                                std::memory_order_seq_cst);
+  }
+
+  /// Calling thread has no transaction in flight.
+  void deactivate() noexcept {
+    slots_[util::ThreadRegistry::slot()]->store(0, std::memory_order_release);
+  }
+
+  bool active() const noexcept {
+    return slots_[util::ThreadRegistry::slot()]->load(
+               std::memory_order_relaxed) != 0;
+  }
+
+  /// Block until every thread is inactive or published a timestamp >= ts.
+  /// The caller must have deactivated itself first.
+  void wait_until(std::uint64_t ts) const noexcept;
+
+  /// Block until every thread is inactive (stop-the-world; used by the
+  /// TL2 serial-irrevocable mode). Caller must be inactive.
+  void wait_all_inactive() const noexcept;
+
+ private:
+  util::CachePadded<std::atomic<std::uint64_t>> slots_[util::kMaxThreads];
+};
+
+}  // namespace hohtm::tm

@@ -1,0 +1,4 @@
+#include "tm/tl2.hpp"
+
+// TL2 is fully inline; anchor TU.
+namespace hohtm::tm {}

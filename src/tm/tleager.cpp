@@ -1,0 +1,4 @@
+#include "tm/tleager.hpp"
+
+// TLEager is fully inline; anchor TU.
+namespace hohtm::tm {}

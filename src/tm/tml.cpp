@@ -1,0 +1,4 @@
+#include "tm/tml.hpp"
+
+// TML is fully inline; anchor TU.
+namespace hohtm::tm {}

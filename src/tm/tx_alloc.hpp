@@ -1,0 +1,50 @@
+#pragma once
+
+#include <utility>
+
+#include "alloc/object.hpp"
+#include "reclaim/gauge.hpp"
+#include "tm/txsets.hpp"
+
+namespace hohtm::tm {
+
+/// Transactional allocation mixin shared by every backend's Tx type.
+///
+///  - `alloc<T>(args...)` constructs T now; if the transaction aborts, the
+///    object is destroyed and its memory released (the allocation "never
+///    happened").
+///  - `dealloc(p)` defers destruction to commit time. Concurrent backends
+///    run the deferred frees only after their quiescence fence, so the
+///    free is precise (it happens as part of the committing operation, not
+///    epochs later) yet can never be observed by a doomed reader.
+///
+/// Per the paper's evaluation note that performance improves when
+/// allocation happens outside transactions, the mixin keeps the actual
+/// `new` outside any TM instrumentation — only the rollback bookkeeping is
+/// transactional.
+class TxLifecycle {
+ public:
+  template <class T, class... Args>
+  T* alloc(Args&&... args) {
+    T* p = hohtm::alloc::create<T>(std::forward<Args>(args)...);
+    reclaim::Gauge::on_alloc();
+    life_.on_abort(p, &destroy_thunk<T>);
+    return p;
+  }
+
+  template <class T>
+  void dealloc(T* p) {
+    if (p != nullptr) life_.on_commit(const_cast<std::remove_const_t<T>*>(p), &destroy_thunk<std::remove_const_t<T>>);
+  }
+
+ protected:
+  template <class T>
+  static void destroy_thunk(void* p) noexcept {
+    hohtm::alloc::destroy(static_cast<T*>(p));
+    reclaim::Gauge::on_free();
+  }
+
+  LifecycleLog life_;
+};
+
+}  // namespace hohtm::tm

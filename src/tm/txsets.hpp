@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tm/word.hpp"
+
+namespace hohtm::tm {
+
+/// Redo-log write set for lazy (write-back) backends: NOrec and TL2.
+///
+/// Lookup must be fast because every transactional read probes it
+/// (read-after-write). We keep an append-only log (preserving program
+/// order for write-back) plus an open-addressed index from address to log
+/// position. Capacities are powers of two; the index is rebuilt on growth.
+/// The transaction object is reused across retries, so `clear()` keeps the
+/// capacity and only resets the fill.
+class WriteSet {
+ public:
+  struct Entry {
+    std::uintptr_t addr = 0;
+    ErasedWord word;
+  };
+
+  WriteSet() { rebuild_index(16); }
+
+  bool empty() const noexcept { return log_.empty(); }
+  std::size_t size() const noexcept { return log_.size(); }
+
+  /// Insert or overwrite the buffered value for `addr`.
+  void put(void* addr, ErasedWord w) {
+    const auto key = reinterpret_cast<std::uintptr_t>(addr);
+    std::size_t pos = probe(key);
+    if (index_[pos] != kEmpty) {
+      log_[index_[pos]].word = w;
+      return;
+    }
+    index_[pos] = static_cast<std::uint32_t>(log_.size());
+    log_.push_back(Entry{key, w});
+    if (log_.size() * 2 > index_.size()) rebuild_index(index_.size() * 2);
+  }
+
+  /// Return the buffered value for `addr`, or nullptr if absent.
+  const ErasedWord* find(const void* addr) const noexcept {
+    const auto key = reinterpret_cast<std::uintptr_t>(addr);
+    const std::size_t pos = probe(key);
+    if (index_[pos] == kEmpty) return nullptr;
+    return &log_[index_[pos]].word;
+  }
+
+  /// Apply every buffered write to memory, in program order.
+  void write_back() const noexcept {
+    for (const Entry& e : log_)
+      erased_store(reinterpret_cast<void*>(e.addr), e.word);
+  }
+
+  const std::vector<Entry>& entries() const noexcept { return log_; }
+
+  void clear() noexcept {
+    log_.clear();
+    std::fill(index_.begin(), index_.end(), kEmpty);
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = ~0u;
+
+  std::size_t probe(std::uintptr_t key) const noexcept {
+    // Fibonacci hashing on the word address; linear probing.
+    std::size_t mask = index_.size() - 1;
+    std::size_t pos = (key * 0x9E3779B97F4A7C15ULL) >> shift_ & mask;
+    while (index_[pos] != kEmpty && log_[index_[pos]].addr != key)
+      pos = (pos + 1) & mask;
+    return pos;
+  }
+
+  void rebuild_index(std::size_t capacity) {
+    index_.assign(capacity, kEmpty);
+    shift_ = 64 - static_cast<unsigned>(__builtin_ctzll(capacity));
+    for (std::size_t i = 0; i < log_.size(); ++i) {
+      std::size_t mask = capacity - 1;
+      std::size_t pos = (log_[i].addr * 0x9E3779B97F4A7C15ULL) >> shift_ & mask;
+      while (index_[pos] != kEmpty) pos = (pos + 1) & mask;
+      index_[pos] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::vector<Entry> log_;
+  std::vector<std::uint32_t> index_;
+  unsigned shift_ = 60;
+};
+
+/// Undo log for eager (write-through) execution: TML writers and the
+/// serial-irrevocable modes. Records the previous value before each
+/// in-place store, replayed in reverse on a user-requested retry.
+class UndoLog {
+ public:
+  void record(void* addr, ErasedWord old_value) {
+    log_.push_back({reinterpret_cast<std::uintptr_t>(addr), old_value});
+  }
+
+  void roll_back() noexcept {
+    for (auto it = log_.rbegin(); it != log_.rend(); ++it)
+      erased_store(reinterpret_cast<void*>(it->addr), it->word);
+    log_.clear();
+  }
+
+  void clear() noexcept { log_.clear(); }
+  bool empty() const noexcept { return log_.empty(); }
+
+ private:
+  struct Entry {
+    std::uintptr_t addr;
+    ErasedWord word;
+  };
+  std::vector<Entry> log_;
+};
+
+/// Lifecycle log for transactional allocation. `alloc` registers a
+/// destroy-and-free thunk to run if the transaction aborts; `dealloc`
+/// registers one to run after the transaction commits (and, in concurrent
+/// backends, after the quiescence fence — this is what makes reclamation
+/// precise yet safe).
+class LifecycleLog {
+ public:
+  using Thunk = void (*)(void*) noexcept;
+
+  void on_abort(void* p, Thunk destroy) { allocs_.push_back({p, destroy}); }
+  void on_commit(void* p, Thunk destroy) { frees_.push_back({p, destroy}); }
+
+  bool has_pending_frees() const noexcept { return !frees_.empty(); }
+
+  /// Transaction committed: allocations become permanent, deferred frees run.
+  void commit() noexcept {
+    allocs_.clear();
+    for (const Record& r : frees_) r.destroy(r.ptr);
+    frees_.clear();
+  }
+
+  /// Transaction aborted: deferred frees are discarded, allocations undone.
+  void abort() noexcept {
+    frees_.clear();
+    for (auto it = allocs_.rbegin(); it != allocs_.rend(); ++it)
+      it->destroy(it->ptr);
+    allocs_.clear();
+  }
+
+ private:
+  struct Record {
+    void* ptr;
+    Thunk destroy;
+  };
+  std::vector<Record> allocs_;
+  std::vector<Record> frees_;
+};
+
+}  // namespace hohtm::tm

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace hohtm::tm {
+
+/// Transactional locations must be word-sized (or smaller), trivially
+/// copyable objects: pointers, integers, bools, enums. Larger objects are
+/// accessed field-by-field, exactly as in the paper's node-based structures.
+template <class T>
+concept TxWord = std::is_trivially_copyable_v<T> && sizeof(T) <= 8 &&
+                 (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                  sizeof(T) == 8);
+
+/// All shared-memory accesses that can race with a committing writer go
+/// through std::atomic_ref so that zombie readers never execute a C++-level
+/// data race (CP.2). Memory ordering is acquire/release: the TM metadata
+/// (seqlock / orecs) carries the synchronizes-with edges; the data accesses
+/// only need to not tear and to not be reordered around the metadata checks.
+template <TxWord T>
+inline T atomic_load(const T& loc) noexcept {
+  return std::atomic_ref<const T>(loc).load(std::memory_order_acquire);
+}
+
+template <TxWord T>
+inline void atomic_store(T& loc, T val) noexcept {
+  std::atomic_ref<T>(loc).store(val, std::memory_order_release);
+}
+
+/// Type-erased word value: the write set and undo log store bit patterns
+/// plus the access width, and replay them with the same width.
+struct ErasedWord {
+  std::uint64_t bits = 0;
+  std::uint8_t width = 0;  // 1, 2, 4, or 8 bytes
+};
+
+template <TxWord T>
+inline ErasedWord erase_word(T val) noexcept {
+  ErasedWord w;
+  w.width = sizeof(T);
+  std::memcpy(&w.bits, &val, sizeof(T));
+  return w;
+}
+
+template <TxWord T>
+inline T restore_word(ErasedWord w) noexcept {
+  T val;
+  std::memcpy(&val, &w.bits, sizeof(T));
+  return val;
+}
+
+/// Store an erased word to `addr` with the width it was captured at.
+inline void erased_store(void* addr, ErasedWord w) noexcept {
+  switch (w.width) {
+    case 1:
+      atomic_store(*static_cast<std::uint8_t*>(addr),
+                   static_cast<std::uint8_t>(w.bits));
+      break;
+    case 2:
+      atomic_store(*static_cast<std::uint16_t*>(addr),
+                   static_cast<std::uint16_t>(w.bits));
+      break;
+    case 4:
+      atomic_store(*static_cast<std::uint32_t*>(addr),
+                   static_cast<std::uint32_t>(w.bits));
+      break;
+    default:
+      atomic_store(*static_cast<std::uint64_t*>(addr), w.bits);
+      break;
+  }
+}
+
+/// Load an erased word from `addr` at the given width.
+inline ErasedWord erased_load(const void* addr, std::uint8_t width) noexcept {
+  ErasedWord w;
+  w.width = width;
+  switch (width) {
+    case 1:
+      w.bits = atomic_load(*static_cast<const std::uint8_t*>(addr));
+      break;
+    case 2:
+      w.bits = atomic_load(*static_cast<const std::uint16_t*>(addr));
+      break;
+    case 4:
+      w.bits = atomic_load(*static_cast<const std::uint32_t*>(addr));
+      break;
+    default:
+      w.bits = atomic_load(*static_cast<const std::uint64_t*>(addr));
+      break;
+  }
+  return w;
+}
+
+}  // namespace hohtm::tm

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace hohtm::util {
+
+/// One spin-wait hint iteration (PAUSE on x86, YIELD on ARM).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fallback: plain compiler barrier.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Bounded exponential backoff used between transaction retries. After the
+/// spin budget is exhausted it yields to the scheduler, which matters on
+/// machines with fewer cores than benchmark threads (our evaluation box is
+/// oversubscribed above 2 threads).
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t min_spins = 16, std::uint32_t max_spins = 4096) noexcept
+      : limit_(min_spins), max_(max_spins) {}
+
+  void pause() noexcept {
+    if (limit_ > max_) {
+      std::this_thread::yield();
+      return;
+    }
+    for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    limit_ *= 2;
+  }
+
+  void reset(std::uint32_t min_spins = 16) noexcept { limit_ = min_spins; }
+
+ private:
+  std::uint32_t limit_;
+  std::uint32_t max_;
+};
+
+}  // namespace hohtm::util

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "util/backoff.hpp"
+
+namespace hohtm::util {
+
+/// Sense-reversing centralized barrier. Benchmark threads use it so that
+/// timed regions start simultaneously; unlike std::barrier it spins (with
+/// backoff) instead of blocking, which gives tighter start alignment for
+/// short measured phases.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return;
+    }
+    Backoff backoff;
+    while (sense_.load(std::memory_order_acquire) != my_sense) backoff.pause();
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace hohtm::util

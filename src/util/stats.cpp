@@ -1,0 +1,29 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hohtm::util {
+
+double Summary::cv_percent() const noexcept {
+  return mean == 0.0 ? 0.0 : stddev / mean * 100.0;
+}
+
+Summary summarize(const std::vector<double>& samples) noexcept {
+  Summary s;
+  s.n = samples.size();
+  if (s.n == 0) return s;
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double sq = 0.0;
+    for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+  }
+  return s;
+}
+
+}  // namespace hohtm::util

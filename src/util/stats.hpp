@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hohtm::util {
+
+/// Summary statistics over benchmark trials. The paper reports the average
+/// of 5 trials and notes variance below 3%; `cv_percent` lets our harness
+/// report the same stability metric.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+
+  /// Coefficient of variation, in percent (stddev / mean * 100).
+  double cv_percent() const noexcept;
+};
+
+Summary summarize(const std::vector<double>& samples) noexcept;
+
+}  // namespace hohtm::util

@@ -1,0 +1,69 @@
+#include "util/thread_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/cacheline.hpp"
+
+namespace hohtm::util {
+namespace {
+
+struct Slots {
+  std::mutex mu;
+  bool in_use[kMaxThreads] = {};
+  std::atomic<std::size_t> watermark{0};
+  std::atomic<std::uint64_t> next_generation{1};  // 0 = "never seen"
+};
+
+Slots& slots() {
+  static Slots s;
+  return s;
+}
+
+std::size_t acquire_slot() {
+  Slots& s = slots();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    if (!s.in_use[i]) {
+      s.in_use[i] = true;
+      std::size_t wm = s.watermark.load(std::memory_order_relaxed);
+      if (i + 1 > wm) s.watermark.store(i + 1, std::memory_order_relaxed);
+      return i;
+    }
+  }
+  std::fprintf(stderr, "hohtm: more than %zu concurrent threads\n", kMaxThreads);
+  std::abort();
+}
+
+void release_slot(std::size_t slot) {
+  Slots& s = slots();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.in_use[slot] = false;
+}
+
+/// RAII guard: slot is acquired lazily on first use and returned when the
+/// thread exits (thread_local destructor).
+struct SlotGuard {
+  std::size_t slot = acquire_slot();
+  std::uint64_t generation =
+      slots().next_generation.fetch_add(1, std::memory_order_relaxed);
+  ~SlotGuard() { release_slot(slot); }
+};
+
+SlotGuard& guard() {
+  thread_local SlotGuard g;
+  return g;
+}
+
+}  // namespace
+
+std::size_t ThreadRegistry::slot() { return guard().slot; }
+
+std::uint64_t ThreadRegistry::generation() { return guard().generation; }
+
+std::size_t ThreadRegistry::high_watermark() noexcept {
+  return slots().watermark.load(std::memory_order_acquire);
+}
+
+}  // namespace hohtm::util

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hohtm::util {
+
+/// Maximum number of threads that may simultaneously use the library's
+/// per-thread-slot facilities (TM quiescence, revocable reservations,
+/// hazard pointers). Fixed-size arrays of this length keep the hot paths
+/// index-based and allocation-free.
+inline constexpr std::size_t kMaxThreads = 64;
+
+/// Dense thread-id registry. Every thread that touches the TM gets a small
+/// integer slot in [0, kMaxThreads); slots are recycled when threads exit
+/// (via a thread_local guard), so long test suites that create and join
+/// many short-lived threads do not exhaust the space.
+///
+/// This is the `Register()` operation the paper attaches to every revocable
+/// reservation implementation, hoisted to a process-wide service so that
+/// TM backends and reservation objects agree on thread identity.
+class ThreadRegistry {
+ public:
+  /// Slot of the calling thread, registering it on first use.
+  static std::size_t slot();
+
+  /// Generation stamp of the calling thread: unique per thread lifetime,
+  /// never reused, never zero. Slots ARE reused after a thread exits, so
+  /// per-slot caches (reservation nodes, etc.) compare this stamp to
+  /// detect that their slot was inherited from a dead thread.
+  static std::uint64_t generation();
+
+  /// Number of slots that have ever been handed out and may still be live.
+  /// Used by O(T) scans (quiescence, RR-FA revocation fallback paths).
+  static std::size_t high_watermark() noexcept;
+
+  ThreadRegistry() = delete;
+};
+
+}  // namespace hohtm::util

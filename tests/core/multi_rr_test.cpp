@@ -1,0 +1,164 @@
+// Multi-reservation objects (Listing 1 semantics with per-thread sets).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/multi_rr.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::rr {
+namespace {
+
+template <class TmT, template <class, std::size_t> class RrT>
+struct Combo {
+  using TM = TmT;
+  using RR = RrT<TmT, 4>;
+};
+
+using Combos =
+    ::testing::Types<Combo<tm::GLock, MultiRrV>, Combo<tm::Norec, MultiRrV>,
+                     Combo<tm::Tl2, MultiRrV>, Combo<tm::GLock, MultiRrFa>,
+                     Combo<tm::Norec, MultiRrFa>, Combo<tm::Tml, MultiRrFa>>;
+
+template <class C>
+class MultiRrTest : public ::testing::Test {
+ protected:
+  using TM = typename C::TM;
+  using RR = typename C::RR;
+  using Tx = typename TM::Tx;
+
+  RR rr;
+  int nodes[8] = {};
+
+  template <class F>
+  decltype(auto) tx(F&& f) {
+    return TM::atomically([&](Tx& t) {
+      rr.register_thread(t);
+      return f(t);
+    });
+  }
+};
+
+TYPED_TEST_SUITE(MultiRrTest, Combos);
+
+TYPED_TEST(MultiRrTest, EmptySetGetsNil) {
+  EXPECT_EQ(this->tx([&](auto& t) { return this->rr.get(t, &this->nodes[0]); }),
+            nullptr);
+}
+
+TYPED_TEST(MultiRrTest, HoldsMultipleSimultaneously) {
+  this->tx([&](auto& t) {
+    EXPECT_TRUE(this->rr.reserve(t, &this->nodes[0]));
+    EXPECT_TRUE(this->rr.reserve(t, &this->nodes[1]));
+    EXPECT_TRUE(this->rr.reserve(t, &this->nodes[2]));
+  });
+  EXPECT_EQ(this->tx([&](auto& t) { return this->rr.held(t); }), 3u);
+  EXPECT_EQ(this->tx([&](auto& t) { return this->rr.get(t, &this->nodes[1]); }),
+            &this->nodes[1]);
+  EXPECT_EQ(this->tx([&](auto& t) { return this->rr.get(t, &this->nodes[3]); }),
+            nullptr);
+}
+
+TYPED_TEST(MultiRrTest, CapacityBound) {
+  this->tx([&](auto& t) {
+    for (int i = 0; i < 4; ++i)
+      EXPECT_TRUE(this->rr.reserve(t, &this->nodes[i]));
+    EXPECT_FALSE(this->rr.reserve(t, &this->nodes[4])) << "set is full";
+    // Re-reserving a held reference is not an additional slot.
+    EXPECT_TRUE(this->rr.reserve(t, &this->nodes[0]));
+  });
+}
+
+TYPED_TEST(MultiRrTest, ReleaseIsSelective) {
+  this->tx([&](auto& t) {
+    this->rr.reserve(t, &this->nodes[0]);
+    this->rr.reserve(t, &this->nodes[1]);
+  });
+  this->tx([&](auto& t) { this->rr.release(t, &this->nodes[0]); });
+  EXPECT_EQ(this->tx([&](auto& t) { return this->rr.get(t, &this->nodes[0]); }),
+            nullptr);
+  EXPECT_EQ(this->tx([&](auto& t) { return this->rr.get(t, &this->nodes[1]); }),
+            &this->nodes[1]);
+}
+
+TYPED_TEST(MultiRrTest, RevokeIsSelective) {
+  this->tx([&](auto& t) {
+    this->rr.reserve(t, &this->nodes[0]);
+    this->rr.reserve(t, &this->nodes[1]);
+  });
+  this->tx([&](auto& t) { this->rr.revoke(t, &this->nodes[1]); });
+  EXPECT_EQ(this->tx([&](auto& t) { return this->rr.get(t, &this->nodes[1]); }),
+            nullptr);
+  const Ref survivor =
+      this->tx([&](auto& t) { return this->rr.get(t, &this->nodes[0]); });
+  if (TestFixture::RR::kStrict) {
+    EXPECT_EQ(survivor, &this->nodes[0]);
+  } else {
+    EXPECT_TRUE(survivor == &this->nodes[0] || survivor == nullptr);
+  }
+}
+
+TYPED_TEST(MultiRrTest, ReleaseAllEmptiesTheSet) {
+  this->tx([&](auto& t) {
+    this->rr.reserve(t, &this->nodes[0]);
+    this->rr.reserve(t, &this->nodes[1]);
+    this->rr.reserve(t, &this->nodes[2]);
+  });
+  this->tx([&](auto& t) { this->rr.release_all(t); });
+  EXPECT_EQ(this->tx([&](auto& t) { return this->rr.held(t); }), 0u);
+}
+
+TYPED_TEST(MultiRrTest, CrossThreadRevokeClearsHolder) {
+  this->tx([&](auto& t) { this->rr.reserve(t, &this->nodes[0]); });
+  std::thread revoker([&] {
+    this->tx([&](auto& t) { this->rr.revoke(t, &this->nodes[0]); });
+  });
+  revoker.join();
+  EXPECT_EQ(this->tx([&](auto& t) { return this->rr.get(t, &this->nodes[0]); }),
+            nullptr);
+}
+
+TYPED_TEST(MultiRrTest, AbortedReserveUnwinds) {
+  struct Bail {};
+  EXPECT_THROW(this->tx([&](auto& t) {
+                 this->rr.reserve(t, &this->nodes[0]);
+                 this->rr.reserve(t, &this->nodes[1]);
+                 throw Bail{};
+               }),
+               Bail);
+  EXPECT_EQ(this->tx([&](auto& t) { return this->rr.held(t); }), 0u);
+}
+
+TYPED_TEST(MultiRrTest, ConcurrentChurnKeepsSetsDisjointPerThread) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 300;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<bool> wrong{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 5);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIters; ++i) {
+        int* a = &this->nodes[rng.next_below(8)];
+        int* b = &this->nodes[rng.next_below(8)];
+        this->tx([&](auto& trans) {
+          this->rr.reserve(trans, a);
+          this->rr.reserve(trans, b);
+        });
+        const Ref got =
+            this->tx([&](auto& trans) { return this->rr.get(trans, a); });
+        if (got != nullptr && got != a) wrong.store(true);
+        this->tx([&](auto& trans) { this->rr.release_all(trans); });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(wrong.load());
+}
+
+}  // namespace
+}  // namespace hohtm::rr

@@ -1,0 +1,175 @@
+// Concurrent safety property of revocable reservations: once Revoke(r)
+// commits, no Get may return r in any transaction that begins afterwards,
+// for every implementation and backend combination under churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/rr.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::rr {
+namespace {
+
+template <class TmT, template <class> class RrT>
+struct Combo {
+  using TM = TmT;
+  using RR = RrT<TmT>;
+};
+
+template <class TM>
+using RrSaDefault = RrSa<TM, 4>;
+template <class TM>
+using RrSoDefault = RrSo<TM, 4>;
+
+using Combos = ::testing::Types<
+    Combo<tm::Norec, RrFa>, Combo<tm::Norec, RrDm>, Combo<tm::Norec, RrSaDefault>,
+    Combo<tm::Norec, RrXo>, Combo<tm::Norec, RrSoDefault>, Combo<tm::Norec, RrV>,
+    Combo<tm::Tl2, RrFa>, Combo<tm::Tl2, RrV>, Combo<tm::Tml, RrXo>>;
+
+template <class C>
+class RrConcurrentTest : public ::testing::Test {};
+
+TYPED_TEST_SUITE(RrConcurrentTest, Combos);
+
+// "Removal" protocol on a pool of fake nodes: an eraser picks a node,
+// revokes it, and marks it dead, all in one transaction. Holders reserve
+// a node in one transaction and in a later transaction call Get and check
+// that a returned node was not dead *at reservation time and still
+// reserved*. Because revoke-and-mark is atomic, any Get that returns a
+// node the eraser processed is a safety violation.
+TYPED_TEST(RrConcurrentTest, GetNeverReturnsRevokedNode) {
+  using TM = typename TypeParam::TM;
+  using RR = typename TypeParam::RR;
+  using Tx = typename TM::Tx;
+
+  constexpr int kNodes = 64;
+  constexpr int kHolders = 3;
+  constexpr int kErase = 300;
+  struct FakeNode {
+    long dead = 0;
+  };
+  static FakeNode nodes[kNodes];
+  for (auto& n : nodes) n.dead = 0;
+
+  RR rr;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  util::SpinBarrier barrier(kHolders + 1);
+
+  std::vector<std::thread> holders;
+  for (int h = 0; h < kHolders; ++h) {
+    holders.emplace_back([&, h] {
+      util::Xoshiro256 rng(h + 100);
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_acquire)) {
+        FakeNode* target = &nodes[rng.next_below(kNodes)];
+        // Reserve target only if it is still alive, atomically.
+        const bool reserved = TM::atomically([&](Tx& t) {
+          rr.register_thread(t);
+          if (t.read(target->dead) != 0) return false;
+          rr.reserve(t, target);
+          return true;
+        });
+        if (!reserved) continue;
+        // Later transaction: resume from the reservation. If Get returns
+        // the node, the node must still be alive — the eraser revokes in
+        // the same transaction that kills it.
+        TM::atomically([&](Tx& t) {
+          rr.register_thread(t);
+          auto got = static_cast<const FakeNode*>(rr.get(t));
+          if (got != nullptr) {
+            if (t.read(got->dead) != 0) violation.store(true);
+            rr.release(t);
+          }
+        });
+      }
+    });
+  }
+
+  std::thread eraser([&] {
+    util::Xoshiro256 rng(7);
+    barrier.arrive_and_wait();
+    int erased = 0;
+    while (erased < kErase) {
+      FakeNode* victim = &nodes[rng.next_below(kNodes)];
+      const bool killed = TM::atomically([&](Tx& t) {
+        rr.register_thread(t);
+        if (t.read(victim->dead) != 0) return false;
+        rr.revoke(t, victim);
+        t.write(victim->dead, 1L);
+        return true;
+      });
+      if (killed) {
+        ++erased;
+        continue;
+      }
+      // The chosen node was already dead: resurrect it so the pool cannot
+      // drain and stall the loop. A resurrected node is conceptually a
+      // *new* allocation at the same address; revoke again so stale
+      // reservations from before the death cannot "see" the new node as
+      // their old one.
+      TM::atomically([&](Tx& t) {
+        rr.register_thread(t);
+        if (t.read(victim->dead) != 0) {
+          rr.revoke(t, victim);
+          t.write(victim->dead, 0L);
+        }
+      });
+    }
+    stop.store(true);
+  });
+
+  eraser.join();
+  for (auto& th : holders) th.join();
+  EXPECT_FALSE(violation.load());
+}
+
+// Reserve/Release churn from many threads must never corrupt the shared
+// metadata structures (bucket lists in RR-DM/SA, arrays elsewhere).
+TYPED_TEST(RrConcurrentTest, ReserveReleaseChurn) {
+  using TM = typename TypeParam::TM;
+  using RR = typename TypeParam::RR;
+  using Tx = typename TM::Tx;
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  static long cells[32];
+  RR rr;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<bool> wrong_ref{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      util::Xoshiro256 rng(w + 1);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIters; ++i) {
+        long* ref = &cells[rng.next_below(32)];
+        TM::atomically([&](Tx& t) {
+          rr.register_thread(t);
+          rr.reserve(t, ref);
+        });
+        const Ref got = TM::atomically([&](Tx& t) {
+          rr.register_thread(t);
+          return rr.get(t);
+        });
+        // Relaxed implementations may return nil, but never a *different*
+        // reference than the one this thread reserved.
+        if (got != nullptr && got != ref) wrong_ref.store(true);
+        TM::atomically([&](Tx& t) {
+          rr.register_thread(t);
+          rr.release(t);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(wrong_ref.load());
+}
+
+}  // namespace
+}  // namespace hohtm::rr

@@ -1,0 +1,198 @@
+// Implementation-specific behaviours of the reservation algorithms:
+// strict vs relaxed semantics, delayed unlink, slot recycling, collisions.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/rr.hpp"
+#include "util/barrier.hpp"
+
+namespace hohtm::rr {
+namespace {
+
+using TM = tm::Norec;
+using Tx = TM::Tx;
+
+template <class RR, class F>
+decltype(auto) in_tx(RR& rr, F&& f) {
+  return TM::atomically([&](Tx& t) {
+    rr.register_thread(t);
+    return f(t);
+  });
+}
+
+TEST(RrXoSemantics, CollidingReserveEvictsOtherThread) {
+  // One hash slot: every reference collides. Thread B's reserve of a
+  // different reference must spuriously invalidate A's reservation —
+  // the exclusive-ownership relaxation of Section 3.2.
+  RrXo<TM> rr(/*log2_slots=*/0);
+  int na = 0, nb = 0;
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, &na); });
+  std::thread other([&] { in_tx(rr, [&](Tx& t) { rr.reserve(t, &nb); }); });
+  other.join();
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.get(t); }), nullptr)
+      << "exclusive ownership: the colliding reserve must evict";
+}
+
+TEST(RrVSemantics, CollidingReserveDoesNotEvict) {
+  // RR-V allows any number of threads to share a reservation slot;
+  // only a Revoke bumps the counter.
+  RrV<TM> rr(/*log2_slots=*/0);
+  int na = 0, nb = 0;
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, &na); });
+  std::thread other([&] { in_tx(rr, [&](Tx& t) { rr.reserve(t, &nb); }); });
+  other.join();
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.get(t); }), &na);
+}
+
+TEST(RrVSemantics, CollidingRevokeEvictsSpuriously) {
+  RrV<TM> rr(/*log2_slots=*/0);
+  int na = 0, nb = 0;
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, &na); });
+  std::thread other([&] { in_tx(rr, [&](Tx& t) { rr.revoke(t, &nb); }); });
+  other.join();
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.get(t); }), nullptr)
+      << "hash-colliding revoke must invalidate (relaxed semantics)";
+}
+
+TEST(RrFaSemantics, StrictUnderCollidingTraffic) {
+  // The strict algorithms key on the reference itself, not a hash, so no
+  // amount of other-reference traffic may evict a reservation.
+  RrFa<TM> rr;
+  int na = 0, nb = 0;
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, &na); });
+  std::thread other([&] {
+    for (int i = 0; i < 50; ++i) {
+      in_tx(rr, [&](Tx& t) { rr.reserve(t, &nb); });
+      in_tx(rr, [&](Tx& t) { rr.revoke(t, &nb); });
+      in_tx(rr, [&](Tx& t) { rr.release(t); });
+    }
+  });
+  other.join();
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.get(t); }), &na);
+}
+
+TEST(RrFaSemantics, RegisteredCountTracksThreads) {
+  RrFa<TM> rr;
+  constexpr int kThreads = 4;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      in_tx(rr, [&](Tx& t) { rr.register_thread(t); });
+      barrier.arrive_and_wait();  // all registered while all still alive
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::size_t count =
+      TM::atomically([&](Tx& t) { return rr.registered_count(t); });
+  EXPECT_EQ(count, static_cast<std::size_t>(kThreads));
+}
+
+TEST(RrDmSemantics, ReleaseDelaysUnlink) {
+  RrDm<TM> rr;
+  int node = 0;
+  const std::size_t bucket = hash_ref(&node, 6);  // default log2_buckets = 6
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, &node); });
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.bucket_occupancy(t, bucket); }),
+            1u);
+  in_tx(rr, [&](Tx& t) { rr.release(t); });
+  // The paper's contention-avoiding optimization: the node stays linked.
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.bucket_occupancy(t, bucket); }),
+            1u);
+}
+
+TEST(RrDmSemantics, EagerUnlinkEmptiesBucketOnRelease) {
+  RrDm<TM> rr(/*log2_buckets=*/6, /*delayed_unlink=*/false);
+  int node = 0;
+  const std::size_t bucket = hash_ref(&node, 6);
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, &node); });
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.bucket_occupancy(t, bucket); }),
+            1u);
+  in_tx(rr, [&](Tx& t) { rr.release(t); });
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.bucket_occupancy(t, bucket); }),
+            0u)
+      << "eager variant must unlink on release";
+  // Re-reserving relinks cleanly.
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, &node); });
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.get(t); }), &node);
+}
+
+TEST(RrDmSemantics, ReserveMovesNodeBetweenBuckets) {
+  RrDm<TM> rr;
+  // Find two references that hash to different buckets.
+  alignas(64) int nodes[64];
+  std::size_t b0 = hash_ref(&nodes[0], 6);
+  int* second = nullptr;
+  std::size_t b1 = b0;
+  for (auto& n : nodes) {
+    if (hash_ref(&n, 6) != b0) {
+      second = &n;
+      b1 = hash_ref(&n, 6);
+      break;
+    }
+  }
+  ASSERT_NE(second, nullptr);
+
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, &nodes[0]); });
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.bucket_occupancy(t, b0); }), 1u);
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, second); });
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.bucket_occupancy(t, b0); }), 0u);
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.bucket_occupancy(t, b1); }), 1u);
+}
+
+TEST(RrDmSemantics, RevokeScansOnlyMatchingBucket) {
+  RrDm<TM> rr;
+  int node = 0;
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, &node); });
+  // Revoke of a reference in a different bucket leaves the reservation.
+  alignas(64) int decoys[64];
+  int* other_bucket = nullptr;
+  for (auto& d : decoys) {
+    if (hash_ref(&d, 6) != hash_ref(&node, 6)) {
+      other_bucket = &d;
+      break;
+    }
+  }
+  ASSERT_NE(other_bucket, nullptr);
+  in_tx(rr, [&](Tx& t) { rr.revoke(t, other_bucket); });
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.get(t); }), &node);
+  // Revoke of the same reference clears it even though the node was
+  // linked by this same thread.
+  in_tx(rr, [&](Tx& t) { rr.revoke(t, &node); });
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.get(t); }), nullptr);
+}
+
+template <class RR>
+void expect_recycled_slot_is_scrubbed() {
+  // A thread reserves and exits without releasing. The next thread to
+  // inherit its registry slot must NOT see the dead thread's reservation
+  // (it would be a dangling reference in real use).
+  RR rr;
+  static int node;
+  std::thread first(
+      [&] { in_tx(rr, [&](Tx& t) { rr.reserve(t, &node); }); });
+  first.join();
+  Ref inherited = nullptr;
+  std::thread second(
+      [&] { inherited = in_tx(rr, [&](Tx& t) { return rr.get(t); }); });
+  second.join();
+  EXPECT_EQ(inherited, nullptr);
+}
+
+TEST(RrSlotRecycling, FaScrubbed) { expect_recycled_slot_is_scrubbed<RrFa<TM>>(); }
+TEST(RrSlotRecycling, DmScrubbed) { expect_recycled_slot_is_scrubbed<RrDm<TM>>(); }
+TEST(RrSlotRecycling, SaScrubbed) { expect_recycled_slot_is_scrubbed<RrSa<TM, 4>>(); }
+TEST(RrSlotRecycling, XoScrubbed) { expect_recycled_slot_is_scrubbed<RrXo<TM>>(); }
+TEST(RrSlotRecycling, SoScrubbed) { expect_recycled_slot_is_scrubbed<RrSo<TM, 4>>(); }
+TEST(RrSlotRecycling, VScrubbed) { expect_recycled_slot_is_scrubbed<RrV<TM>>(); }
+
+TEST(RrNull, AlwaysNil) {
+  RrNull<TM> rr;
+  int node = 0;
+  in_tx(rr, [&](Tx& t) { rr.reserve(t, &node); });
+  EXPECT_EQ(in_tx(rr, [&](Tx& t) { return rr.get(t); }), nullptr);
+}
+
+}  // namespace
+}  // namespace hohtm::rr

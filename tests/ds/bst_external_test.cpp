@@ -1,0 +1,172 @@
+// External (leaf-oriented) BST: reference semantics, leaf+router removal,
+// sentinel integrity, reclamation precision, concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/bst_external.hpp"
+#include "reclaim/gauge.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+template <class TmT, template <class> class RrT, int kWindow>
+struct Combo {
+  using TM = TmT;
+  using Tree = BstExternal<TmT, RrT<TmT>>;
+  static constexpr int window = kWindow;
+};
+
+template <class TM>
+using RrSa4 = rr::RrSa<TM, 4>;
+template <class TM>
+using RrSo4 = rr::RrSo<TM, 4>;
+
+using Combos = ::testing::Types<
+    Combo<tm::Norec, rr::RrFa, 4>, Combo<tm::Norec, rr::RrDm, 4>,
+    Combo<tm::Norec, RrSa4, 4>, Combo<tm::Norec, rr::RrXo, 4>,
+    Combo<tm::Norec, RrSo4, 4>, Combo<tm::Norec, rr::RrV, 4>,
+    Combo<tm::Norec, rr::RrNull, BstExternal<tm::Norec, rr::RrNull<tm::Norec>>::kUnbounded>,
+    Combo<tm::GLock, rr::RrXo, 4>, Combo<tm::Tl2, rr::RrV, 4>,
+    Combo<tm::Tml, rr::RrV, 4>, Combo<tm::Norec, rr::RrXo, 1>>;
+
+template <class C>
+class BstExternalTest : public ::testing::Test {
+ protected:
+  using Tree = typename C::Tree;
+  Tree tree{C::window};
+};
+
+TYPED_TEST_SUITE(BstExternalTest, Combos);
+
+TYPED_TEST(BstExternalTest, EmptyTree) {
+  EXPECT_FALSE(this->tree.contains(1));
+  EXPECT_FALSE(this->tree.remove(1));
+  EXPECT_EQ(this->tree.size(), 0u);
+  EXPECT_TRUE(this->tree.is_valid());
+}
+
+TYPED_TEST(BstExternalTest, InsertLookupRemove) {
+  EXPECT_TRUE(this->tree.insert(50));
+  EXPECT_TRUE(this->tree.insert(25));
+  EXPECT_TRUE(this->tree.insert(75));
+  EXPECT_FALSE(this->tree.insert(50));
+  EXPECT_TRUE(this->tree.contains(25));
+  EXPECT_TRUE(this->tree.is_valid());
+  EXPECT_TRUE(this->tree.remove(50));
+  EXPECT_FALSE(this->tree.remove(50));
+  EXPECT_FALSE(this->tree.contains(50));
+  EXPECT_TRUE(this->tree.contains(25));
+  EXPECT_TRUE(this->tree.contains(75));
+  EXPECT_EQ(this->tree.size(), 2u);
+  EXPECT_TRUE(this->tree.is_valid());
+}
+
+TYPED_TEST(BstExternalTest, RemoveDownToEmptyAndRefill) {
+  for (long k = 0; k < 40; ++k) EXPECT_TRUE(this->tree.insert(k));
+  for (long k = 0; k < 40; ++k) EXPECT_TRUE(this->tree.remove(k));
+  EXPECT_EQ(this->tree.size(), 0u);
+  EXPECT_TRUE(this->tree.is_valid()) << "sentinels must survive emptiness";
+  for (long k = 0; k < 40; ++k) EXPECT_TRUE(this->tree.insert(k));
+  EXPECT_EQ(this->tree.size(), 40u);
+}
+
+TYPED_TEST(BstExternalTest, MatchesReferenceSet) {
+  std::set<long> reference;
+  util::Xoshiro256 rng(43);
+  for (int i = 0; i < 3000; ++i) {
+    const long key = static_cast<long>(rng.next_below(256));
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(this->tree.insert(key), reference.insert(key).second) << key;
+        break;
+      case 1:
+        EXPECT_EQ(this->tree.remove(key), reference.erase(key) == 1) << key;
+        break;
+      default:
+        EXPECT_EQ(this->tree.contains(key), reference.contains(key)) << key;
+        break;
+    }
+  }
+  EXPECT_EQ(this->tree.size(), reference.size());
+  EXPECT_TRUE(this->tree.is_valid());
+}
+
+TYPED_TEST(BstExternalTest, ReclamationIsPreciseTwoNodesPerRemove) {
+  this->tree.contains(0);
+  const auto baseline = reclaim::Gauge::live();
+  // n inserts allocate a leaf + a router each (2n)...
+  for (long k = 0; k < 32; ++k) this->tree.insert(k);
+  EXPECT_EQ(reclaim::Gauge::live(), baseline + 64);
+  // ...and each remove frees exactly a leaf + a router, immediately.
+  for (long k = 0; k < 32; ++k) {
+    this->tree.remove(k);
+    EXPECT_EQ(reclaim::Gauge::live(), baseline + 64 - 2 * (k + 1));
+  }
+}
+
+TYPED_TEST(BstExternalTest, ConcurrentMixedChurn) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1000;
+  constexpr long kKeyRange = 128;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> net_inserted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 67);
+      long net = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const long mine =
+            static_cast<long>(rng.next_below(kKeyRange / kThreads)) * kThreads +
+            t;
+        switch (rng.next_below(3)) {
+          case 0:
+            if (this->tree.insert(mine)) ++net;
+            break;
+          case 1:
+            if (this->tree.remove(mine)) --net;
+            break;
+          default:
+            this->tree.contains(static_cast<long>(rng.next_below(kKeyRange)));
+            break;
+        }
+      }
+      net_inserted.fetch_add(net);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(this->tree.size(), static_cast<std::size_t>(net_inserted.load()));
+  EXPECT_TRUE(this->tree.is_valid());
+}
+
+TYPED_TEST(BstExternalTest, ConcurrentRemovalIsExclusive) {
+  constexpr int kThreads = 4;
+  constexpr long kKeys = 96;
+  for (long k = 0; k < kKeys; ++k) this->tree.insert(k);
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> removed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      long mine = 0;
+      for (long k = 0; k < kKeys; ++k)
+        if (this->tree.remove(k)) ++mine;
+      removed.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(removed.load(), kKeys);
+  EXPECT_EQ(this->tree.size(), 0u);
+  EXPECT_TRUE(this->tree.is_valid());
+}
+
+}  // namespace
+}  // namespace hohtm::ds

@@ -1,0 +1,168 @@
+// Doubly linked list: reference semantics, the two-phase remove paths
+// (strict, relaxed, and baseline), bidirectional consistency, precision.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/dll_hoh.hpp"
+#include "reclaim/gauge.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+template <class TmT, template <class> class RrT, int kWindow>
+struct Combo {
+  using TM = TmT;
+  using List = DllHoh<TmT, RrT<TmT>>;
+  static constexpr int window = kWindow;
+};
+
+template <class TM>
+using RrSa4 = rr::RrSa<TM, 4>;
+template <class TM>
+using RrSo4 = rr::RrSo<TM, 4>;
+
+using Combos = ::testing::Types<
+    // Strict family: exercises the "nil after reserve means concurrent
+    // removal, return false" optimization.
+    Combo<tm::Norec, rr::RrFa, 4>, Combo<tm::Norec, rr::RrDm, 4>,
+    Combo<tm::Norec, RrSa4, 4>,
+    // Relaxed family: exercises the retry-on-nil path.
+    Combo<tm::Norec, rr::RrXo, 4>, Combo<tm::Norec, RrSo4, 4>,
+    Combo<tm::Norec, rr::RrV, 4>,
+    // Single-transaction baseline (inline unlink path).
+    Combo<tm::Norec, rr::RrNull, DllHoh<tm::Norec, rr::RrNull<tm::Norec>>::kUnbounded>,
+    // Backend coverage.
+    Combo<tm::GLock, rr::RrFa, 4>, Combo<tm::Tl2, rr::RrV, 4>,
+    Combo<tm::Tml, rr::RrXo, 4>, Combo<tm::Norec, rr::RrV, 1>>;
+
+template <class C>
+class DllTest : public ::testing::Test {
+ protected:
+  using List = typename C::List;
+  List list{C::window};
+};
+
+TYPED_TEST_SUITE(DllTest, Combos);
+
+TYPED_TEST(DllTest, EmptyListBehaviour) {
+  EXPECT_FALSE(this->list.contains(3));
+  EXPECT_FALSE(this->list.remove(3));
+  EXPECT_EQ(this->list.size(), 0u);
+  EXPECT_TRUE(this->list.is_consistent());
+}
+
+TYPED_TEST(DllTest, InsertLookupRemove) {
+  EXPECT_TRUE(this->list.insert(10));
+  EXPECT_TRUE(this->list.insert(5));
+  EXPECT_TRUE(this->list.insert(15));
+  EXPECT_FALSE(this->list.insert(10));
+  EXPECT_TRUE(this->list.contains(5));
+  EXPECT_TRUE(this->list.contains(15));
+  EXPECT_TRUE(this->list.is_consistent());
+  EXPECT_TRUE(this->list.remove(10));
+  EXPECT_FALSE(this->list.remove(10));
+  EXPECT_TRUE(this->list.is_consistent());
+  EXPECT_EQ(this->list.size(), 2u);
+}
+
+TYPED_TEST(DllTest, MatchesReferenceSet) {
+  std::set<long> reference;
+  util::Xoshiro256 rng(31);
+  for (int i = 0; i < 3000; ++i) {
+    const long key = static_cast<long>(rng.next_below(128));
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(this->list.insert(key), reference.insert(key).second) << key;
+        break;
+      case 1:
+        EXPECT_EQ(this->list.remove(key), reference.erase(key) == 1) << key;
+        break;
+      default:
+        EXPECT_EQ(this->list.contains(key), reference.contains(key)) << key;
+        break;
+    }
+  }
+  EXPECT_EQ(this->list.size(), reference.size());
+  EXPECT_TRUE(this->list.is_consistent());
+}
+
+TYPED_TEST(DllTest, ReclamationIsPrecise) {
+  this->list.contains(0);  // strict RRs allocate their thread node here
+  const auto baseline = reclaim::Gauge::live();
+  for (long k = 0; k < 48; ++k) this->list.insert(k);
+  EXPECT_EQ(reclaim::Gauge::live(), baseline + 48);
+  for (long k = 0; k < 48; ++k) {
+    this->list.remove(k);
+    EXPECT_EQ(reclaim::Gauge::live(), baseline + 48 - (k + 1));
+  }
+}
+
+TYPED_TEST(DllTest, ConcurrentRemovalIsExclusive) {
+  // Every key removed by exactly one thread: the strict two-phase path
+  // must correctly interpret a revoked reservation as "lost the race".
+  constexpr int kThreads = 4;
+  constexpr long kKeys = 96;
+  for (long k = 0; k < kKeys; ++k) this->list.insert(k);
+
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> removed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      long mine = 0;
+      for (long k = 0; k < kKeys; ++k)
+        if (this->list.remove(k)) ++mine;
+      removed.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(removed.load(), kKeys);
+  EXPECT_EQ(this->list.size(), 0u);
+  EXPECT_TRUE(this->list.is_consistent());
+}
+
+TYPED_TEST(DllTest, ConcurrentMixedChurn) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1000;
+  constexpr long kKeyRange = 64;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> net_inserted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 17);
+      long net = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const long mine =
+            static_cast<long>(rng.next_below(kKeyRange / kThreads)) * kThreads +
+            t;
+        switch (rng.next_below(3)) {
+          case 0:
+            if (this->list.insert(mine)) ++net;
+            break;
+          case 1:
+            if (this->list.remove(mine)) --net;
+            break;
+          default:
+            this->list.contains(static_cast<long>(rng.next_below(kKeyRange)));
+            break;
+        }
+      }
+      net_inserted.fetch_add(net);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(this->list.size(), static_cast<std::size_t>(net_inserted.load()));
+  EXPECT_TRUE(this->list.is_consistent());
+}
+
+}  // namespace
+}  // namespace hohtm::ds

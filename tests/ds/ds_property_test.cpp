@@ -1,0 +1,174 @@
+// Parameterized property sweeps over the data structures:
+//  - randomized mixed workloads vs a reference set, across window sizes;
+//  - failure injection: user exceptions thrown mid-operation must leave
+//    the structure exactly as it was (transactional rollback);
+//  - allocator-backend sweep: everything holds with the pool allocator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "alloc/pool.hpp"
+#include "ds/bst_external.hpp"
+#include "ds/bst_internal.hpp"
+#include "ds/dll_hoh.hpp"
+#include "ds/hash_set.hpp"
+#include "ds/sll_hoh.hpp"
+#include "reclaim/gauge.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+using TM = tm::Norec;
+
+struct SweepParam {
+  const char* structure;
+  int window;
+  bool pool_allocator;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return std::string(info.param.structure) + "_w" +
+         std::to_string(info.param.window) +
+         (info.param.pool_allocator ? "_pool" : "_malloc");
+}
+
+class DsSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override { alloc::use_pool(GetParam().pool_allocator); }
+  void TearDown() override { alloc::use_pool(false); }
+};
+
+template <class Set>
+void reference_sweep(Set& set, std::uint64_t seed) {
+  std::set<long> reference;
+  util::Xoshiro256 rng(seed);
+  for (int i = 0; i < 2000; ++i) {
+    const long key = static_cast<long>(rng.next_below(160));
+    switch (rng.next_below(3)) {
+      case 0:
+        ASSERT_EQ(set.insert(key), reference.insert(key).second) << key;
+        break;
+      case 1:
+        ASSERT_EQ(set.remove(key), reference.erase(key) == 1) << key;
+        break;
+      default:
+        ASSERT_EQ(set.contains(key), reference.contains(key)) << key;
+        break;
+    }
+  }
+  ASSERT_EQ(set.size(), reference.size());
+}
+
+TEST_P(DsSweep, MatchesReferenceUnderRandomOps) {
+  const SweepParam& param = GetParam();
+  const std::string structure = param.structure;
+  if (structure == "sll") {
+    SllHoh<TM, rr::RrV<TM>> set(param.window);
+    reference_sweep(set, 1);
+  } else if (structure == "dll") {
+    DllHoh<TM, rr::RrFa<TM>> set(param.window);
+    reference_sweep(set, 2);
+  } else if (structure == "bst_int") {
+    BstInternal<TM, rr::RrXo<TM>> set(param.window);
+    reference_sweep(set, 3);
+  } else if (structure == "bst_ext") {
+    BstExternal<TM, rr::RrV<TM>> set(param.window);
+    reference_sweep(set, 4);
+  } else if (structure == "hash") {
+    HashSet<TM, rr::RrV<TM>> set(/*log2_buckets=*/3, param.window);
+    reference_sweep(set, 5);
+  } else {
+    FAIL() << structure;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, DsSweep,
+    ::testing::Values(SweepParam{"sll", 1, false}, SweepParam{"sll", 3, false},
+                      SweepParam{"sll", 16, false}, SweepParam{"sll", 4, true},
+                      SweepParam{"dll", 1, false}, SweepParam{"dll", 5, false},
+                      SweepParam{"dll", 4, true},
+                      SweepParam{"bst_int", 2, false},
+                      SweepParam{"bst_int", 8, false},
+                      SweepParam{"bst_int", 4, true},
+                      SweepParam{"bst_ext", 2, false},
+                      SweepParam{"bst_ext", 8, false},
+                      SweepParam{"bst_ext", 4, true},
+                      SweepParam{"hash", 2, false},
+                      SweepParam{"hash", 8, true}),
+    param_name);
+
+// ---------------------------------------------------------------------------
+// Failure injection: a user exception mid-transaction aborts the whole
+// operation; the structure and the live-object gauge must be untouched.
+// ---------------------------------------------------------------------------
+
+struct Bomb {};
+
+TEST(FailureInjection, ExplodingTransactionLeavesListIntact) {
+  SllHoh<TM, rr::RrV<TM>> set(4);
+  for (long k = 0; k < 32; ++k) set.insert(k);
+  set.contains(0);  // settle RR registration
+  const auto live_before = reclaim::Gauge::live();
+  const auto size_before = set.size();
+
+  // A transaction that mutates unrelated cells and then explodes must
+  // not disturb the set even though it shares the TM runtime.
+  static long scratch;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_THROW(TM::atomically([&](TM::Tx& tx) {
+                   tx.write(scratch, tx.read(scratch) + 1);
+                   throw Bomb{};
+                 }),
+                 Bomb);
+  }
+  EXPECT_EQ(scratch, 0);
+  EXPECT_EQ(set.size(), size_before);
+  EXPECT_EQ(reclaim::Gauge::live(), live_before);
+  EXPECT_TRUE(set.is_sorted());
+}
+
+TEST(FailureInjection, ExplodingAllocationsNeverLeak) {
+  struct Payload {
+    long a[4];
+    explicit Payload(long v) : a{v, v, v, v} {}
+  };
+  const auto live_before = reclaim::Gauge::live();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_THROW(TM::atomically([&](TM::Tx& tx) {
+                   tx.template alloc<Payload>(1L);
+                   tx.template alloc<Payload>(2L);
+                   if (i % 2 == 0) tx.template alloc<Payload>(3L);
+                   throw Bomb{};
+                 }),
+                 Bomb);
+  }
+  EXPECT_EQ(reclaim::Gauge::live(), live_before);
+}
+
+TEST(FailureInjection, PoolBackendSurvivesAbortStorm) {
+  alloc::use_pool(true);
+  struct Payload {
+    long a[6];
+  };
+  const auto live_before = reclaim::Gauge::live();
+  for (int i = 0; i < 200; ++i) {
+    try {
+      TM::atomically([&](TM::Tx& tx) {
+        Payload* p = tx.template alloc<Payload>();
+        (void)p;
+        if (i % 3 != 0) throw Bomb{};
+        tx.dealloc(p);
+      });
+    } catch (const Bomb&) {
+    }
+  }
+  EXPECT_EQ(reclaim::Gauge::live(), live_before);
+  alloc::use_pool(false);
+}
+
+}  // namespace
+}  // namespace hohtm::ds

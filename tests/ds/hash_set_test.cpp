@@ -1,0 +1,149 @@
+// Hash set with hand-over-hand chains and revocable reservations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/hash_set.hpp"
+#include "reclaim/gauge.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+template <class TmT, template <class> class RrT, std::size_t kLog2Buckets>
+struct Combo {
+  using TM = TmT;
+  using Set = HashSet<TmT, RrT<TmT>>;
+  static constexpr std::size_t log2_buckets = kLog2Buckets;
+};
+
+template <class TM>
+using RrSa4 = rr::RrSa<TM, 4>;
+
+using Combos = ::testing::Types<
+    // Tiny tables force long chains: the hand-over-hand regime.
+    Combo<tm::Norec, rr::RrV, 2>, Combo<tm::Norec, rr::RrXo, 2>,
+    Combo<tm::Norec, rr::RrFa, 2>, Combo<tm::Norec, RrSa4, 2>,
+    // Realistic table: chains of ~1.
+    Combo<tm::Norec, rr::RrV, 8>, Combo<tm::Tl2, rr::RrV, 4>,
+    Combo<tm::GLock, rr::RrXo, 4>, Combo<tm::Tml, rr::RrFa, 4>>;
+
+template <class C>
+class HashSetTest : public ::testing::Test {
+ protected:
+  using Set = typename C::Set;
+  Set set{C::log2_buckets, /*window=*/4};
+};
+
+TYPED_TEST_SUITE(HashSetTest, Combos);
+
+TYPED_TEST(HashSetTest, Empty) {
+  EXPECT_FALSE(this->set.contains(7));
+  EXPECT_FALSE(this->set.remove(7));
+  EXPECT_EQ(this->set.size(), 0u);
+  EXPECT_TRUE(this->set.is_consistent());
+}
+
+TYPED_TEST(HashSetTest, InsertLookupRemove) {
+  EXPECT_TRUE(this->set.insert(42));
+  EXPECT_FALSE(this->set.insert(42));
+  EXPECT_TRUE(this->set.contains(42));
+  EXPECT_TRUE(this->set.remove(42));
+  EXPECT_FALSE(this->set.contains(42));
+  EXPECT_TRUE(this->set.is_consistent());
+}
+
+TYPED_TEST(HashSetTest, MatchesReferenceSet) {
+  std::set<long> reference;
+  util::Xoshiro256 rng(83);
+  for (int i = 0; i < 3000; ++i) {
+    const long key = static_cast<long>(rng.next_below(512));
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(this->set.insert(key), reference.insert(key).second) << key;
+        break;
+      case 1:
+        EXPECT_EQ(this->set.remove(key), reference.erase(key) == 1) << key;
+        break;
+      default:
+        EXPECT_EQ(this->set.contains(key), reference.contains(key)) << key;
+        break;
+    }
+  }
+  EXPECT_EQ(this->set.size(), reference.size());
+  EXPECT_TRUE(this->set.is_consistent());
+}
+
+TYPED_TEST(HashSetTest, ReclamationIsPrecise) {
+  this->set.contains(0);
+  const auto baseline = reclaim::Gauge::live();
+  for (long k = 0; k < 64; ++k) this->set.insert(k);
+  EXPECT_EQ(reclaim::Gauge::live(), baseline + 64);
+  for (long k = 0; k < 64; ++k) {
+    this->set.remove(k);
+    EXPECT_EQ(reclaim::Gauge::live(), baseline + 64 - (k + 1));
+  }
+}
+
+TYPED_TEST(HashSetTest, ConcurrentMixedChurn) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1000;
+  constexpr long kRange = 256;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 3);
+      long mine = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const long key =
+            static_cast<long>(rng.next_below(kRange / kThreads)) * kThreads + t;
+        switch (rng.next_below(3)) {
+          case 0:
+            if (this->set.insert(key)) ++mine;
+            break;
+          case 1:
+            if (this->set.remove(key)) --mine;
+            break;
+          default:
+            this->set.contains(static_cast<long>(rng.next_below(kRange)));
+            break;
+        }
+      }
+      net.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(this->set.size(), static_cast<std::size_t>(net.load()));
+  EXPECT_TRUE(this->set.is_consistent());
+}
+
+TYPED_TEST(HashSetTest, ConcurrentRemovalIsExclusive) {
+  constexpr int kThreads = 4;
+  constexpr long kKeys = 128;
+  for (long k = 0; k < kKeys; ++k) this->set.insert(k);
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> removed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      long mine = 0;
+      for (long k = 0; k < kKeys; ++k)
+        if (this->set.remove(k)) ++mine;
+      removed.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(removed.load(), kKeys);
+  EXPECT_EQ(this->set.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hohtm::ds

@@ -1,0 +1,157 @@
+// Lock-free Harris–Michael list with Leaky and HazardPointer reclaimers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/lf_list.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+template <class R>
+class LfListTest : public ::testing::Test {
+ protected:
+  LfList<R> list;
+};
+
+using Reclaimers = ::testing::Types<LeakyReclaimer, HazardReclaimer>;
+TYPED_TEST_SUITE(LfListTest, Reclaimers);
+
+TYPED_TEST(LfListTest, Empty) {
+  EXPECT_FALSE(this->list.contains(7));
+  EXPECT_FALSE(this->list.remove(7));
+  EXPECT_EQ(this->list.size(), 0u);
+}
+
+TYPED_TEST(LfListTest, InsertLookupRemove) {
+  EXPECT_TRUE(this->list.insert(3));
+  EXPECT_TRUE(this->list.insert(1));
+  EXPECT_TRUE(this->list.insert(2));
+  EXPECT_FALSE(this->list.insert(2));
+  EXPECT_TRUE(this->list.contains(1));
+  EXPECT_TRUE(this->list.contains(2));
+  EXPECT_TRUE(this->list.contains(3));
+  EXPECT_TRUE(this->list.is_sorted());
+  EXPECT_TRUE(this->list.remove(2));
+  EXPECT_FALSE(this->list.remove(2));
+  EXPECT_FALSE(this->list.contains(2));
+  EXPECT_EQ(this->list.size(), 2u);
+}
+
+TYPED_TEST(LfListTest, MatchesReferenceSet) {
+  std::set<long> reference;
+  util::Xoshiro256 rng(59);
+  for (int i = 0; i < 4000; ++i) {
+    const long key = static_cast<long>(rng.next_below(128));
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(this->list.insert(key), reference.insert(key).second) << key;
+        break;
+      case 1:
+        EXPECT_EQ(this->list.remove(key), reference.erase(key) == 1) << key;
+        break;
+      default:
+        EXPECT_EQ(this->list.contains(key), reference.contains(key)) << key;
+        break;
+    }
+  }
+  EXPECT_EQ(this->list.size(), reference.size());
+  EXPECT_TRUE(this->list.is_sorted());
+}
+
+TYPED_TEST(LfListTest, ConcurrentDisjointInsertsAllLand) {
+  constexpr int kThreads = 4;
+  constexpr long kPerThread = 200;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      for (long i = 0; i < kPerThread; ++i)
+        EXPECT_TRUE(this->list.insert(i * kThreads + t));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(this->list.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_TRUE(this->list.is_sorted());
+}
+
+TYPED_TEST(LfListTest, ConcurrentRemovalIsExclusive) {
+  constexpr int kThreads = 4;
+  constexpr long kKeys = 256;
+  for (long k = 0; k < kKeys; ++k) this->list.insert(k);
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> removed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      long mine = 0;
+      for (long k = 0; k < kKeys; ++k)
+        if (this->list.remove(k)) ++mine;
+      removed.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(removed.load(), kKeys);
+  EXPECT_EQ(this->list.size(), 0u);
+}
+
+TYPED_TEST(LfListTest, ConcurrentMixedChurn) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  constexpr long kRange = 64;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 23);
+      long mine = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const long key =
+            static_cast<long>(rng.next_below(kRange / kThreads)) * kThreads + t;
+        switch (rng.next_below(3)) {
+          case 0:
+            if (this->list.insert(key)) ++mine;
+            break;
+          case 1:
+            if (this->list.remove(key)) --mine;
+            break;
+          default:
+            this->list.contains(static_cast<long>(rng.next_below(kRange)));
+            break;
+        }
+      }
+      net.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(this->list.size(), static_cast<std::size_t>(net.load()));
+  EXPECT_TRUE(this->list.is_sorted());
+}
+
+TEST(LfListReclaim, LeakyAccumulatesBacklog) {
+  LfList<LeakyReclaimer> list;
+  for (long k = 0; k < 50; ++k) list.insert(k);
+  for (long k = 0; k < 50; ++k) list.remove(k);
+  EXPECT_EQ(list.reclaimer_backlog(), 50u)
+      << "LFLeak never frees during the run";
+}
+
+TEST(LfListReclaim, HazardBoundsBacklog) {
+  LfList<HazardReclaimer> list(/*scan_threshold=*/16);
+  for (long k = 0; k < 200; ++k) list.insert(k);
+  for (long k = 0; k < 200; ++k) list.remove(k);
+  EXPECT_LT(list.reclaimer_backlog(), 16u + reclaim::HazardDomain::kSlotsPerThread);
+}
+
+}  // namespace
+}  // namespace hohtm::ds

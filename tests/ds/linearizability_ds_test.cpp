@@ -1,0 +1,113 @@
+// End-to-end linearizability: record real concurrent histories from the
+// library's structures and feed them to the checker. Small histories
+// (checking is exponential in overlap) but many rounds with fresh seeds:
+// a cheap randomized-model-checking pass over the actual implementations.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ds/bst_external.hpp"
+#include "ds/hash_set.hpp"
+#include "ds/skiplist.hpp"
+#include "ds/sll_hoh.hpp"
+#include "harness/linearizability.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+using harness::SetOp;
+using TM = tm::Norec;
+
+/// Run several rounds of 3 racing threads over a tiny key range against
+/// `set`. Before each round the quiescent state is snapshotted; the
+/// round's merged history must be linearizable starting from it.
+template <class Set>
+void run_linearizability_rounds(Set& set, std::uint64_t seed_base,
+                                int rounds = 40) {
+  constexpr int kThreads = 3;
+  constexpr int kOpsPerThread = 12;
+  constexpr long kKeyRange = 4;  // tiny: force constant interference
+
+  for (int round = 0; round < rounds; ++round) {
+    // Quiescent snapshot (threads of the previous round have joined).
+    std::set<long> initial;
+    for (long k = 0; k < kKeyRange; ++k)
+      if (set.contains(k)) initial.insert(k);
+
+    std::vector<std::vector<SetOp>> per_thread(kThreads);
+    util::SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        util::Xoshiro256 rng(seed_base + round * 97 + t);
+        per_thread[t].reserve(kOpsPerThread);
+        barrier.arrive_and_wait();
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          const long key = static_cast<long>(rng.next_below(kKeyRange));
+          switch (rng.next_below(3)) {
+            case 0:
+              per_thread[t].push_back(harness::record_op(
+                  SetOp::kInsert, key, [&] { return set.insert(key); }));
+              break;
+            case 1:
+              per_thread[t].push_back(harness::record_op(
+                  SetOp::kRemove, key, [&] { return set.remove(key); }));
+              break;
+            default:
+              per_thread[t].push_back(harness::record_op(
+                  SetOp::kContains, key, [&] { return set.contains(key); }));
+              break;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    std::vector<SetOp> history;
+    for (auto& ops : per_thread)
+      history.insert(history.end(), ops.begin(), ops.end());
+    ASSERT_TRUE(harness::is_linearizable(std::move(history), initial))
+        << "non-linearizable history in round " << round;
+  }
+}
+
+TEST(LinearizabilityDs, SllHohRrV) {
+  SllHoh<TM, rr::RrV<TM>> set(/*window=*/1);  // max hand-over-hand churn
+  run_linearizability_rounds(set, 1000);
+}
+
+TEST(LinearizabilityDs, SllHohRrFa) {
+  SllHoh<TM, rr::RrFa<TM>> set(2);
+  run_linearizability_rounds(set, 2000);
+}
+
+TEST(LinearizabilityDs, SllHohRrXoTl2) {
+  SllHoh<tm::Tl2, rr::RrXo<tm::Tl2>> set(2);
+  run_linearizability_rounds(set, 3000);
+}
+
+TEST(LinearizabilityDs, SllHohRrVTlEager) {
+  SllHoh<tm::TlEager, rr::RrV<tm::TlEager>> set(1);
+  run_linearizability_rounds(set, 3500);
+}
+
+TEST(LinearizabilityDs, BstExternalRrV) {
+  BstExternal<TM, rr::RrV<TM>> set(2);
+  run_linearizability_rounds(set, 4000);
+}
+
+TEST(LinearizabilityDs, HashSetRrXo) {
+  HashSet<TM, rr::RrXo<TM>> set(/*log2_buckets=*/1, /*window=*/1);
+  run_linearizability_rounds(set, 5000);
+}
+
+TEST(LinearizabilityDs, SkipListRrV) {
+  SkipList<TM, rr::RrV<TM>> set(2);
+  run_linearizability_rounds(set, 6000);
+}
+
+}  // namespace
+}  // namespace hohtm::ds

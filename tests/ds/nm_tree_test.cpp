@@ -1,0 +1,149 @@
+// Natarajan–Mittal lock-free external BST (leaky).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/nm_tree.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+TEST(NmTree, Empty) {
+  NmTree<> tree;
+  EXPECT_FALSE(tree.contains(1));
+  EXPECT_FALSE(tree.remove(1));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.is_valid());
+}
+
+TEST(NmTree, InsertLookupRemove) {
+  NmTree<> tree;
+  EXPECT_TRUE(tree.insert(50));
+  EXPECT_TRUE(tree.insert(25));
+  EXPECT_TRUE(tree.insert(75));
+  EXPECT_FALSE(tree.insert(25));
+  EXPECT_TRUE(tree.contains(25));
+  EXPECT_TRUE(tree.remove(50));
+  EXPECT_FALSE(tree.remove(50));
+  EXPECT_TRUE(tree.contains(25));
+  EXPECT_TRUE(tree.contains(75));
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(tree.is_valid());
+}
+
+TEST(NmTree, MatchesReferenceSet) {
+  NmTree<> tree;
+  std::set<long> reference;
+  util::Xoshiro256 rng(61);
+  for (int i = 0; i < 4000; ++i) {
+    const long key = static_cast<long>(rng.next_below(256));
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(tree.insert(key), reference.insert(key).second) << key;
+        break;
+      case 1:
+        EXPECT_EQ(tree.remove(key), reference.erase(key) == 1) << key;
+        break;
+      default:
+        EXPECT_EQ(tree.contains(key), reference.contains(key)) << key;
+        break;
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  EXPECT_TRUE(tree.is_valid());
+}
+
+TEST(NmTree, RemoveToEmptyAndRefill) {
+  NmTree<> tree;
+  for (long k = 0; k < 64; ++k) EXPECT_TRUE(tree.insert(k));
+  for (long k = 0; k < 64; ++k) EXPECT_TRUE(tree.remove(k));
+  EXPECT_EQ(tree.size(), 0u);
+  for (long k = 0; k < 64; ++k) EXPECT_TRUE(tree.insert(k));
+  EXPECT_EQ(tree.size(), 64u);
+  EXPECT_TRUE(tree.is_valid());
+}
+
+TEST(NmTree, ConcurrentDisjointInserts) {
+  NmTree<> tree;
+  constexpr int kThreads = 4;
+  constexpr long kPerThread = 250;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      for (long i = 0; i < kPerThread; ++i)
+        EXPECT_TRUE(tree.insert(i * kThreads + t));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_TRUE(tree.is_valid());
+}
+
+TEST(NmTree, ConcurrentRemovalIsExclusive) {
+  NmTree<> tree;
+  constexpr int kThreads = 4;
+  constexpr long kKeys = 256;
+  for (long k = 0; k < kKeys; ++k) tree.insert(k);
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> removed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      long mine = 0;
+      for (long k = 0; k < kKeys; ++k)
+        if (tree.remove(k)) ++mine;
+      removed.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(removed.load(), kKeys);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.is_valid());
+}
+
+TEST(NmTree, ConcurrentMixedChurn) {
+  NmTree<> tree;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  constexpr long kRange = 128;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 29);
+      long mine = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const long key =
+            static_cast<long>(rng.next_below(kRange / kThreads)) * kThreads + t;
+        switch (rng.next_below(3)) {
+          case 0:
+            if (tree.insert(key)) ++mine;
+            break;
+          case 1:
+            if (tree.remove(key)) --mine;
+            break;
+          default:
+            tree.contains(static_cast<long>(rng.next_below(kRange)));
+            break;
+        }
+      }
+      net.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.size(), static_cast<std::size_t>(net.load()));
+  EXPECT_TRUE(tree.is_valid());
+}
+
+}  // namespace
+}  // namespace hohtm::ds

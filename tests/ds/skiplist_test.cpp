@@ -1,0 +1,164 @@
+// Skip list with hand-over-hand lookups and revocable reservations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/skiplist.hpp"
+#include "reclaim/gauge.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+template <class TmT, template <class> class RrT, int kWindow>
+struct Combo {
+  using TM = TmT;
+  using List = SkipList<TmT, RrT<TmT>>;
+  static constexpr int window = kWindow;
+};
+
+using Combos = ::testing::Types<
+    Combo<tm::Norec, rr::RrV, 4>, Combo<tm::Norec, rr::RrXo, 4>,
+    Combo<tm::Norec, rr::RrFa, 4>, Combo<tm::Norec, rr::RrDm, 4>,
+    Combo<tm::GLock, rr::RrV, 4>, Combo<tm::Tl2, rr::RrXo, 4>,
+    Combo<tm::Tml, rr::RrV, 4>, Combo<tm::Norec, rr::RrV, 1>,
+    Combo<tm::Norec, rr::RrNull, SkipList<tm::Norec, rr::RrNull<tm::Norec>>::kUnbounded>>;
+
+template <class C>
+class SkipListTest : public ::testing::Test {
+ protected:
+  using List = typename C::List;
+  List list{C::window};
+};
+
+TYPED_TEST_SUITE(SkipListTest, Combos);
+
+TYPED_TEST(SkipListTest, Empty) {
+  EXPECT_FALSE(this->list.contains(5));
+  EXPECT_FALSE(this->list.remove(5));
+  EXPECT_EQ(this->list.size(), 0u);
+  EXPECT_TRUE(this->list.is_consistent());
+}
+
+TYPED_TEST(SkipListTest, InsertLookupRemove) {
+  EXPECT_TRUE(this->list.insert(10));
+  EXPECT_TRUE(this->list.insert(5));
+  EXPECT_TRUE(this->list.insert(20));
+  EXPECT_FALSE(this->list.insert(10));
+  EXPECT_TRUE(this->list.contains(5));
+  EXPECT_TRUE(this->list.contains(20));
+  EXPECT_FALSE(this->list.contains(15));
+  EXPECT_TRUE(this->list.remove(10));
+  EXPECT_FALSE(this->list.remove(10));
+  EXPECT_EQ(this->list.size(), 2u);
+  EXPECT_TRUE(this->list.is_consistent());
+}
+
+TYPED_TEST(SkipListTest, MatchesReferenceSet) {
+  std::set<long> reference;
+  util::Xoshiro256 rng(91);
+  for (int i = 0; i < 3000; ++i) {
+    const long key = static_cast<long>(rng.next_below(256));
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(this->list.insert(key), reference.insert(key).second) << key;
+        break;
+      case 1:
+        EXPECT_EQ(this->list.remove(key), reference.erase(key) == 1) << key;
+        break;
+      default:
+        EXPECT_EQ(this->list.contains(key), reference.contains(key)) << key;
+        break;
+    }
+  }
+  EXPECT_EQ(this->list.size(), reference.size());
+  EXPECT_TRUE(this->list.is_consistent());
+}
+
+TYPED_TEST(SkipListTest, TallTowersSpliceCleanly) {
+  // Insert enough keys that multi-level towers certainly exist; removing
+  // every key must leave a structurally empty, consistent list.
+  for (long k = 0; k < 300; ++k) this->list.insert(k);
+  EXPECT_TRUE(this->list.is_consistent());
+  for (long k = 0; k < 300; ++k) EXPECT_TRUE(this->list.remove(k));
+  EXPECT_EQ(this->list.size(), 0u);
+  EXPECT_TRUE(this->list.is_consistent());
+}
+
+TYPED_TEST(SkipListTest, ReclamationIsPrecise) {
+  this->list.contains(0);
+  const auto baseline = reclaim::Gauge::live();
+  for (long k = 0; k < 64; ++k) this->list.insert(k);
+  EXPECT_EQ(reclaim::Gauge::live(), baseline + 64);
+  for (long k = 0; k < 64; ++k) {
+    this->list.remove(k);
+    EXPECT_EQ(reclaim::Gauge::live(), baseline + 64 - (k + 1));
+  }
+}
+
+TYPED_TEST(SkipListTest, ConcurrentMixedChurn) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1000;
+  constexpr long kRange = 128;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 47);
+      long mine = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const long key =
+            static_cast<long>(rng.next_below(kRange / kThreads)) * kThreads + t;
+        switch (rng.next_below(3)) {
+          case 0:
+            if (this->list.insert(key)) ++mine;
+            break;
+          case 1:
+            if (this->list.remove(key)) --mine;
+            break;
+          default:
+            this->list.contains(static_cast<long>(rng.next_below(kRange)));
+            break;
+        }
+      }
+      net.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(this->list.size(), static_cast<std::size_t>(net.load()));
+  EXPECT_TRUE(this->list.is_consistent());
+}
+
+TYPED_TEST(SkipListTest, LookupsCorrectDuringConcurrentRemovals) {
+  // Lookups of never-removed keys must always succeed while removers
+  // shred the keys around them (reservation resume across removals).
+  constexpr long kKeys = 200;
+  for (long k = 0; k < kKeys; ++k) this->list.insert(k);
+  std::atomic<bool> lost{false};
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (long k = 1; k < kKeys; k += 4)  // keys = 1 mod 4 never removed
+        if (!this->list.contains(k)) lost.store(true);
+    }
+  });
+  std::thread remover([&] {
+    for (long k = 0; k < kKeys; ++k)
+      if (k % 4 != 1) this->list.remove(k);
+    stop.store(true);
+  });
+  remover.join();
+  reader.join();
+  EXPECT_FALSE(lost.load());
+  EXPECT_EQ(this->list.size(), static_cast<std::size_t>(kKeys / 4));
+}
+
+}  // namespace
+}  // namespace hohtm::ds

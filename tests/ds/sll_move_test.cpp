@@ -1,0 +1,173 @@
+// SllMove: the multi-reservation composition (atomic move) extension.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/sll_move.hpp"
+#include "reclaim/gauge.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+using TM = tm::Norec;
+using List = SllMove<TM>;
+
+TEST(SllMove, BasicSetSemantics) {
+  List list(4);
+  EXPECT_TRUE(list.insert(5));
+  EXPECT_TRUE(list.insert(1));
+  EXPECT_FALSE(list.insert(5));
+  EXPECT_TRUE(list.contains(1));
+  EXPECT_TRUE(list.remove(5));
+  EXPECT_FALSE(list.remove(5));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(SllMove, MoveDisjointPositions) {
+  List list(4);
+  for (long k : {10L, 20L, 30L, 40L}) list.insert(k);
+  EXPECT_TRUE(list.move(20, 35));
+  EXPECT_FALSE(list.contains(20));
+  EXPECT_TRUE(list.contains(35));
+  EXPECT_EQ(list.size(), 4u);
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(SllMove, MoveIntoSameGap) {
+  List list(4);
+  for (long k : {10L, 20L, 30L}) list.insert(k);
+  // replacement lands exactly where the victim was (same predecessor).
+  EXPECT_TRUE(list.move(20, 15));
+  EXPECT_FALSE(list.contains(20));
+  EXPECT_TRUE(list.contains(15));
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(SllMove, MoveToGapAfterVictim) {
+  List list(4);
+  for (long k : {10L, 20L, 30L}) list.insert(k);
+  EXPECT_TRUE(list.move(20, 25));
+  EXPECT_FALSE(list.contains(20));
+  EXPECT_TRUE(list.contains(25));
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(SllMove, MoveFailsWhenVictimAbsent) {
+  List list(4);
+  list.insert(10);
+  EXPECT_FALSE(list.move(99, 50));
+  EXPECT_FALSE(list.contains(50));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(SllMove, MoveFailsWhenReplacementPresent) {
+  List list(4);
+  list.insert(10);
+  list.insert(20);
+  EXPECT_FALSE(list.move(10, 20));
+  EXPECT_TRUE(list.contains(10)) << "failed move must not remove the victim";
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(SllMove, MoveAcrossLongDistances) {
+  List list(4);  // small window: many hand-over-hand hops per hunt
+  for (long k = 0; k < 100; k += 2) list.insert(k);
+  EXPECT_TRUE(list.move(0, 99));
+  EXPECT_TRUE(list.move(98, 1));
+  EXPECT_TRUE(list.contains(99));
+  EXPECT_TRUE(list.contains(1));
+  EXPECT_FALSE(list.contains(0));
+  EXPECT_FALSE(list.contains(98));
+  EXPECT_EQ(list.size(), 50u);
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(SllMove, MoveIsPreciselyReclaimed) {
+  List list(4);
+  list.contains(0);
+  const auto baseline = reclaim::Gauge::live();
+  for (long k = 0; k < 20; ++k) list.insert(k * 10);
+  EXPECT_EQ(reclaim::Gauge::live(), baseline + 20);
+  for (long k = 0; k < 20; ++k) EXPECT_TRUE(list.move(k * 10, k * 10 + 5));
+  // Every move frees its victim in the committing transaction.
+  EXPECT_EQ(reclaim::Gauge::live(), baseline + 20);
+  EXPECT_EQ(list.size(), 20u);
+}
+
+TEST(SllMove, ConcurrentMovesConserveElementCount) {
+  List list(4);
+  constexpr int kThreads = 4;
+  constexpr long kSlots = 32;
+  // Thread t owns slots congruent to t; each slot holds exactly one key
+  // in [slot*100, slot*100+99]; moves shuffle the key within the slot.
+  for (long s = 0; s < kSlots; ++s) list.insert(s * 100);
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 9);
+      long offset[kSlots] = {};  // current in-slot offset for owned slots
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 300; ++i) {
+        const long slot = (rng.next_below(kSlots / kThreads)) * kThreads + t;
+        const long from = slot * 100 + offset[slot];
+        const long to = slot * 100 + (offset[slot] + 1 + static_cast<long>(rng.next_below(98))) % 100;
+        if (from == to) continue;
+        if (!list.move(from, to)) {
+          failed.store(true);
+          break;
+        }
+        offset[slot] = to - slot * 100;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load()) << "owned-slot moves must always succeed";
+  EXPECT_EQ(list.size(), static_cast<std::size_t>(kSlots));
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(SllMove, ConcurrentMovesAndReadersSeeExactlyOneKeyPerSlot) {
+  // Movers shuffle within disjoint slots while readers verify that each
+  // slot always contains exactly one key — the atomicity guarantee of
+  // move(): never zero (remove visible before insert) nor two.
+  List list(4);
+  constexpr long kSlots = 8;
+  for (long s = 0; s < kSlots; ++s) list.insert(s * 100);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+
+  std::thread mover([&] {
+    util::Xoshiro256 rng(3);
+    long offset[kSlots] = {};
+    for (int i = 0; i < 600; ++i) {
+      const long slot = static_cast<long>(rng.next_below(kSlots));
+      const long from = slot * 100 + offset[slot];
+      const long to =
+          slot * 100 + (offset[slot] + 1 + static_cast<long>(rng.next_below(98))) % 100;
+      if (from == to) continue;
+      if (list.move(from, to)) offset[slot] = to - slot * 100;
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::size_t n = list.size();
+      if (n != static_cast<std::size_t>(kSlots)) violation.store(true);
+    }
+  });
+  mover.join();
+  reader.join();
+  EXPECT_FALSE(violation.load())
+      << "a size other than kSlots means a move was observed half-done";
+}
+
+}  // namespace
+}  // namespace hohtm::ds

@@ -1,0 +1,146 @@
+// TMHP and REF list variants: correctness plus the *deferred* reclamation
+// behaviours that contrast with revocable reservations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/bst_external_tmhp.hpp"
+#include "ds/dll_tmhp.hpp"
+#include "ds/sll_ref.hpp"
+#include "ds/sll_tmhp.hpp"
+#include "reclaim/gauge.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+template <class ListT>
+class HohBaselineTest : public ::testing::Test {
+ protected:
+  ListT list{/*window=*/4};
+};
+
+using Lists = ::testing::Types<SllTmhp<tm::Norec>, SllTmhp<tm::Tl2>,
+                               SllTmhp<tm::GLock>, SllRef<tm::Norec>,
+                               SllRef<tm::GLock>, DllTmhp<tm::Norec>,
+                               DllTmhp<tm::Tml>, BstExternalTmhp<tm::Norec>,
+                               BstExternalTmhp<tm::Tl2>>;
+TYPED_TEST_SUITE(HohBaselineTest, Lists);
+
+TYPED_TEST(HohBaselineTest, Empty) {
+  EXPECT_FALSE(this->list.contains(9));
+  EXPECT_FALSE(this->list.remove(9));
+  EXPECT_EQ(this->list.size(), 0u);
+}
+
+TYPED_TEST(HohBaselineTest, InsertLookupRemove) {
+  EXPECT_TRUE(this->list.insert(5));
+  EXPECT_TRUE(this->list.insert(3));
+  EXPECT_FALSE(this->list.insert(5));
+  EXPECT_TRUE(this->list.contains(3));
+  EXPECT_TRUE(this->list.remove(5));
+  EXPECT_FALSE(this->list.remove(5));
+  EXPECT_EQ(this->list.size(), 1u);
+}
+
+TYPED_TEST(HohBaselineTest, MatchesReferenceSet) {
+  std::set<long> reference;
+  util::Xoshiro256 rng(73);
+  for (int i = 0; i < 2500; ++i) {
+    const long key = static_cast<long>(rng.next_below(96));
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(this->list.insert(key), reference.insert(key).second) << key;
+        break;
+      case 1:
+        EXPECT_EQ(this->list.remove(key), reference.erase(key) == 1) << key;
+        break;
+      default:
+        EXPECT_EQ(this->list.contains(key), reference.contains(key)) << key;
+        break;
+    }
+  }
+  EXPECT_EQ(this->list.size(), reference.size());
+}
+
+TYPED_TEST(HohBaselineTest, LongTraversalsAcrossWindows) {
+  for (long k = 0; k < 150; ++k) EXPECT_TRUE(this->list.insert(k));
+  EXPECT_TRUE(this->list.contains(149));
+  EXPECT_FALSE(this->list.contains(150));
+  EXPECT_TRUE(this->list.remove(149));
+  EXPECT_EQ(this->list.size(), 149u);
+}
+
+TYPED_TEST(HohBaselineTest, ConcurrentMixedChurn) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 800;
+  constexpr long kRange = 64;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 37);
+      long mine = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const long key =
+            static_cast<long>(rng.next_below(kRange / kThreads)) * kThreads + t;
+        switch (rng.next_below(3)) {
+          case 0:
+            if (this->list.insert(key)) ++mine;
+            break;
+          case 1:
+            if (this->list.remove(key)) --mine;
+            break;
+          default:
+            this->list.contains(static_cast<long>(rng.next_below(kRange)));
+            break;
+        }
+      }
+      net.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(this->list.size(), static_cast<std::size_t>(net.load()));
+}
+
+TEST(TmhpReclamation, DeferralBacklogThenDrain) {
+  // TMHP defers: after removals, unreclaimed nodes sit in the hazard
+  // domain until a scan. Revocable reservations would free each node in
+  // its remove's transaction (see SllTest.ReclamationIsPrecise).
+  SllTmhp<tm::Norec> list(/*window=*/4, /*scatter=*/true,
+                          /*scan_threshold=*/1000);
+  for (long k = 0; k < 40; ++k) list.insert(k);
+  const auto live_before_removes = reclaim::Gauge::live();
+  for (long k = 0; k < 40; ++k) list.remove(k);
+  EXPECT_EQ(list.reclaimer_backlog(), 40u);
+  EXPECT_EQ(reclaim::Gauge::live(), live_before_removes)
+      << "memory not yet reclaimed: the deferral the paper eliminates";
+}
+
+TEST(TmhpExternalTree, RetiresLeafAndRouterPerRemove) {
+  BstExternalTmhp<tm::Norec> tree(/*window=*/4, true,
+                                  /*scan_threshold=*/1000);
+  for (long k = 0; k < 30; ++k) tree.insert(k);
+  for (long k = 0; k < 30; ++k) tree.remove(k);
+  EXPECT_EQ(tree.reclaimer_backlog(), 60u) << "leaf + router per remove";
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(RefReclamation, UnpinnedRemovesFreeImmediately) {
+  // With no concurrent pins, REF frees in the removing transaction.
+  SllRef<tm::Norec> list(/*window=*/4);
+  list.contains(0);
+  const auto baseline = reclaim::Gauge::live();
+  for (long k = 0; k < 20; ++k) list.insert(k);
+  for (long k = 0; k < 20; ++k) list.remove(k);
+  EXPECT_EQ(reclaim::Gauge::live(), baseline);
+}
+
+}  // namespace
+}  // namespace hohtm::ds

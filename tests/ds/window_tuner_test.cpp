@@ -1,0 +1,130 @@
+// Adaptive window tuning (implemented future work from paper §5.2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ds/sll_hoh.hpp"
+#include "ds/window_tuner.hpp"
+#include "util/barrier.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+using TM = tm::Norec;
+
+TEST(WindowTuner, StartsAtGeometricMidpoint) {
+  WindowTuner tuner(2, 32);
+  EXPECT_EQ(tuner.current(), 8);  // 8*8 = 64 = 2*32
+}
+
+TEST(WindowTuner, ShrinksOnAborts) {
+  WindowTuner tuner(2, 32);
+  const int before = tuner.begin_op();
+  tm::Stats::mine().aborts += 1;  // simulate a conflict during the op
+  tuner.observe();
+  EXPECT_EQ(tuner.current(), before / 2);
+}
+
+TEST(WindowTuner, FloorsAtMinimum) {
+  WindowTuner tuner(2, 32);
+  for (int i = 0; i < 10; ++i) {
+    tuner.begin_op();
+    tm::Stats::mine().aborts += 1;
+    tuner.observe();
+  }
+  EXPECT_EQ(tuner.current(), 2);
+}
+
+TEST(WindowTuner, GrowsAfterCleanStreakAndCaps) {
+  WindowTuner tuner(2, 32);
+  for (int i = 0; i < 32 * 8; ++i) {  // enough clean ops for several grows
+    tuner.begin_op();
+    tuner.observe();
+  }
+  EXPECT_EQ(tuner.current(), 32);
+}
+
+TEST(WindowTuner, PerThreadIndependence) {
+  WindowTuner tuner(2, 32);
+  // This thread shrinks its window...
+  tuner.begin_op();
+  tm::Stats::mine().aborts += 1;
+  tuner.observe();
+  const int mine = tuner.current();
+  // ...another thread still sees the initial window.
+  int other = 0;
+  std::thread peer([&] { other = tuner.current(); });
+  peer.join();
+  EXPECT_LT(mine, other);
+}
+
+TEST(AdaptiveList, CorrectUnderConcurrencyWhileTuning) {
+  SllHoh<TM, rr::RrV<TM>> list(/*window=*/16);
+  list.enable_adaptive_window(2, 32);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1200;
+  util::SpinBarrier barrier(kThreads);
+  std::atomic<long> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t + 13);
+      long mine = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOps; ++i) {
+        const long key = static_cast<long>(rng.next_below(16)) * kThreads + t;
+        if (rng.next() & 1) {
+          if (list.insert(key)) ++mine;
+        } else {
+          if (list.remove(key)) --mine;
+        }
+      }
+      net.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(list.size(), static_cast<std::size_t>(net.load()));
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(AdaptiveList, ContentionShrinksTheWindow) {
+  // Heavy same-region write contention should drive the tuned window
+  // toward the minimum; single-threaded calm should grow it back.
+  SllHoh<TM, rr::RrV<TM>> list(16);
+  list.enable_adaptive_window(2, 32);
+  for (long k = 0; k < 64; ++k) list.insert(k);
+
+  constexpr int kThreads = 4;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> min_window_seen{1 << 30};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 1500; ++i) {
+        const long key = (i + t) % 64;
+        if (i & 1)
+          list.insert(key);
+        else
+          list.remove(key);
+      }
+      int seen = list.effective_window();
+      int current = min_window_seen.load();
+      while (seen < current &&
+             !min_window_seen.compare_exchange_weak(current, seen)) {
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // At least one thread should have been driven below the initial 8.
+  EXPECT_LT(min_window_seen.load(), 8);
+
+  // Calm single-threaded phase: the window recovers.
+  for (int i = 0; i < 32 * 6; ++i) list.contains(i % 64);
+  EXPECT_GT(list.effective_window(), 2);
+}
+
+}  // namespace
+}  // namespace hohtm::ds

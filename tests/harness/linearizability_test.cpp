@@ -1,0 +1,148 @@
+// The linearizability checker itself: known-good and known-bad histories.
+#include <gtest/gtest.h>
+
+#include "harness/linearizability.hpp"
+
+namespace hohtm::harness {
+namespace {
+
+SetOp op(SetOp::Kind kind, long key, bool result, std::uint64_t invoke,
+         std::uint64_t response) {
+  SetOp o;
+  o.kind = kind;
+  o.key = key;
+  o.result = result;
+  o.invoke = invoke;
+  o.response = response;
+  return o;
+}
+
+TEST(Linearizability, EmptyHistory) {
+  EXPECT_TRUE(is_linearizable({}, {}));
+}
+
+TEST(Linearizability, SequentialHistoryConsistent) {
+  EXPECT_TRUE(is_linearizable(
+      {
+          op(SetOp::kInsert, 1, true, 1, 2),
+          op(SetOp::kContains, 1, true, 3, 4),
+          op(SetOp::kRemove, 1, true, 5, 6),
+          op(SetOp::kContains, 1, false, 7, 8),
+      },
+      {}));
+}
+
+TEST(Linearizability, SequentialHistoryInconsistent) {
+  // contains(1) = false after insert(1) = true completed: impossible.
+  EXPECT_FALSE(is_linearizable(
+      {
+          op(SetOp::kInsert, 1, true, 1, 2),
+          op(SetOp::kContains, 1, false, 3, 4),
+      },
+      {}));
+}
+
+TEST(Linearizability, InitialStateRespected) {
+  EXPECT_TRUE(is_linearizable({op(SetOp::kRemove, 9, true, 1, 2)}, {9}));
+  EXPECT_FALSE(is_linearizable({op(SetOp::kRemove, 9, true, 1, 2)}, {}));
+}
+
+TEST(Linearizability, OverlappingOpsMayReorder) {
+  // contains(1)=true overlaps insert(1)=true: legal — the insert may
+  // linearize first even though its invocation is later.
+  EXPECT_TRUE(is_linearizable(
+      {
+          op(SetOp::kContains, 1, true, 1, 10),
+          op(SetOp::kInsert, 1, true, 2, 9),
+      },
+      {}));
+}
+
+TEST(Linearizability, RealTimeOrderEnforced) {
+  // Same pair but NON-overlapping: contains completed before insert was
+  // invoked, so contains(1)=true has no explanation.
+  EXPECT_FALSE(is_linearizable(
+      {
+          op(SetOp::kContains, 1, true, 1, 2),
+          op(SetOp::kInsert, 1, true, 3, 4),
+      },
+      {}));
+}
+
+TEST(Linearizability, DoubleSuccessfulRemoveRejected) {
+  // Two remove(5)=true with only one insert: one remove must fail.
+  EXPECT_FALSE(is_linearizable(
+      {
+          op(SetOp::kInsert, 5, true, 1, 2),
+          op(SetOp::kRemove, 5, true, 3, 10),
+          op(SetOp::kRemove, 5, true, 4, 11),
+      },
+      {}));
+}
+
+TEST(Linearizability, RacingRemovesOneWinnerAccepted) {
+  EXPECT_TRUE(is_linearizable(
+      {
+          op(SetOp::kInsert, 5, true, 1, 2),
+          op(SetOp::kRemove, 5, true, 3, 10),
+          op(SetOp::kRemove, 5, false, 4, 11),
+      },
+      {}));
+}
+
+TEST(Linearizability, InsertRemoveRaceBothOrdersExplained) {
+  // insert(7)=true and remove(7)=true overlap; a later contains sees 7
+  // absent => remove must linearize after insert. Consistent.
+  EXPECT_TRUE(is_linearizable(
+      {
+          op(SetOp::kInsert, 7, true, 1, 10),
+          op(SetOp::kRemove, 7, true, 2, 11),
+          op(SetOp::kContains, 7, false, 12, 13),
+      },
+      {}));
+  // ...but if the later contains sees 7 PRESENT, remove-after-insert
+  // contradicts it and remove-before-insert contradicts remove's result
+  // (7 was never there): not linearizable.
+  EXPECT_FALSE(is_linearizable(
+      {
+          op(SetOp::kInsert, 7, true, 1, 10),
+          op(SetOp::kRemove, 7, true, 2, 11),
+          op(SetOp::kContains, 7, true, 12, 13),
+      },
+      {}));
+}
+
+TEST(Linearizability, LostUpdateDetected) {
+  // Classic atomicity bug shape: two overlapping insert(3) BOTH return
+  // true — only one can win.
+  EXPECT_FALSE(is_linearizable(
+      {
+          op(SetOp::kInsert, 3, true, 1, 10),
+          op(SetOp::kInsert, 3, true, 2, 11),
+      },
+      {}));
+}
+
+TEST(Linearizability, WideOverlapWindowSearched) {
+  // Five mutually overlapping ops needing a specific interleaving:
+  // remove(2)=true forces insert(2) first; contains(2)=false must fit
+  // after the remove; contains(1)=true after insert(1).
+  EXPECT_TRUE(is_linearizable(
+      {
+          op(SetOp::kInsert, 1, true, 1, 20),
+          op(SetOp::kInsert, 2, true, 2, 21),
+          op(SetOp::kRemove, 2, true, 3, 22),
+          op(SetOp::kContains, 2, false, 4, 23),
+          op(SetOp::kContains, 1, true, 5, 24),
+      },
+      {}));
+}
+
+TEST(Linearizability, StampHelperMonotonic) {
+  const auto a = next_history_stamp();
+  const auto b = next_history_stamp();
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace hohtm::harness

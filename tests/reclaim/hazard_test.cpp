@@ -1,0 +1,101 @@
+// Hazard-pointer domain: protection blocks frees, scans free the rest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "reclaim/hazard_pointers.hpp"
+#include "util/barrier.hpp"
+
+namespace hohtm::reclaim {
+namespace {
+
+struct Tracked {
+  static inline std::atomic<int> destroyed{0};
+};
+
+void count_delete(void* p) noexcept {
+  delete static_cast<Tracked*>(p);
+  Tracked::destroyed.fetch_add(1);
+}
+
+TEST(HazardDomain, UnprotectedNodesFreedByScan) {
+  HazardDomain domain(/*scan_threshold=*/1000);  // manual scans only
+  Tracked::destroyed.store(0);
+  for (int i = 0; i < 10; ++i) domain.retire(new Tracked, &count_delete);
+  EXPECT_EQ(Tracked::destroyed.load(), 0);
+  domain.scan();
+  EXPECT_EQ(Tracked::destroyed.load(), 10);
+  EXPECT_EQ(domain.my_backlog(), 0u);
+}
+
+TEST(HazardDomain, ProtectedNodeSurvivesScan) {
+  HazardDomain domain(1000);
+  Tracked::destroyed.store(0);
+  auto* pinned = new Tracked;
+  domain.protect(0, pinned);
+  domain.retire(pinned, &count_delete);
+  domain.retire(new Tracked, &count_delete);
+  domain.scan();
+  EXPECT_EQ(Tracked::destroyed.load(), 1) << "only the unprotected one";
+  EXPECT_EQ(domain.my_backlog(), 1u);
+  domain.clear(0);
+  domain.scan();
+  EXPECT_EQ(Tracked::destroyed.load(), 2);
+}
+
+TEST(HazardDomain, ThresholdTriggersAutomaticScan) {
+  HazardDomain domain(/*scan_threshold=*/8);
+  Tracked::destroyed.store(0);
+  for (int i = 0; i < 8; ++i) domain.retire(new Tracked, &count_delete);
+  EXPECT_EQ(Tracked::destroyed.load(), 8) << "8th retire should auto-scan";
+}
+
+TEST(HazardDomain, CrossThreadProtectionHonored) {
+  HazardDomain domain(1000);
+  Tracked::destroyed.store(0);
+  auto* shared = new Tracked;
+  util::SpinBarrier barrier(2);
+  std::atomic<bool> release{false};
+
+  std::thread holder([&] {
+    domain.protect(0, shared);
+    barrier.arrive_and_wait();  // retirer may proceed
+    while (!release.load()) std::this_thread::yield();
+    domain.clear_all();
+  });
+
+  barrier.arrive_and_wait();
+  domain.retire(shared, &count_delete);
+  domain.scan();
+  EXPECT_EQ(Tracked::destroyed.load(), 0) << "another thread holds it";
+  release.store(true);
+  holder.join();
+  domain.scan();
+  EXPECT_EQ(Tracked::destroyed.load(), 1);
+}
+
+TEST(HazardDomain, DestructorDrainsBacklog) {
+  Tracked::destroyed.store(0);
+  {
+    HazardDomain domain(1000);
+    auto* pinned = new Tracked;
+    domain.protect(0, pinned);
+    domain.retire(pinned, &count_delete);
+    domain.clear_all();  // protection dropped, but no scan ran
+  }
+  EXPECT_EQ(Tracked::destroyed.load(), 1);
+}
+
+TEST(HazardDomain, PrescanHookRuns) {
+  static std::atomic<int> hook_calls;
+  hook_calls.store(0);
+  HazardDomain domain(1000, []() noexcept { hook_calls.fetch_add(1); });
+  domain.retire(new Tracked, &count_delete);
+  domain.scan();
+  EXPECT_EQ(hook_calls.load(), 1);
+}
+
+}  // namespace
+}  // namespace hohtm::reclaim

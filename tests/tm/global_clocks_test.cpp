@@ -1,0 +1,71 @@
+// Unit tests for the shared TM primitives: sequence lock and orec table.
+#include "tm/global_clocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+namespace hohtm::tm {
+namespace {
+
+TEST(SeqLock, StartsEvenAndUnlocked) {
+  SeqLock lock;
+  EXPECT_EQ(lock.load_acquire(), 0u);
+  EXPECT_EQ(lock.wait_even(), 0u);
+}
+
+TEST(SeqLock, LockUnlockCycle) {
+  SeqLock lock;
+  EXPECT_TRUE(lock.try_lock_from(0));
+  EXPECT_EQ(lock.load_acquire(), 1u);
+  EXPECT_FALSE(lock.try_lock_from(0)) << "stale even value must fail";
+  lock.unlock_to(2);
+  EXPECT_EQ(lock.wait_even(), 2u);
+  EXPECT_TRUE(lock.try_lock_from(2));
+  lock.unlock_to(4);
+}
+
+TEST(SeqLock, WaitEvenBlocksUntilRelease) {
+  SeqLock lock;
+  ASSERT_TRUE(lock.try_lock_from(0));
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    lock.unlock_to(2);
+  });
+  EXPECT_EQ(lock.wait_even(), 2u);  // returns only after the release
+  releaser.join();
+}
+
+TEST(OrecTable, EncodingRoundTrips) {
+  EXPECT_FALSE(OrecTable::is_locked(OrecTable::unlocked(7)));
+  EXPECT_EQ(OrecTable::version_of(OrecTable::unlocked(7)), 7u);
+  const auto locked = OrecTable::locked_by(13);
+  EXPECT_TRUE(OrecTable::is_locked(locked));
+}
+
+TEST(OrecTable, ClockMonotonic) {
+  OrecTable table;
+  const auto a = table.advance_clock();
+  const auto b = table.advance_clock();
+  EXPECT_LT(a, b);
+  EXPECT_GE(table.clock(), b);
+}
+
+TEST(OrecTable, SameGranuleSharesOrec) {
+  OrecTable table;
+  alignas(16) char granule[16];
+  EXPECT_EQ(&table.orec_for(&granule[0]), &table.orec_for(&granule[15]));
+}
+
+TEST(OrecTable, DistinctAddressesSpread) {
+  OrecTable table;
+  // 64 well-separated addresses should map to many distinct orecs.
+  static char blocks[64][64];
+  std::set<const void*> orecs;
+  for (auto& block : blocks) orecs.insert(&table.orec_for(block));
+  EXPECT_GT(orecs.size(), 48u) << "orec hash is clumping badly";
+}
+
+}  // namespace
+}  // namespace hohtm::tm

@@ -1,0 +1,161 @@
+// Single-threaded semantics shared by all four TM backends.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tm/tm.hpp"
+
+namespace hohtm::tm {
+namespace {
+
+template <class TM>
+class TmBasicTest : public ::testing::Test {};
+
+using Backends = ::testing::Types<GLock, Tml, Norec, Tl2, TlEager>;
+TYPED_TEST_SUITE(TmBasicTest, Backends);
+
+struct Cell {
+  long value = 0;
+  long other = 0;
+};
+
+TYPED_TEST(TmBasicTest, ReadInitialValue) {
+  using TM = TypeParam;
+  Cell cell;
+  cell.value = 17;
+  const long got =
+      TM::atomically([&](typename TM::Tx& tx) { return tx.read(cell.value); });
+  EXPECT_EQ(got, 17);
+}
+
+TYPED_TEST(TmBasicTest, WriteVisibleAfterCommit) {
+  using TM = TypeParam;
+  Cell cell;
+  TM::atomically([&](typename TM::Tx& tx) { tx.write(cell.value, 5L); });
+  EXPECT_EQ(cell.value, 5);
+}
+
+TYPED_TEST(TmBasicTest, ReadAfterWriteSeesBufferedValue) {
+  using TM = TypeParam;
+  Cell cell;
+  const long got = TM::atomically([&](typename TM::Tx& tx) {
+    tx.write(cell.value, 9L);
+    return tx.read(cell.value);
+  });
+  EXPECT_EQ(got, 9);
+  EXPECT_EQ(cell.value, 9);
+}
+
+TYPED_TEST(TmBasicTest, MultipleWritesLastWins) {
+  using TM = TypeParam;
+  Cell cell;
+  TM::atomically([&](typename TM::Tx& tx) {
+    tx.write(cell.value, 1L);
+    tx.write(cell.value, 2L);
+    tx.write(cell.value, 3L);
+  });
+  EXPECT_EQ(cell.value, 3);
+}
+
+TYPED_TEST(TmBasicTest, VoidTransaction) {
+  using TM = TypeParam;
+  Cell cell;
+  TM::atomically([&](typename TM::Tx& tx) {
+    tx.write(cell.value, tx.read(cell.value) + 1);
+  });
+  EXPECT_EQ(cell.value, 1);
+}
+
+TYPED_TEST(TmBasicTest, ReturnsNonTrivialValue) {
+  using TM = TypeParam;
+  Cell cell;
+  cell.value = 3;
+  cell.other = 4;
+  const auto pair = TM::atomically([&](typename TM::Tx& tx) {
+    return std::pair<long, long>(tx.read(cell.value), tx.read(cell.other));
+  });
+  EXPECT_EQ(pair.first, 3);
+  EXPECT_EQ(pair.second, 4);
+}
+
+TYPED_TEST(TmBasicTest, FlatNestingRunsInEnclosingTx) {
+  using TM = TypeParam;
+  Cell cell;
+  TM::atomically([&](typename TM::Tx& outer_tx) {
+    outer_tx.write(cell.value, 1L);
+    TM::atomically([&](typename TM::Tx& inner_tx) {
+      // The inner transaction must observe the outer's buffered write.
+      EXPECT_EQ(inner_tx.read(cell.value), 1);
+      EXPECT_EQ(&inner_tx, &outer_tx);
+      inner_tx.write(cell.other, 2L);
+    });
+    EXPECT_EQ(outer_tx.read(cell.other), 2);
+  });
+  EXPECT_EQ(cell.value, 1);
+  EXPECT_EQ(cell.other, 2);
+}
+
+TYPED_TEST(TmBasicTest, UserExceptionRollsBackAndPropagates) {
+  using TM = TypeParam;
+  Cell cell;
+  cell.value = 10;
+  EXPECT_THROW(TM::atomically([&](typename TM::Tx& tx) {
+                 tx.write(cell.value, 99L);
+                 throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(cell.value, 10) << "aborted write must not be visible";
+}
+
+TYPED_TEST(TmBasicTest, DifferentWidths) {
+  using TM = TypeParam;
+  struct Mixed {
+    bool flag = false;
+    std::uint16_t half = 0;
+    std::uint32_t word = 0;
+    std::uint64_t wide = 0;
+    void* ptr = nullptr;
+  } mixed;
+  int target = 0;
+  TM::atomically([&](typename TM::Tx& tx) {
+    tx.write(mixed.flag, true);
+    tx.write(mixed.half, static_cast<std::uint16_t>(0xBEEF));
+    tx.write(mixed.word, 0xDEADBEEFu);
+    tx.write(mixed.wide, static_cast<std::uint64_t>(0x0123456789ABCDEFULL));
+    tx.write(mixed.ptr, static_cast<void*>(&target));
+  });
+  EXPECT_TRUE(mixed.flag);
+  EXPECT_EQ(mixed.half, 0xBEEF);
+  EXPECT_EQ(mixed.word, 0xDEADBEEFu);
+  EXPECT_EQ(mixed.wide, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(mixed.ptr, &target);
+  TM::atomically([&](typename TM::Tx& tx) {
+    EXPECT_TRUE(tx.read(mixed.flag));
+    EXPECT_EQ(tx.read(mixed.half), 0xBEEF);
+    EXPECT_EQ(tx.read(mixed.ptr), &target);
+  });
+}
+
+TYPED_TEST(TmBasicTest, SequentialTransactionsCompose) {
+  using TM = TypeParam;
+  Cell cell;
+  for (int i = 0; i < 100; ++i) {
+    TM::atomically([&](typename TM::Tx& tx) {
+      tx.write(cell.value, tx.read(cell.value) + 1);
+    });
+  }
+  EXPECT_EQ(cell.value, 100);
+}
+
+TYPED_TEST(TmBasicTest, CommitCountersAdvance) {
+  using TM = TypeParam;
+  Cell cell;
+  const auto before = Stats::total();
+  TM::atomically([&](typename TM::Tx& tx) { tx.write(cell.value, 1L); });
+  const auto after = Stats::total();
+  EXPECT_GE(after.commits + after.serial_commits,
+            before.commits + before.serial_commits + 1);
+}
+
+}  // namespace
+}  // namespace hohtm::tm

@@ -1,0 +1,104 @@
+// Parameterized property sweeps over the TM backends: invariant
+// preservation under randomized concurrent workloads at several thread
+// counts and contention levels.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tm/tm.hpp"
+#include "util/barrier.hpp"
+#include "util/random.hpp"
+
+namespace hohtm::tm {
+namespace {
+
+struct SweepParam {
+  const char* backend;
+  int threads;
+  int cells;  // contention: fewer cells = more conflicts
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return std::string(info.param.backend) + "_t" +
+         std::to_string(info.param.threads) + "_c" +
+         std::to_string(info.param.cells);
+}
+
+class TmSweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Run `body(tx, cells, rng)` concurrently on the selected backend.
+template <class TM>
+void run_invariant_sweep(const SweepParam& param) {
+  constexpr int kOpsPerThread = 700;
+  constexpr int kMaxCells = 64;
+  static long cells[kMaxCells];
+  for (auto& c : cells) c = 10;
+  const long expected_total = 10L * param.cells;
+
+  util::SpinBarrier barrier(static_cast<std::size_t>(param.threads));
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < param.threads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(t * 977 + 13);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int a = static_cast<int>(rng.next_below(param.cells));
+        const int b = static_cast<int>(rng.next_below(param.cells));
+        if (i % 5 == 4) {
+          // Reader: the sum across all cells must always be conserved.
+          const long sum = TM::atomically([&](typename TM::Tx& tx) {
+            long s = 0;
+            for (int c = 0; c < param.cells; ++c) s += tx.read(cells[c]);
+            return s;
+          });
+          if (sum != expected_total) torn.store(true);
+        } else {
+          // Writer: conserve the sum while moving a random amount.
+          TM::atomically([&](typename TM::Tx& tx) {
+            const long amount =
+                static_cast<long>(rng.next_below(5)) - 2;  // [-2, 2]
+            tx.write(cells[a], tx.read(cells[a]) - amount);
+            tx.write(cells[b], tx.read(cells[b]) + amount);
+          });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(torn.load()) << "reader observed a non-conserved sum";
+  long final_sum = 0;
+  for (int c = 0; c < param.cells; ++c) final_sum += cells[c];
+  EXPECT_EQ(final_sum, expected_total);
+}
+
+TEST_P(TmSweep, SumConservedUnderRandomTransfers) {
+  const SweepParam& param = GetParam();
+  const std::string backend = param.backend;
+  if (backend == "glock") return run_invariant_sweep<GLock>(param);
+  if (backend == "tml") return run_invariant_sweep<Tml>(param);
+  if (backend == "norec") return run_invariant_sweep<Norec>(param);
+  if (backend == "tl2") return run_invariant_sweep<Tl2>(param);
+  if (backend == "tleager") return run_invariant_sweep<TlEager>(param);
+  FAIL() << "unknown backend " << backend;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TmSweep,
+    ::testing::Values(
+        SweepParam{"glock", 2, 4}, SweepParam{"glock", 4, 16},
+        SweepParam{"tml", 2, 4}, SweepParam{"tml", 4, 16},
+        SweepParam{"tml", 4, 2},
+        SweepParam{"norec", 2, 4}, SweepParam{"norec", 4, 16},
+        SweepParam{"norec", 4, 2}, SweepParam{"norec", 8, 32},
+        SweepParam{"tl2", 2, 4}, SweepParam{"tl2", 4, 16},
+        SweepParam{"tl2", 4, 2}, SweepParam{"tl2", 8, 32},
+        SweepParam{"tleager", 2, 4}, SweepParam{"tleager", 4, 16},
+        SweepParam{"tleager", 4, 2}, SweepParam{"tleager", 8, 32}),
+    param_name);
+
+}  // namespace
+}  // namespace hohtm::tm

@@ -1,0 +1,136 @@
+// Serial-irrevocable fallback and user-initiated retry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tm/tm.hpp"
+#include "util/barrier.hpp"
+
+namespace hohtm::tm {
+namespace {
+
+template <class TM>
+class TmSerialTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Config::set_serial_threshold(8); }
+};
+
+using Backends = ::testing::Types<GLock, Tml, Norec, Tl2, TlEager>;
+TYPED_TEST_SUITE(TmSerialTest, Backends);
+
+TYPED_TEST(TmSerialTest, ThresholdZeroForcesSerialMode) {
+  using TM = TypeParam;
+  Config::set_serial_threshold(0);
+  static long counter;
+  counter = 0;
+  const auto before = Stats::total();
+  TM::atomically([&](typename TM::Tx& tx) {
+    tx.write(counter, tx.read(counter) + 1);
+  });
+  const auto after = Stats::total();
+  EXPECT_EQ(counter, 1);
+  EXPECT_EQ(after.serial_commits, before.serial_commits + 1);
+  EXPECT_EQ(after.commits, before.commits);
+}
+
+TYPED_TEST(TmSerialTest, SerialModeIsStillAtomicUnderConcurrency) {
+  using TM = TypeParam;
+  Config::set_serial_threshold(0);
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 500;
+  static long counter;
+  counter = 0;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIncrements; ++i) {
+        TM::atomically([&](typename TM::Tx& tx) {
+          tx.write(counter, tx.read(counter) + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
+}
+
+TYPED_TEST(TmSerialTest, MixedSerialAndSpeculativeThreads) {
+  using TM = TypeParam;
+  // Half the increments run with threshold 0 (serial), half with the
+  // normal speculative path; atomicity must hold across the mix.
+  // The threshold is global, so flip it from a dedicated thread.
+  Config::set_serial_threshold(8);
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 400;
+  static long counter;
+  counter = 0;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIncrements; ++i) {
+        if (t == 0 && i % 50 == 0)
+          Config::set_serial_threshold(i % 100 == 0 ? 0 : 8);
+        TM::atomically([&](typename TM::Tx& tx) {
+          tx.write(counter, tx.read(counter) + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
+}
+
+TYPED_TEST(TmSerialTest, UserRetryWaitsForCondition) {
+  using TM = TypeParam;
+  Config::set_serial_threshold(8);
+  static long flag;
+  static long result;
+  flag = 0;
+  result = 0;
+  util::SpinBarrier barrier(2);
+
+  std::thread waiter([&] {
+    barrier.arrive_and_wait();
+    TM::atomically([&](typename TM::Tx& tx) {
+      if (tx.read(flag) == 0) tx.retry();  // spins until flag is set
+      tx.write(result, tx.read(flag) * 2);
+    });
+  });
+  std::thread setter([&] {
+    barrier.arrive_and_wait();
+    // Give the waiter time to spin through speculative retries and
+    // (likely) enter the serial fallback before satisfying it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    TM::atomically([&](typename TM::Tx& tx) { tx.write(flag, 21L); });
+  });
+  waiter.join();
+  setter.join();
+  EXPECT_EQ(result, 42);
+}
+
+TYPED_TEST(TmSerialTest, UserRetryCountsInStats) {
+  using TM = TypeParam;
+  Config::set_serial_threshold(100);  // keep it speculative
+  static long flag;
+  flag = 0;
+  const auto before = Stats::total();
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    TM::atomically([&](typename TM::Tx& tx) { tx.write(flag, 1L); });
+  });
+  TM::atomically([&](typename TM::Tx& tx) {
+    if (tx.read(flag) == 0) tx.retry();
+  });
+  setter.join();
+  const auto after = Stats::total();
+  EXPECT_GT(after.user_retries, before.user_retries);
+}
+
+}  // namespace
+}  // namespace hohtm::tm

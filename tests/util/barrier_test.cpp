@@ -1,0 +1,47 @@
+#include "util/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hohtm::util {
+namespace {
+
+TEST(SpinBarrier, SingleParty) {
+  SpinBarrier barrier(1);
+  barrier.arrive_and_wait();  // must not block
+  barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(SpinBarrier, NoThreadPassesEarly) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        arrived.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, all kThreads arrivals of this round (and no
+        // more than the next round's) must have happened.
+        const int seen = arrived.load();
+        if (seen < (round + 1) * kThreads) violation.store(true);
+        barrier.arrive_and_wait();  // separate rounds
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(arrived.load(), kThreads * kRounds);
+}
+
+}  // namespace
+}  // namespace hohtm::util

@@ -1,0 +1,47 @@
+#include "util/cacheline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace hohtm::util {
+namespace {
+
+TEST(CachePadded, SizeAndAlignment) {
+  EXPECT_EQ(sizeof(CachePadded<std::uint64_t>), kCacheLineSize);
+  EXPECT_EQ(alignof(CachePadded<std::uint64_t>), kCacheLineSize);
+  struct Big {
+    char bytes[100];
+  };
+  EXPECT_EQ(sizeof(CachePadded<Big>), 2 * kCacheLineSize);
+}
+
+TEST(CachePadded, ArrayElementsOnDistinctLines) {
+  CachePadded<int> cells[4];
+  for (int i = 0; i < 4; ++i) cells[i].value = i;
+  for (int i = 1; i < 4; ++i) {
+    auto gap = reinterpret_cast<std::uintptr_t>(&cells[i].value) -
+               reinterpret_cast<std::uintptr_t>(&cells[i - 1].value);
+    EXPECT_GE(gap, kCacheLineSize);
+  }
+}
+
+TEST(CachePadded, AccessOperators) {
+  CachePadded<int> cell(42);
+  EXPECT_EQ(*cell, 42);
+  *cell = 7;
+  EXPECT_EQ(cell.value, 7);
+}
+
+TEST(CachePadded, ForwardingConstructor) {
+  struct Pair {
+    int a, b;
+    Pair(int x, int y) : a(x), b(y) {}
+  };
+  CachePadded<Pair> cell(1, 2);
+  EXPECT_EQ(cell->a, 1);
+  EXPECT_EQ(cell->b, 2);
+}
+
+}  // namespace
+}  // namespace hohtm::util

@@ -1,0 +1,59 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hohtm::util {
+namespace {
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) differing += (a.next() != b.next());
+  EXPECT_GT(differing, 95);
+}
+
+TEST(Xoshiro256, BoundRespected) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(37), 37u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.next_in(5, 8));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 8u);
+}
+
+TEST(Xoshiro256, RoughlyUniform) {
+  Xoshiro256 rng(42);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i)
+    histogram[rng.next_below(kBuckets)] += 1;
+  // Each bucket should be within 10% of the expected count.
+  for (int count : histogram) {
+    EXPECT_GT(count, kDraws / kBuckets * 9 / 10);
+    EXPECT_LT(count, kDraws / kBuckets * 11 / 10);
+  }
+}
+
+TEST(SplitMix64, KnownSequenceDistinct) {
+  std::uint64_t state = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(splitmix64(state));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace hohtm::util

@@ -1,0 +1,41 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hohtm::util {
+namespace {
+
+TEST(Stats, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.cv_percent(), 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const Summary s = summarize({5.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Stats, KnownValues) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev of this classic data set: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, CvPercent) {
+  const Summary s = summarize({10.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.cv_percent(), 0.0);
+  const Summary t = summarize({9.0, 10.0, 11.0});
+  EXPECT_NEAR(t.cv_percent(), 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace hohtm::util

@@ -1,0 +1,61 @@
+#include "util/thread_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.hpp"
+
+namespace hohtm::util {
+namespace {
+
+TEST(ThreadRegistry, StableWithinThread) {
+  const std::size_t first = ThreadRegistry::slot();
+  const std::size_t second = ThreadRegistry::slot();
+  EXPECT_EQ(first, second);
+  EXPECT_LT(first, kMaxThreads);
+}
+
+TEST(ThreadRegistry, DistinctAcrossConcurrentThreads) {
+  // Slots are recycled on thread exit, so distinctness is only guaranteed
+  // among *simultaneously live* threads: hold every thread at a barrier
+  // until all have claimed their slot.
+  constexpr int kThreads = 8;
+  std::mutex mu;
+  std::set<std::size_t> slots;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      const std::size_t s = ThreadRegistry::slot();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        slots.insert(s);
+      }
+      barrier.arrive_and_wait();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(slots.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ThreadRegistry, SlotsRecycledAfterExit) {
+  // Run many short-lived threads sequentially; the registry must not run
+  // out of slots because each exiting thread returns its slot.
+  for (int i = 0; i < static_cast<int>(kMaxThreads) * 3; ++i) {
+    std::thread([] {
+      EXPECT_LT(ThreadRegistry::slot(), kMaxThreads);
+    }).join();
+  }
+}
+
+TEST(ThreadRegistry, WatermarkCoversLiveSlots) {
+  const std::size_t mine = ThreadRegistry::slot();
+  EXPECT_GT(ThreadRegistry::high_watermark(), mine);
+}
+
+}  // namespace
+}  // namespace hohtm::util

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Summarize hohtm bench output into per-panel tables.
+
+Usage:
+    python3 tools/summarize_bench.py bench_output.txt [--figure fig2]
+
+Reads the CSV rows emitted by the bench binaries
+(figure,panel,series,threads,mops,cv_pct), groups them by figure and
+panel, and prints one table per panel with series as rows and thread
+counts as columns — the same layout as the paper's figures, so shapes
+(who wins, where crossovers fall) can be eyeballed or diffed.
+"""
+
+import argparse
+import collections
+import sys
+
+
+def load(path):
+    rows = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("====="):
+                continue
+            parts = line.split(",")
+            if len(parts) != 6:
+                continue
+            figure, panel, series, threads, mops, cv = parts
+            try:
+                rows.append((figure, panel, series, int(threads), float(mops)))
+            except ValueError:
+                continue
+    return rows
+
+
+def summarize(rows, only_figure=None):
+    figures = collections.defaultdict(
+        lambda: collections.defaultdict(dict))  # fig -> panel -> (series, t) -> mops
+    thread_sets = collections.defaultdict(set)
+    series_order = collections.defaultdict(list)
+    for figure, panel, series, threads, mops in rows:
+        if only_figure and figure != only_figure:
+            continue
+        figures[figure][panel][(series, threads)] = mops
+        thread_sets[(figure, panel)].add(threads)
+        key = (figure, panel)
+        if series not in series_order[key]:
+            series_order[key].append(series)
+
+    for figure in sorted(figures):
+        for panel in figures[figure]:
+            key = (figure, panel)
+            threads = sorted(thread_sets[key])
+            print(f"\n## {figure} / {panel}  (Mops/s)")
+            header = "series".ljust(14) + "".join(f"{t:>9}" for t in threads)
+            print(header)
+            print("-" * len(header))
+            cells = figures[figure][panel]
+            for series in series_order[key]:
+                row = series.ljust(14)
+                for t in threads:
+                    value = cells.get((series, t))
+                    row += f"{value:9.3f}" if value is not None else "        -"
+                print(row)
+            # Flag the winner at the highest thread count.
+            top = max(threads)
+            best = max(
+                ((s, cells.get((s, top), 0.0)) for s in series_order[key]),
+                key=lambda pair: pair[1],
+            )
+            print(f"best @ {top} threads: {best[0]} ({best[1]:.3f})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path")
+    parser.add_argument("--figure", default=None)
+    args = parser.parse_args()
+    rows = load(args.path)
+    if not rows:
+        print("no bench rows found", file=sys.stderr)
+        return 1
+    summarize(rows, args.figure)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
