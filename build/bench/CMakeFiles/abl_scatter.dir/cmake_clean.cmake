@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scatter.dir/abl_scatter.cpp.o"
+  "CMakeFiles/abl_scatter.dir/abl_scatter.cpp.o.d"
+  "abl_scatter"
+  "abl_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tm_backends.dir/abl_tm_backends.cpp.o"
+  "CMakeFiles/abl_tm_backends.dir/abl_tm_backends.cpp.o.d"
+  "abl_tm_backends"
+  "abl_tm_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tm_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_unlink.dir/abl_unlink.cpp.o"
+  "CMakeFiles/abl_unlink.dir/abl_unlink.cpp.o.d"
+  "abl_unlink"
+  "abl_unlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_unlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hash_set.dir/ext_hash_set.cpp.o"
+  "CMakeFiles/ext_hash_set.dir/ext_hash_set.cpp.o.d"
+  "ext_hash_set"
+  "ext_hash_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hash_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_skiplist.dir/ext_skiplist.cpp.o"
+  "CMakeFiles/ext_skiplist.dir/ext_skiplist.cpp.o.d"
+  "ext_skiplist"
+  "ext_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

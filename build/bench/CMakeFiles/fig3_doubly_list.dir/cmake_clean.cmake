@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_doubly_list.dir/fig3_doubly_list.cpp.o"
+  "CMakeFiles/fig3_doubly_list.dir/fig3_doubly_list.cpp.o.d"
+  "fig3_doubly_list"
+  "fig3_doubly_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_doubly_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_window.dir/fig4_window.cpp.o"
+  "CMakeFiles/fig4_window.dir/fig4_window.cpp.o.d"
+  "fig4_window"
+  "fig4_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

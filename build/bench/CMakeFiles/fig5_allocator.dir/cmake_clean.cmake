@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_allocator.dir/fig5_allocator.cpp.o"
+  "CMakeFiles/fig5_allocator.dir/fig5_allocator.cpp.o.d"
+  "fig5_allocator"
+  "fig5_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_internal_tree.dir/fig6_internal_tree.cpp.o"
+  "CMakeFiles/fig6_internal_tree.dir/fig6_internal_tree.cpp.o.d"
+  "fig6_internal_tree"
+  "fig6_internal_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_internal_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

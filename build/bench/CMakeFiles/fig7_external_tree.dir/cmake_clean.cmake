@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_external_tree.dir/fig7_external_tree.cpp.o"
+  "CMakeFiles/fig7_external_tree.dir/fig7_external_tree.cpp.o.d"
+  "fig7_external_tree"
+  "fig7_external_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_external_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

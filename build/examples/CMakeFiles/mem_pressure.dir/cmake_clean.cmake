@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_pressure.dir/mem_pressure.cpp.o"
+  "CMakeFiles/mem_pressure.dir/mem_pressure.cpp.o.d"
+  "mem_pressure"
+  "mem_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

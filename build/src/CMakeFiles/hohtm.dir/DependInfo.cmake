@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/pool.cpp" "src/CMakeFiles/hohtm.dir/alloc/pool.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/alloc/pool.cpp.o.d"
+  "/root/repo/src/harness/driver.cpp" "src/CMakeFiles/hohtm.dir/harness/driver.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/harness/driver.cpp.o.d"
+  "/root/repo/src/harness/linearizability.cpp" "src/CMakeFiles/hohtm.dir/harness/linearizability.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/harness/linearizability.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/hohtm.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/workload.cpp" "src/CMakeFiles/hohtm.dir/harness/workload.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/harness/workload.cpp.o.d"
+  "/root/repo/src/reclaim/epoch.cpp" "src/CMakeFiles/hohtm.dir/reclaim/epoch.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/reclaim/epoch.cpp.o.d"
+  "/root/repo/src/reclaim/gauge.cpp" "src/CMakeFiles/hohtm.dir/reclaim/gauge.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/reclaim/gauge.cpp.o.d"
+  "/root/repo/src/reclaim/hazard_pointers.cpp" "src/CMakeFiles/hohtm.dir/reclaim/hazard_pointers.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/reclaim/hazard_pointers.cpp.o.d"
+  "/root/repo/src/tm/global_clocks.cpp" "src/CMakeFiles/hohtm.dir/tm/global_clocks.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/tm/global_clocks.cpp.o.d"
+  "/root/repo/src/tm/glock.cpp" "src/CMakeFiles/hohtm.dir/tm/glock.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/tm/glock.cpp.o.d"
+  "/root/repo/src/tm/norec.cpp" "src/CMakeFiles/hohtm.dir/tm/norec.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/tm/norec.cpp.o.d"
+  "/root/repo/src/tm/quiescence.cpp" "src/CMakeFiles/hohtm.dir/tm/quiescence.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/tm/quiescence.cpp.o.d"
+  "/root/repo/src/tm/tl2.cpp" "src/CMakeFiles/hohtm.dir/tm/tl2.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/tm/tl2.cpp.o.d"
+  "/root/repo/src/tm/tleager.cpp" "src/CMakeFiles/hohtm.dir/tm/tleager.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/tm/tleager.cpp.o.d"
+  "/root/repo/src/tm/tml.cpp" "src/CMakeFiles/hohtm.dir/tm/tml.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/tm/tml.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/hohtm.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/thread_registry.cpp" "src/CMakeFiles/hohtm.dir/util/thread_registry.cpp.o" "gcc" "src/CMakeFiles/hohtm.dir/util/thread_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_baseline_tests.dir/ds/lf_list_test.cpp.o"
+  "CMakeFiles/ds_baseline_tests.dir/ds/lf_list_test.cpp.o.d"
+  "CMakeFiles/ds_baseline_tests.dir/ds/nm_tree_test.cpp.o"
+  "CMakeFiles/ds_baseline_tests.dir/ds/nm_tree_test.cpp.o.d"
+  "CMakeFiles/ds_baseline_tests.dir/ds/tmhp_ref_test.cpp.o"
+  "CMakeFiles/ds_baseline_tests.dir/ds/tmhp_ref_test.cpp.o.d"
+  "ds_baseline_tests"
+  "ds_baseline_tests.pdb"
+  "ds_baseline_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_bst_tests.dir/ds/bst_external_test.cpp.o"
+  "CMakeFiles/ds_bst_tests.dir/ds/bst_external_test.cpp.o.d"
+  "CMakeFiles/ds_bst_tests.dir/ds/bst_internal_test.cpp.o"
+  "CMakeFiles/ds_bst_tests.dir/ds/bst_internal_test.cpp.o.d"
+  "ds_bst_tests"
+  "ds_bst_tests.pdb"
+  "ds_bst_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_bst_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

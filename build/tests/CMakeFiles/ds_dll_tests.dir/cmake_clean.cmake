@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_dll_tests.dir/ds/dll_hoh_test.cpp.o"
+  "CMakeFiles/ds_dll_tests.dir/ds/dll_hoh_test.cpp.o.d"
+  "ds_dll_tests"
+  "ds_dll_tests.pdb"
+  "ds_dll_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_dll_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

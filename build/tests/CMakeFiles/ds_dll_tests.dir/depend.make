@@ -1,0 +1,2 @@
+# Empty dependencies file for ds_dll_tests.
+# This may be replaced when dependencies are built.

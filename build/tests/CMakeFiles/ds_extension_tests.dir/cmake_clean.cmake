@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_extension_tests.dir/ds/hash_set_test.cpp.o"
+  "CMakeFiles/ds_extension_tests.dir/ds/hash_set_test.cpp.o.d"
+  "CMakeFiles/ds_extension_tests.dir/ds/skiplist_test.cpp.o"
+  "CMakeFiles/ds_extension_tests.dir/ds/skiplist_test.cpp.o.d"
+  "CMakeFiles/ds_extension_tests.dir/ds/sll_move_test.cpp.o"
+  "CMakeFiles/ds_extension_tests.dir/ds/sll_move_test.cpp.o.d"
+  "CMakeFiles/ds_extension_tests.dir/ds/window_tuner_test.cpp.o"
+  "CMakeFiles/ds_extension_tests.dir/ds/window_tuner_test.cpp.o.d"
+  "ds_extension_tests"
+  "ds_extension_tests.pdb"
+  "ds_extension_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_extension_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

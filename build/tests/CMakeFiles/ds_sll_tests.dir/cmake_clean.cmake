@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_sll_tests.dir/ds/sll_hoh_test.cpp.o"
+  "CMakeFiles/ds_sll_tests.dir/ds/sll_hoh_test.cpp.o.d"
+  "ds_sll_tests"
+  "ds_sll_tests.pdb"
+  "ds_sll_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_sll_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearizability_ds_tests.dir/ds/linearizability_ds_test.cpp.o"
+  "CMakeFiles/linearizability_ds_tests.dir/ds/linearizability_ds_test.cpp.o.d"
+  "linearizability_ds_tests"
+  "linearizability_ds_tests.pdb"
+  "linearizability_ds_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearizability_ds_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaim_tests.dir/reclaim/epoch_test.cpp.o"
+  "CMakeFiles/reclaim_tests.dir/reclaim/epoch_test.cpp.o.d"
+  "CMakeFiles/reclaim_tests.dir/reclaim/hazard_test.cpp.o"
+  "CMakeFiles/reclaim_tests.dir/reclaim/hazard_test.cpp.o.d"
+  "reclaim_tests"
+  "reclaim_tests.pdb"
+  "reclaim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

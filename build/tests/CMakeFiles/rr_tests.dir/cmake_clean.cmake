@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_tests.dir/core/multi_rr_test.cpp.o"
+  "CMakeFiles/rr_tests.dir/core/multi_rr_test.cpp.o.d"
+  "CMakeFiles/rr_tests.dir/core/rr_concurrent_test.cpp.o"
+  "CMakeFiles/rr_tests.dir/core/rr_concurrent_test.cpp.o.d"
+  "CMakeFiles/rr_tests.dir/core/rr_impl_test.cpp.o"
+  "CMakeFiles/rr_tests.dir/core/rr_impl_test.cpp.o.d"
+  "CMakeFiles/rr_tests.dir/core/rr_spec_test.cpp.o"
+  "CMakeFiles/rr_tests.dir/core/rr_spec_test.cpp.o.d"
+  "rr_tests"
+  "rr_tests.pdb"
+  "rr_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

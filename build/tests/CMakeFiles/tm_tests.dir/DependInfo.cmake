@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tm/global_clocks_test.cpp" "tests/CMakeFiles/tm_tests.dir/tm/global_clocks_test.cpp.o" "gcc" "tests/CMakeFiles/tm_tests.dir/tm/global_clocks_test.cpp.o.d"
+  "/root/repo/tests/tm/quiescence_test.cpp" "tests/CMakeFiles/tm_tests.dir/tm/quiescence_test.cpp.o" "gcc" "tests/CMakeFiles/tm_tests.dir/tm/quiescence_test.cpp.o.d"
+  "/root/repo/tests/tm/tm_alloc_test.cpp" "tests/CMakeFiles/tm_tests.dir/tm/tm_alloc_test.cpp.o" "gcc" "tests/CMakeFiles/tm_tests.dir/tm/tm_alloc_test.cpp.o.d"
+  "/root/repo/tests/tm/tm_atomicity_test.cpp" "tests/CMakeFiles/tm_tests.dir/tm/tm_atomicity_test.cpp.o" "gcc" "tests/CMakeFiles/tm_tests.dir/tm/tm_atomicity_test.cpp.o.d"
+  "/root/repo/tests/tm/tm_basic_test.cpp" "tests/CMakeFiles/tm_tests.dir/tm/tm_basic_test.cpp.o" "gcc" "tests/CMakeFiles/tm_tests.dir/tm/tm_basic_test.cpp.o.d"
+  "/root/repo/tests/tm/tm_opacity_test.cpp" "tests/CMakeFiles/tm_tests.dir/tm/tm_opacity_test.cpp.o" "gcc" "tests/CMakeFiles/tm_tests.dir/tm/tm_opacity_test.cpp.o.d"
+  "/root/repo/tests/tm/tm_property_test.cpp" "tests/CMakeFiles/tm_tests.dir/tm/tm_property_test.cpp.o" "gcc" "tests/CMakeFiles/tm_tests.dir/tm/tm_property_test.cpp.o.d"
+  "/root/repo/tests/tm/tm_serial_test.cpp" "tests/CMakeFiles/tm_tests.dir/tm/tm_serial_test.cpp.o" "gcc" "tests/CMakeFiles/tm_tests.dir/tm/tm_serial_test.cpp.o.d"
+  "/root/repo/tests/tm/txsets_test.cpp" "tests/CMakeFiles/tm_tests.dir/tm/txsets_test.cpp.o" "gcc" "tests/CMakeFiles/tm_tests.dir/tm/txsets_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hohtm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

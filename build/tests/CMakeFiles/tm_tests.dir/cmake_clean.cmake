@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_tests.dir/tm/global_clocks_test.cpp.o"
+  "CMakeFiles/tm_tests.dir/tm/global_clocks_test.cpp.o.d"
+  "CMakeFiles/tm_tests.dir/tm/quiescence_test.cpp.o"
+  "CMakeFiles/tm_tests.dir/tm/quiescence_test.cpp.o.d"
+  "CMakeFiles/tm_tests.dir/tm/tm_alloc_test.cpp.o"
+  "CMakeFiles/tm_tests.dir/tm/tm_alloc_test.cpp.o.d"
+  "CMakeFiles/tm_tests.dir/tm/tm_atomicity_test.cpp.o"
+  "CMakeFiles/tm_tests.dir/tm/tm_atomicity_test.cpp.o.d"
+  "CMakeFiles/tm_tests.dir/tm/tm_basic_test.cpp.o"
+  "CMakeFiles/tm_tests.dir/tm/tm_basic_test.cpp.o.d"
+  "CMakeFiles/tm_tests.dir/tm/tm_opacity_test.cpp.o"
+  "CMakeFiles/tm_tests.dir/tm/tm_opacity_test.cpp.o.d"
+  "CMakeFiles/tm_tests.dir/tm/tm_property_test.cpp.o"
+  "CMakeFiles/tm_tests.dir/tm/tm_property_test.cpp.o.d"
+  "CMakeFiles/tm_tests.dir/tm/tm_serial_test.cpp.o"
+  "CMakeFiles/tm_tests.dir/tm/tm_serial_test.cpp.o.d"
+  "CMakeFiles/tm_tests.dir/tm/txsets_test.cpp.o"
+  "CMakeFiles/tm_tests.dir/tm/txsets_test.cpp.o.d"
+  "tm_tests"
+  "tm_tests.pdb"
+  "tm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

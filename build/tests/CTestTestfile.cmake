@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/tm_tests[1]_include.cmake")
+include("/root/repo/build/tests/rr_tests[1]_include.cmake")
+include("/root/repo/build/tests/ds_sll_tests[1]_include.cmake")
+include("/root/repo/build/tests/ds_dll_tests[1]_include.cmake")
+include("/root/repo/build/tests/ds_bst_tests[1]_include.cmake")
+include("/root/repo/build/tests/alloc_tests[1]_include.cmake")
+include("/root/repo/build/tests/reclaim_tests[1]_include.cmake")
+include("/root/repo/build/tests/ds_baseline_tests[1]_include.cmake")
+include("/root/repo/build/tests/harness_tests[1]_include.cmake")
+include("/root/repo/build/tests/linearizability_ds_tests[1]_include.cmake")
+include("/root/repo/build/tests/ds_extension_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
