@@ -8,12 +8,17 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 SANITIZE=""
+TSAN=0
 FULL_BENCH=0
 for arg in "$@"; do
   case "$arg" in
     --tsan)
+      # Rebuild under ThreadSanitizer and run only the concurrency-labeled
+      # tests (see tests/CMakeLists.txt): the single-threaded suites can't
+      # race, and examples/benches are too slow under tsan to be useful.
       BUILD_DIR=build-tsan
       SANITIZE="-DHOHTM_SANITIZE=thread"
+      TSAN=1
       ;;
     --full-bench) FULL_BENCH=1 ;;
     *)
@@ -29,8 +34,22 @@ cmake -B "$BUILD_DIR" -G Ninja $SANITIZE
 echo "== build"
 cmake --build "$BUILD_DIR"
 
+if [ "$TSAN" -eq 1 ]; then
+  echo "== tests (tsan, concurrency-labeled only)"
+  if ! ctest --test-dir "$BUILD_DIR" --output-on-failure -L concurrency; then
+    echo "FAIL: concurrency tests under ThreadSanitizer" >&2
+    exit 1
+  fi
+  echo "TSAN CHECKS PASSED"
+  exit 0
+fi
+
 echo "== tests"
-ctest --test-dir "$BUILD_DIR" --output-on-failure
+# Tier-1 gate: any ctest failure fails the whole check, explicitly.
+if ! ctest --test-dir "$BUILD_DIR" --output-on-failure; then
+  echo "FAIL: tier-1 test suite" >&2
+  exit 1
+fi
 
 echo "== examples"
 for example in quickstart bank mem_pressure task_queue backend_tour; do

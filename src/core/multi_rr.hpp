@@ -94,6 +94,7 @@ class MultiRrV {
   }
 
   void revoke(Tx& tx, Ref ref) {
+    note_revocation();
     auto& counter = versions_[slot_of(ref)];
     tx.write(counter, tx.read(counter) + 1);
   }
@@ -200,6 +201,7 @@ class MultiRrFa {
   }
 
   void revoke(Tx& tx, Ref ref) {
+    note_revocation();
     for (ThreadNode* n = tx.read(head_); n != nullptr; n = tx.read(n->next)) {
       for (auto& slot : n->refs)
         if (tx.read(slot) == ref) tx.write(slot, static_cast<Ref>(nullptr));

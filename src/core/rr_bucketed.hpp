@@ -105,6 +105,7 @@ class RrBucketed {
   /// the scan longer and widen the revoker's read set — the contention
   /// effect Figures 2 and 6 show for RR-DM/RR-SA.
   void revoke(Tx& tx, Ref ref) {
+    note_revocation();
     for (std::size_t array = 0; array < kArrays; ++array) {
       ThreadNode* sentinel = sentinel_of(bucket_index(array, ref));
       for (ThreadNode* n = tx.read(sentinel->next); n != sentinel;

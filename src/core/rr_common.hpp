@@ -49,6 +49,15 @@ concept Reservation =
       { R::name() } -> std::convertible_to<const char*>;
     };
 
+/// Tally one performed revocation on the calling thread's telemetry
+/// (tm::Stats abort-cause taxonomy). Every Revoke implementation calls
+/// this. Counted at the call, not at commit, so an aborted transaction
+/// that re-executes its Revoke counts each attempt — the same convention
+/// the TM backends use for abort causes.
+inline void note_revocation() noexcept {
+  tm::Stats::mine().record(tm::AbortCause::kRrRevocation);
+}
+
 /// Per-slot thread-generation tracking shared by all implementations.
 ///
 /// The paper's Register() runs once per thread; in this library thread

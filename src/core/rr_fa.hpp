@@ -70,6 +70,7 @@ class RrFa {
   Ref get(Tx& tx) { return tx.read(mine(tx)->value); }
 
   void revoke(Tx& tx, Ref ref) {
+    note_revocation();
     for (ThreadNode* n = tx.read(head_); n != nullptr; n = tx.read(n->next)) {
       if (tx.read(n->value) == ref)
         tx.write(n->value, static_cast<Ref>(nullptr));

@@ -24,7 +24,10 @@ class RrNull {
   void reserve(Tx&, Ref) {}
   void release(Tx&) {}
   Ref get(Tx&) { return nullptr; }
-  void revoke(Tx&, Ref) {}
+  // No reservation exists to invalidate, but the *event* is still tallied
+  // so the baseline's telemetry columns stay comparable with the real
+  // reservation series (same removes => same revocation counts).
+  void revoke(Tx&, Ref) { note_revocation(); }
 };
 
 }  // namespace hohtm::rr

@@ -59,6 +59,7 @@ class RrV {
   }
 
   void revoke(Tx& tx, Ref ref) {
+    note_revocation();
     auto& counter = versions_[slot_of(ref)];
     tx.write(counter, tx.read(counter) + 1);
   }

@@ -59,6 +59,7 @@ class RrXo {
   }
 
   void revoke(Tx& tx, Ref ref) {
+    note_revocation();
     tx.write(own_[hash_ref(ref, log2_slots_)], kRevoked);
   }
 

@@ -94,11 +94,13 @@ class DllHoh {
           [](Tx&, Node*, Node*) { return FindOutcome::done(false); });
       if (!found.needs_second_phase) return found.value;
 
+      bool victim_lost = false;
       const std::optional<bool> unlinked =
           TM::atomically([&](Tx& tx) -> std::optional<bool> {
             reservation_.register_thread(tx);
             Node* victim = static_cast<Node*>(
                 const_cast<void*>(reservation_.get(tx)));
+            victim_lost = victim == nullptr;
             if (victim == nullptr) {
               reservation_.release(tx);
               if constexpr (RR::kStrict) {
@@ -115,6 +117,15 @@ class DllHoh {
             reservation_.release(tx);
             return true;
           });
+      if constexpr (RR::kReal) {
+        if (victim_lost) {
+          // Our reserved victim was revoked out from under us; relaxed
+          // algorithms must additionally rerun the whole find.
+          tm::StatCounters& counters = tm::Stats::mine();
+          counters.reservation_losses += 1;
+          if (!unlinked.has_value()) counters.record(tm::AbortCause::kHohRetry);
+        }
+      }
       if (unlinked.has_value()) return *unlinked;
     }
   }
@@ -174,12 +185,15 @@ class DllHoh {
 
   template <class FFound, class FNotFound>
   FindOutcome apply(Key key, FFound&& on_found, FNotFound&& on_not_found) {
+    bool handed_over = false;
     for (;;) {
+      bool position_lost = false;
       const std::optional<FindOutcome> outcome =
           TM::atomically([&](Tx& tx) -> std::optional<FindOutcome> {
             reservation_.register_thread(tx);
             Node* prev = static_cast<Node*>(
                 const_cast<void*>(reservation_.get(tx)));
+            position_lost = handed_over && prev == nullptr;
             int used = 0;
             if (prev == nullptr) {
               prev = head_;
@@ -206,7 +220,17 @@ class DllHoh {
             reservation_.reserve(tx, curr);
             return std::nullopt;
           });
+      if constexpr (RR::kReal) {
+        if (position_lost) {
+          // Reservation revoked by a concurrent remover: the committed
+          // attempt restarted its traversal from the head.
+          tm::StatCounters& counters = tm::Stats::mine();
+          counters.reservation_losses += 1;
+          counters.record(tm::AbortCause::kHohRetry);
+        }
+      }
       if (outcome.has_value()) return *outcome;
+      handed_over = true;
     }
   }
 

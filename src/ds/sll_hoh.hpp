@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -128,6 +129,16 @@ class SllHoh {
     return tuner_ ? tuner_->current() : window_;
   }
 
+  /// Test-only: invoked between the transactions of one hand-over-hand
+  /// operation (right after a window boundary commits, before the next
+  /// transaction begins). Lets a test inject contention events into
+  /// tm::Stats at a point where the operation's tuner will observe them,
+  /// without depending on scheduler timing. Not thread-safe against
+  /// concurrent operations; install before sharing the list.
+  void set_handover_hook_for_testing(std::function<void()> hook) {
+    handover_hook_ = std::move(hook);
+  }
+
  private:
   struct Node {
     Key key;
@@ -148,12 +159,15 @@ class SllHoh {
         if (tuner != nullptr) tuner->observe();
       }
     } feedback{tuner_.get()};
+    bool handed_over = false;
     for (;;) {
+      bool position_lost = false;
       const std::optional<bool> outcome =
           TM::atomically([&](Tx& tx) -> std::optional<bool> {
             reservation_.register_thread(tx);
             // Initialize: resume from the reservation, or start at head.
             Node* prev = resume_point(tx);
+            position_lost = handed_over && prev == nullptr;
             int used = 0;
             if (prev == nullptr) {
               prev = head_;
@@ -184,7 +198,20 @@ class SllHoh {
             reservation_.reserve(tx, curr);
             return std::nullopt;
           });
+      if constexpr (RR::kReal) {
+        if (position_lost) {
+          // The committed attempt found its reservation gone: a concurrent
+          // remover revoked (and freed) the node we parked on, and the
+          // traversal restarted from the head. Both facts feed the
+          // adaptive-window contention signal.
+          tm::StatCounters& counters = tm::Stats::mine();
+          counters.reservation_losses += 1;
+          counters.record(tm::AbortCause::kHohRetry);
+        }
+      }
       if (outcome.has_value()) return *outcome;
+      handed_over = true;
+      if (handover_hook_) handover_hook_();
     }
   }
 
@@ -204,6 +231,7 @@ class SllHoh {
   Node* head_;
   RR reservation_;
   std::unique_ptr<WindowTuner> tuner_;
+  std::function<void()> handover_hook_;
 };
 
 }  // namespace hohtm::ds

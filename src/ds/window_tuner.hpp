@@ -12,33 +12,42 @@ namespace hohtm::ds {
 /// build: "Doing so will entail hand-crafting the transactions, instead
 /// of using GCC TM support: GCC TM does not expose the fact of an abort,
 /// or its cause, to the programmer" (Section 5.2). This library owns its
-/// TM, so abort counts are one read away (tm::Stats), and the paper's
-/// suggested contention-driven policy becomes implementable.
+/// TM, so the per-cause telemetry in tm::Stats is one read away, and the
+/// paper's suggested contention-driven policy becomes implementable.
+///
+/// The signal is StatCounters::contention_signal(), NOT raw `aborts`:
+/// in hand-over-hand operations contention also surfaces as revoked
+/// reservations and operation restarts in which every transaction
+/// *commits* — an abort-only tuner is blind to exactly the window-shaped
+/// contention it is supposed to damp. See docs/ALGORITHMS.md ("Abort
+/// taxonomy and adaptive window").
 ///
 /// Policy (multiplicative decrease / streak-based increase, per thread):
-///  - an operation that suffered any abort halves the window (floor
-///    min_window): contention favours smaller windows (Figure 4);
-///  - `kGrowStreak` consecutive abort-free operations double it (ceiling
-///    max_window): quiet periods favour fewer transaction boundaries.
+///  - an operation that suffered any contention event (TM abort, observed
+///    revocation of its reservation, or a restart) halves the window
+///    (floor min_window): contention favours smaller windows (Figure 4);
+///  - `kGrowStreak` consecutive contention-free operations double it
+///    (ceiling max_window): quiet periods favour fewer transaction
+///    boundaries.
 class WindowTuner {
  public:
   WindowTuner(int min_window, int max_window) noexcept
       : min_window_(min_window), max_window_(max_window) {}
 
   /// Call at operation start; returns the window to use and remembers
-  /// the abort counter to diff against in `observe`.
+  /// the contention counters to diff against in `observe`.
   int begin_op() noexcept {
     State& s = mine();
     if (s.window == 0) s.window = initial_window();
-    s.aborts_at_start = tm::Stats::mine().aborts;
+    s.signal_at_start = tm::Stats::mine().contention_signal();
     return s.window;
   }
 
   /// Call when the operation completes; adapts the thread's window.
   void observe() noexcept {
     State& s = mine();
-    const std::uint64_t aborts = tm::Stats::mine().aborts;
-    if (aborts != s.aborts_at_start) {
+    const std::uint64_t signal = tm::Stats::mine().contention_signal();
+    if (signal != s.signal_at_start) {
       s.window = s.window / 2 < min_window_ ? min_window_ : s.window / 2;
       s.clean_streak = 0;
       return;
@@ -59,9 +68,10 @@ class WindowTuner {
   static constexpr int kGrowStreak = 32;
 
   struct State {
-    int window = 0;  // 0 = uninitialized for this thread
+    std::uint64_t generation = 0;  // owning thread's lifetime stamp
+    int window = 0;                // 0 = uninitialized for this thread
     int clean_streak = 0;
-    std::uint64_t aborts_at_start = 0;
+    std::uint64_t signal_at_start = 0;
   };
 
   int initial_window() const noexcept {
@@ -71,8 +81,19 @@ class WindowTuner {
     return w;
   }
 
+  /// Thread slots are recycled (util::ThreadRegistry), so a new thread
+  /// may land on a departed thread's slot. Its State must not be
+  /// inherited — a stale shrunken window or half-built clean streak would
+  /// mistune the newcomer — so the state is scrubbed whenever the slot's
+  /// recorded generation differs from the calling thread's.
   State& mine() noexcept {
-    return states_[util::ThreadRegistry::slot()].value;
+    State& s = states_[util::ThreadRegistry::slot()].value;
+    const std::uint64_t gen = util::ThreadRegistry::generation();
+    if (s.generation != gen) {
+      s = State{};
+      s.generation = gen;
+    }
+    return s;
   }
 
   const int min_window_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "harness/workload.hpp"
+#include "tm/config.hpp"
 #include "util/barrier.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
@@ -19,8 +20,13 @@ struct TrialResult {
 
 /// Aggregate over trials; the paper reports the mean of 5 trials and a
 /// variance below 3% — cv_percent lets the harness print the same check.
+/// `counters` carries the TM/RR/HOH telemetry (commits, aborts by cause,
+/// revocations, reservation losses) summed over all trials' timed phases
+/// — the per-cause accounting that makes contention attributable per
+/// bench cell rather than guessed from throughput dips.
 struct CellResult {
   util::Summary mops;
+  tm::StatCounters counters;
 };
 
 /// Run `config.trials` trials of the standard mixed workload against a
@@ -34,9 +40,15 @@ struct CellResult {
 template <class SetFactory>
 CellResult run_cell(const WorkloadConfig& config, SetFactory&& make_set) {
   std::vector<double> mops_samples;
+  tm::StatCounters counters;
   for (int trial = 0; trial < config.trials; ++trial) {
     auto set = make_set();
     for (long key : prefill_keys(config)) set->insert(key);
+    // Scope the telemetry to the timed phase: prefill commits (and the
+    // revocations of any prior cell in this process) must not pollute
+    // this cell's per-cause columns. No worker threads are alive here,
+    // so the reset does not race with counter owners.
+    tm::Stats::reset();
 
     util::SpinBarrier barrier(static_cast<std::size_t>(config.threads) + 1);
     std::vector<std::thread> threads;
@@ -70,8 +82,9 @@ CellResult run_cell(const WorkloadConfig& config, SetFactory&& make_set) {
     const double total_ops =
         static_cast<double>(config.ops_per_thread) * config.threads;
     mops_samples.push_back(total_ops / seconds / 1e6);
+    counters.accumulate(tm::Stats::total());
   }
-  return CellResult{util::summarize(mops_samples)};
+  return CellResult{util::summarize(mops_samples), counters};
 }
 
 }  // namespace hohtm::harness

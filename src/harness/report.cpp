@@ -2,11 +2,28 @@
 
 #include <cstdio>
 
+#include "tm/config.hpp"
+
 namespace hohtm::harness {
+namespace {
+
+std::string cause_columns() {
+  std::string names;
+  for (std::size_t i = 0; i < tm::kAbortCauseCount; ++i) {
+    names += ',';
+    names += tm::kAbortCauseNames[i];
+  }
+  return names;
+}
+
+}  // namespace
 
 void emit_header(const std::string& figure, const std::string& description) {
   std::printf("# %s: %s\n", figure.c_str(), description.c_str());
-  std::printf("# columns: figure,panel,series,threads,mops,cv_pct\n");
+  std::printf(
+      "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
+      ",res_lost\n",
+      cause_columns().c_str());
   std::fflush(stdout);
 }
 
@@ -17,9 +34,15 @@ void emit_panel_note(const std::string& figure, const std::string& panel) {
 
 void emit_row(const std::string& figure, const std::string& panel,
               const std::string& series, int threads, const CellResult& cell) {
-  std::printf("%s,%s,%s,%d,%.4f,%.2f\n", figure.c_str(), panel.c_str(),
+  std::printf("%s,%s,%s,%d,%.4f,%.2f", figure.c_str(), panel.c_str(),
               series.c_str(), threads, cell.mops.mean,
               cell.mops.cv_percent());
+  const tm::StatCounters& c = cell.counters;
+  std::printf(",%llu,%llu", static_cast<unsigned long long>(c.commits),
+              static_cast<unsigned long long>(c.aborts));
+  for (std::size_t i = 0; i < tm::kAbortCauseCount; ++i)
+    std::printf(",%llu", static_cast<unsigned long long>(c.by_cause[i]));
+  std::printf(",%llu\n", static_cast<unsigned long long>(c.reservation_losses));
   std::fflush(stdout);
 }
 

@@ -10,11 +10,15 @@ namespace hohtm::harness {
 /// binary prints one block per figure panel:
 ///
 ///   # fig2 panel=6bit-33pct series=RR-XO
-///   fig2,6bit-33pct,RR-XO,1,1.234,0.8
-///   fig2,6bit-33pct,RR-XO,2,1.876,1.1
+///   fig2,6bit-33pct,RR-XO,1,1.234,0.8,123456,17,9,0,8,0,42,3,12,5
 ///
-/// Columns: figure, panel, series, threads, Mops/s (mean), cv%.
-/// The CSV rows regenerate the paper's throughput-vs-threads curves.
+/// The first six columns (figure, panel, series, threads, Mops/s mean,
+/// cv%) regenerate the paper's throughput-vs-threads curves. The rest
+/// carry the abort-cause telemetry summed over the cell's timed trials:
+/// commits, aborts, then one column per tm::AbortCause (validation,
+/// lock, user, serial_esc, revocations, hoh_retries), then res_lost
+/// (reservations observed revoked by their holder). tools/
+/// summarize_bench.py understands both the old 6-column and this layout.
 void emit_header(const std::string& figure, const std::string& description);
 void emit_panel_note(const std::string& figure, const std::string& panel);
 void emit_row(const std::string& figure, const std::string& panel,

@@ -1,10 +1,31 @@
 #pragma once
 
+#include "tm/config.hpp"
+
 namespace hohtm::tm {
 
 /// Control-flow exception thrown when a transaction observes a conflict
 /// (or the user requests a retry). It unwinds to the retry loop in
-/// `atomically`; it never escapes to user code.
-struct Conflict {};
+/// `atomically`; it never escapes to user code. Carries the cause so
+/// diagnostics can see *why* the attempt died, not just that it did.
+struct Conflict {
+  AbortCause cause = AbortCause::kReadValidation;
+};
+
+/// The one way to abort a transaction attempt: records the per-cause
+/// counter on the calling thread, then unwinds. Every conflict site in
+/// the backends goes through here — a bare `throw Conflict{}` is a bug
+/// (the telemetry audit greps for it).
+[[noreturn]] inline void abort_tx(AbortCause cause) {
+  Stats::mine().record(cause);
+  throw Conflict{cause};
+}
+
+/// Shared body of every backend's `tx.retry()`: one user-retry tally,
+/// one cause tally, one unwind.
+[[noreturn]] inline void user_retry() {
+  Stats::mine().user_retries += 1;
+  abort_tx(AbortCause::kUserAbort);
+}
 
 }  // namespace hohtm::tm

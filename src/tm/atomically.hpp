@@ -31,6 +31,7 @@ decltype(auto) run_transaction(F&& f) {
   util::Backoff backoff;
   for (std::uint32_t attempts = 0;; ++attempts) {
     if (attempts >= Config::serial_threshold()) {
+      Stats::mine().record(AbortCause::kSerialEscalation);
       return TM::run_serial(std::forward<F>(f));
     }
     Tx& tx = TM::tls_tx();

@@ -28,6 +28,26 @@ struct Config {
   static inline std::atomic<std::uint32_t> threshold_{8};
 };
 
+/// Why a transaction aborted — or, for the last two entries, why a
+/// hand-over-hand *operation* lost ground without any transaction
+/// aborting. GCC TM hides both facts from the programmer (the paper's
+/// stated obstacle to adaptive windows, §5.2); this taxonomy is the
+/// library-owned answer.
+enum class AbortCause : unsigned {
+  kReadValidation = 0,   // read-set / value / orec-version validation failed
+  kLockConflict,         // seqlock or orec acquisition lost to another owner
+  kUserAbort,            // explicit tx.retry() from user code
+  kSerialEscalation,     // retry budget exhausted; fell back to serial mode
+  kRrRevocation,         // a Revoke(ref) was issued by this thread
+  kHohRetry,             // a HOH op abandoned its position and restarted
+};
+inline constexpr std::size_t kAbortCauseCount = 6;
+
+/// Short stable identifiers, indexable by AbortCause; used verbatim as
+/// bench CSV column names (see harness/report.cpp).
+inline constexpr const char* kAbortCauseNames[kAbortCauseCount] = {
+    "validation", "lock", "user", "serial_esc", "revocations", "hoh_retries"};
+
 /// Per-thread transaction counters, padded to avoid false sharing; each
 /// slot is written only by its owning thread, so plain relaxed loads
 /// suffice to aggregate.
@@ -36,6 +56,41 @@ struct StatCounters {
   std::uint64_t aborts = 0;
   std::uint64_t serial_commits = 0;
   std::uint64_t user_retries = 0;
+  /// Times this thread's own reservation was observed revoked (by a
+  /// concurrent remover) when resuming a hand-over-hand operation. The
+  /// flip side of by_cause[kRrRevocation], which counts revocations this
+  /// thread *performed*.
+  std::uint64_t reservation_losses = 0;
+  std::uint64_t by_cause[kAbortCauseCount] = {};
+
+  void record(AbortCause cause) noexcept {
+    by_cause[static_cast<unsigned>(cause)] += 1;
+  }
+
+  std::uint64_t cause(AbortCause c) const noexcept {
+    return by_cause[static_cast<unsigned>(c)];
+  }
+
+  /// The combined contention signal the adaptive-window tuner diffs
+  /// across an operation (see ds::WindowTuner). Raw `aborts` alone is
+  /// blind to hand-over-hand contention: a revoked reservation makes the
+  /// operation restart from the head with every transaction *committing*,
+  /// so the two operation-level counters must be folded in. Revocations
+  /// *performed* are deliberately excluded — a remover revoking its
+  /// victim is normal work, not back-pressure against the remover.
+  std::uint64_t contention_signal() const noexcept {
+    return aborts + reservation_losses + cause(AbortCause::kHohRetry);
+  }
+
+  void accumulate(const StatCounters& other) noexcept {
+    commits += other.commits;
+    aborts += other.aborts;
+    serial_commits += other.serial_commits;
+    user_retries += other.user_retries;
+    reservation_losses += other.reservation_losses;
+    for (std::size_t i = 0; i < kAbortCauseCount; ++i)
+      by_cause[i] += other.by_cause[i];
+  }
 };
 
 class Stats {
@@ -47,13 +102,7 @@ class Stats {
   static StatCounters total() noexcept {
     StatCounters sum;
     const std::size_t n = util::ThreadRegistry::high_watermark();
-    for (std::size_t i = 0; i < n; ++i) {
-      const StatCounters& c = slots_[i].value;
-      sum.commits += c.commits;
-      sum.aborts += c.aborts;
-      sum.serial_commits += c.serial_commits;
-      sum.user_retries += c.user_retries;
-    }
+    for (std::size_t i = 0; i < n; ++i) sum.accumulate(slots_[i].value);
     return sum;
   }
 

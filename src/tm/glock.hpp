@@ -33,10 +33,7 @@ class GLock {
       loc = val;
     }
 
-    [[noreturn]] void retry() {
-      Stats::mine().user_retries += 1;
-      throw Conflict{};
-    }
+    [[noreturn]] void retry() { user_retry(); }
 
     // -- harness hooks ----------------------------------------------------
     void begin() { mutex().lock(); }

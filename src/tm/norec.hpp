@@ -62,10 +62,7 @@ class Norec {
       writes_.put(&loc, erase_word(val));
     }
 
-    [[noreturn]] void retry() {
-      Stats::mine().user_retries += 1;
-      throw Conflict{};
-    }
+    [[noreturn]] void retry() { user_retry(); }
 
     // -- harness hooks ----------------------------------------------------
     void begin() {
@@ -138,7 +135,7 @@ class Norec {
         const std::uint64_t even = seqlock().wait_even();
         for (const ReadEntry& r : reads_) {
           if (erased_load(r.addr, r.word.width).bits != r.word.bits)
-            throw Conflict{};
+            abort_tx(AbortCause::kReadValidation);
         }
         std::atomic_thread_fence(std::memory_order_acquire);
         if (seqlock().load_acquire() == even) {

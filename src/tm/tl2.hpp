@@ -43,11 +43,13 @@ class Tl2 {
         return restore_word<T>(*buffered);
       std::atomic<std::uint64_t>& orec = orecs().orec_for(&loc);
       const std::uint64_t before = orec.load(std::memory_order_acquire);
-      if (OrecTable::is_locked(before) || OrecTable::version_of(before) > rv_)
-        throw Conflict{};
+      if (OrecTable::is_locked(before)) abort_tx(AbortCause::kLockConflict);
+      if (OrecTable::version_of(before) > rv_)
+        abort_tx(AbortCause::kReadValidation);
       const T val = atomic_load(loc);
       std::atomic_thread_fence(std::memory_order_acquire);
-      if (orec.load(std::memory_order_acquire) != before) throw Conflict{};
+      if (orec.load(std::memory_order_acquire) != before)
+        abort_tx(AbortCause::kReadValidation);
       reads_.push_back(&orec);
       return val;
     }
@@ -62,10 +64,7 @@ class Tl2 {
       writes_.put(&loc, erase_word(val));
     }
 
-    [[noreturn]] void retry() {
-      Stats::mine().user_retries += 1;
-      throw Conflict{};
-    }
+    [[noreturn]] void retry() { user_retry(); }
 
     // -- harness hooks ----------------------------------------------------
     void begin() {
@@ -144,14 +143,14 @@ class Tl2 {
           if (OrecTable::is_locked(seen)) {
             if (spins >= kLockSpinBudget) {
               release_locked();
-              throw Conflict{};
+              abort_tx(AbortCause::kLockConflict);
             }
             backoff.pause();
             continue;
           }
           if (OrecTable::version_of(seen) > rv_) {
             release_locked();
-            throw Conflict{};
+            abort_tx(AbortCause::kLockConflict);
           }
           if (orec.compare_exchange_weak(seen, mine,
                                          std::memory_order_acq_rel,
@@ -171,7 +170,7 @@ class Tl2 {
         if (seen == mine) continue;
         if (OrecTable::is_locked(seen) || OrecTable::version_of(seen) > rv_) {
           release_locked();
-          throw Conflict{};
+          abort_tx(AbortCause::kReadValidation);
         }
       }
     }

@@ -49,11 +49,13 @@ class TlEager {
       std::atomic<std::uint64_t>& orec = orecs().orec_for(&loc);
       const std::uint64_t before = orec.load(std::memory_order_acquire);
       if (before == my_lock_word()) return atomic_load(loc);  // mine
-      if (OrecTable::is_locked(before) || OrecTable::version_of(before) > rv_)
-        throw Conflict{};
+      if (OrecTable::is_locked(before)) abort_tx(AbortCause::kLockConflict);
+      if (OrecTable::version_of(before) > rv_)
+        abort_tx(AbortCause::kReadValidation);
       const T val = atomic_load(loc);
       std::atomic_thread_fence(std::memory_order_acquire);
-      if (orec.load(std::memory_order_acquire) != before) throw Conflict{};
+      if (orec.load(std::memory_order_acquire) != before)
+        abort_tx(AbortCause::kReadValidation);
       reads_.push_back(&orec);
       return val;
     }
@@ -70,10 +72,7 @@ class TlEager {
       atomic_store(loc, val);
     }
 
-    [[noreturn]] void retry() {
-      Stats::mine().user_retries += 1;
-      throw Conflict{};
-    }
+    [[noreturn]] void retry() { user_retry(); }
 
     // -- harness hooks ----------------------------------------------------
     void begin() {
@@ -148,11 +147,11 @@ class TlEager {
       std::uint64_t seen = orec.load(std::memory_order_acquire);
       if (seen == my_lock_word()) return;  // already own it
       if (OrecTable::is_locked(seen) || OrecTable::version_of(seen) > rv_)
-        throw Conflict{};
+        abort_tx(AbortCause::kLockConflict);
       if (!orec.compare_exchange_strong(seen, my_lock_word(),
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed))
-        throw Conflict{};
+        abort_tx(AbortCause::kLockConflict);
       locked_.push_back(LockedOrec{&orec, seen});
     }
 
@@ -161,7 +160,7 @@ class TlEager {
         const std::uint64_t seen = orec->load(std::memory_order_acquire);
         if (seen == my_lock_word()) continue;
         if (OrecTable::is_locked(seen) || OrecTable::version_of(seen) > rv_)
-          throw Conflict{};  // on_abort (caller) rolls back and releases
+          abort_tx(AbortCause::kReadValidation);  // on_abort rolls back
       }
     }
 

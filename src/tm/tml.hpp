@@ -32,7 +32,8 @@ class Tml {
       const T val = atomic_load(loc);
       if (!writer_ && !serial_) {
         std::atomic_thread_fence(std::memory_order_acquire);
-        if (seqlock().load_acquire() != snapshot_) throw Conflict{};
+        if (seqlock().load_acquire() != snapshot_)
+          abort_tx(AbortCause::kReadValidation);
       }
       return val;
     }
@@ -44,10 +45,7 @@ class Tml {
       atomic_store(loc, val);
     }
 
-    [[noreturn]] void retry() {
-      Stats::mine().user_retries += 1;
-      throw Conflict{};
-    }
+    [[noreturn]] void retry() { user_retry(); }
 
     // -- harness hooks ----------------------------------------------------
     void begin() {
@@ -114,7 +112,8 @@ class Tml {
 
    private:
     void become_writer() {
-      if (!seqlock().try_lock_from(snapshot_)) throw Conflict{};
+      if (!seqlock().try_lock_from(snapshot_))
+        abort_tx(AbortCause::kLockConflict);
       writer_ = true;
     }
 

@@ -1,0 +1,76 @@
+// Revocation telemetry: every Revoke implementation tallies
+// tm::AbortCause::kRrRevocation on the revoking thread, so bench CSVs
+// can attribute contention to reservation revocation rather than
+// guessing from throughput. (The *loss* side — a holder observing its
+// reservation gone — is counted by the HOH structures; see
+// tests/ds/window_tuner_test.cpp.)
+#include <gtest/gtest.h>
+
+#include "core/multi_rr.hpp"
+#include "core/rr.hpp"
+#include "tm/tm.hpp"
+
+namespace hohtm::rr {
+namespace {
+
+using TM = tm::Norec;
+using Tx = TM::Tx;
+
+std::uint64_t revocations() {
+  return tm::Stats::mine().cause(tm::AbortCause::kRrRevocation);
+}
+
+template <class RR>
+class RrCauseTest : public ::testing::Test {};
+
+using AllReservations =
+    ::testing::Types<RrFa<TM>, RrDm<TM>, RrSa<TM, 8>, RrXo<TM>, RrSo<TM, 8>,
+                     RrV<TM>, RrNull<TM>>;
+TYPED_TEST_SUITE(RrCauseTest, AllReservations);
+
+TYPED_TEST(RrCauseTest, RevokeIncrementsTheRevocationCounter) {
+  TypeParam rr;
+  long node = 0;
+  const std::uint64_t before = revocations();
+  TM::atomically([&](Tx& tx) {
+    rr.register_thread(tx);
+    rr.reserve(tx, &node);
+    rr.revoke(tx, &node);
+    // Post-revoke, the reservation is gone for every implementation
+    // (RR-Null never held one to begin with).
+    EXPECT_EQ(rr.get(tx), nullptr);
+  });
+  EXPECT_EQ(revocations() - before, 1u);
+}
+
+TYPED_TEST(RrCauseTest, RevokeOfUnreservedRefStillCounts) {
+  TypeParam rr;
+  long node = 0;
+  const std::uint64_t before = revocations();
+  TM::atomically([&](Tx& tx) {
+    rr.register_thread(tx);
+    rr.revoke(tx, &node);  // a remover revokes whether or not anyone holds
+  });
+  EXPECT_EQ(revocations() - before, 1u);
+}
+
+TEST(MultiRrCause, BothMultiImplementationsCount) {
+  MultiRrV<TM> versioned;
+  MultiRrFa<TM> associative;
+  long node = 0;
+  const std::uint64_t before = revocations();
+  TM::atomically([&](Tx& tx) {
+    versioned.register_thread(tx);
+    versioned.reserve(tx, &node);
+    versioned.revoke(tx, &node);
+    EXPECT_EQ(versioned.get(tx, &node), nullptr);
+    associative.register_thread(tx);
+    associative.reserve(tx, &node);
+    associative.revoke(tx, &node);
+    EXPECT_EQ(associative.get(tx, &node), nullptr);
+  });
+  EXPECT_EQ(revocations() - before, 2u);
+}
+
+}  // namespace
+}  // namespace hohtm::rr

@@ -1,6 +1,7 @@
 // Adaptive window tuning (implemented future work from paper §5.2).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -25,6 +26,36 @@ TEST(WindowTuner, ShrinksOnAborts) {
   tm::Stats::mine().aborts += 1;  // simulate a conflict during the op
   tuner.observe();
   EXPECT_EQ(tuner.current(), before / 2);
+}
+
+// Contention in HOH operations often arrives with zero aborts: every
+// transaction commits, but a reservation was revoked out from under the
+// op or the op had to restart. The tuner must see those too.
+TEST(WindowTuner, ShrinksOnObservedReservationLoss) {
+  WindowTuner tuner(2, 32);
+  const int before = tuner.begin_op();
+  tm::Stats::mine().reservation_losses += 1;
+  tuner.observe();
+  EXPECT_EQ(tuner.current(), before / 2);
+}
+
+TEST(WindowTuner, ShrinksOnHohRetry) {
+  WindowTuner tuner(2, 32);
+  const int before = tuner.begin_op();
+  tm::Stats::mine().record(tm::AbortCause::kHohRetry);
+  tuner.observe();
+  EXPECT_EQ(tuner.current(), before / 2);
+}
+
+// Revocations this thread *performs* (as a remover) are not contention
+// against it; only losses it *suffers* are. A remover must not shrink
+// its own window for doing its job.
+TEST(WindowTuner, PerformedRevocationsDoNotShrink) {
+  WindowTuner tuner(2, 32);
+  const int before = tuner.begin_op();
+  tm::Stats::mine().record(tm::AbortCause::kRrRevocation);
+  tuner.observe();
+  EXPECT_EQ(tuner.current(), before);
 }
 
 TEST(WindowTuner, FloorsAtMinimum) {
@@ -60,6 +91,24 @@ TEST(WindowTuner, PerThreadIndependence) {
   EXPECT_LT(mine, other);
 }
 
+// Registry slots are recycled on thread exit (lowest free index first),
+// so the successor thread below lands on the victim's slot. It must
+// start from the initial window, not inherit the victim's shrunken one.
+TEST(WindowTuner, SlotReuseDoesNotInheritState) {
+  WindowTuner tuner(2, 32);
+  std::thread victim([&] {
+    tuner.begin_op();
+    tm::Stats::mine().aborts += 1;
+    tuner.observe();
+    EXPECT_EQ(tuner.current(), 4);
+  });
+  victim.join();
+  int successor_window = 0;
+  std::thread successor([&] { successor_window = tuner.current(); });
+  successor.join();
+  EXPECT_EQ(successor_window, 8);
+}
+
 TEST(AdaptiveList, CorrectUnderConcurrencyWhileTuning) {
   SllHoh<TM, rr::RrV<TM>> list(/*window=*/16);
   list.enable_adaptive_window(2, 32);
@@ -90,12 +139,36 @@ TEST(AdaptiveList, CorrectUnderConcurrencyWhileTuning) {
 }
 
 TEST(AdaptiveList, ContentionShrinksTheWindow) {
-  // Heavy same-region write contention should drive the tuned window
-  // toward the minimum; single-threaded calm should grow it back.
+  // Deterministic core: contention is injected through the hand-over
+  // hook, which runs *mid-operation* (between an op's transactions), so
+  // the tuner's begin_op/observe pair brackets it. Each contended op
+  // halves the window; the floor holds; clean ops grow it back.
   SllHoh<TM, rr::RrV<TM>> list(16);
+  for (long k = 0; k < 64; ++k) list.insert(k);  // prefill BEFORE tuning
   list.enable_adaptive_window(2, 32);
-  for (long k = 0; k < 64; ++k) list.insert(k);
+  ASSERT_EQ(list.effective_window(), 8);
 
+  list.set_handover_hook_for_testing(
+      [] { tm::Stats::mine().reservation_losses += 1; });
+  list.contains(63);  // deep enough to hand over at any window <= 32
+  EXPECT_EQ(list.effective_window(), 4);
+  list.contains(63);
+  EXPECT_EQ(list.effective_window(), 2);
+  list.contains(63);
+  EXPECT_EQ(list.effective_window(), 2);  // floors at min_window
+  list.set_handover_hook_for_testing(nullptr);
+
+  // Calm phase: 32 clean ops per doubling, 2 -> 32 in four doublings.
+  for (int i = 0; i < 32 * 5; ++i) list.contains(0);
+  EXPECT_EQ(list.effective_window(), 32);
+
+  // Coarse stochastic check: under multi-threaded hammering of one
+  // 64-key region, every worker's window trends at-or-below the
+  // uncontended baseline (fresh threads start at the midpoint; real
+  // contention can only push the minimum down, never above it). How much
+  // contention actually materializes is scheduler- and core-count-
+  // dependent — the deterministic hook phase above is what pins the
+  // shrink mechanism — so only the at-or-below trend is asserted.
   constexpr int kThreads = 4;
   util::SpinBarrier barrier(kThreads);
   std::vector<std::thread> threads;
@@ -103,27 +176,24 @@ TEST(AdaptiveList, ContentionShrinksTheWindow) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       barrier.arrive_and_wait();
+      int my_min = 1 << 30;
       for (int i = 0; i < 1500; ++i) {
         const long key = (i + t) % 64;
         if (i & 1)
           list.insert(key);
         else
           list.remove(key);
+        my_min = std::min(my_min, list.effective_window());
       }
-      int seen = list.effective_window();
       int current = min_window_seen.load();
-      while (seen < current &&
-             !min_window_seen.compare_exchange_weak(current, seen)) {
+      while (my_min < current &&
+             !min_window_seen.compare_exchange_weak(current, my_min)) {
       }
     });
   }
   for (auto& th : threads) th.join();
-  // At least one thread should have been driven below the initial 8.
-  EXPECT_LT(min_window_seen.load(), 8);
-
-  // Calm single-threaded phase: the window recovers.
-  for (int i = 0; i < 32 * 6; ++i) list.contains(i % 64);
-  EXPECT_GT(list.effective_window(), 2);
+  EXPECT_LE(min_window_seen.load(), 8);
+  EXPECT_TRUE(list.is_sorted());
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// Abort-cause taxonomy (tm::AbortCause): every backend must attribute a
+// forced conflict to the right per-cause counter, not just bump the
+// total. The choreographies use explicit phase handshakes, so each test
+// forces exactly the conflict it claims to.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "tm/tm.hpp"
+
+namespace hohtm::tm {
+namespace {
+
+/// Restore the serial threshold on scope exit; these tests tune it to
+/// keep forced conflicts out of (or deterministically in) serial mode.
+struct ThresholdGuard {
+  std::uint32_t saved = Config::serial_threshold();
+  ~ThresholdGuard() { Config::set_serial_threshold(saved); }
+};
+
+StatCounters snapshot() { return Stats::mine(); }
+
+std::uint64_t delta(const StatCounters& before, AbortCause cause) {
+  return Stats::mine().cause(cause) - before.cause(cause);
+}
+
+template <class TM>
+class AbortCauseTest : public ::testing::Test {};
+
+using ConcurrentBackends = ::testing::Types<Tml, Norec, Tl2, TlEager>;
+TYPED_TEST_SUITE(AbortCauseTest, ConcurrentBackends);
+
+// A reader that observes a concurrent committed write between two reads
+// of the same location aborts exactly once, attributed to read
+// validation (clock check in TML, value validation in NOrec, orec
+// version in TL2/TLEager).
+TYPED_TEST(AbortCauseTest, ConcurrentWriteIsReadValidationFailure) {
+  using TM = TypeParam;
+  using Tx = typename TM::Tx;
+  ThresholdGuard guard;
+  Config::set_serial_threshold(64);
+
+  long loc = 0;
+  std::atomic<int> phase{0};
+  std::thread writer([&] {
+    while (phase.load() < 1) std::this_thread::yield();
+    TM::atomically([&](Tx& tx) { tx.write(loc, 1L); });
+    phase.store(2);
+  });
+
+  const StatCounters before = snapshot();
+  int attempts = 0;
+  TM::atomically([&](Tx& tx) {
+    (void)tx.read(loc);
+    if (attempts++ == 0) {  // only the first attempt waits for the writer
+      phase.store(1);
+      while (phase.load() < 2) std::this_thread::yield();
+    }
+    (void)tx.read(loc);
+  });
+  writer.join();
+
+  EXPECT_EQ(delta(before, AbortCause::kReadValidation), 1u);
+  EXPECT_EQ(delta(before, AbortCause::kLockConflict), 0u);
+  EXPECT_EQ(Stats::mine().aborts - before.aborts, 1u);
+}
+
+// The retry budget runs out after `serial_threshold` aborts: the
+// escalation itself is a recorded cause, distinct from the user aborts
+// that exhausted the budget.
+TYPED_TEST(AbortCauseTest, EscalationToSerialIsRecorded) {
+  using TM = TypeParam;
+  using Tx = typename TM::Tx;
+  ThresholdGuard guard;
+  Config::set_serial_threshold(2);
+
+  const StatCounters before = snapshot();
+  int attempts = 0;
+  TM::atomically([&](Tx& tx) {
+    if (attempts++ < 3) tx.retry();  // 2 speculative attempts + 1 serial
+  });
+
+  EXPECT_EQ(delta(before, AbortCause::kSerialEscalation), 1u);
+  EXPECT_EQ(delta(before, AbortCause::kUserAbort), 3u);
+  EXPECT_EQ(Stats::mine().user_retries - before.user_retries, 3u);
+  EXPECT_EQ(Stats::mine().serial_commits - before.serial_commits, 1u);
+}
+
+// TML attributes a failed writer upgrade (seqlock moved since the
+// snapshot) to lock conflict, not read validation.
+TEST(AbortCauseTml, StaleWriterUpgradeIsLockConflict) {
+  using TM = Tml;
+  ThresholdGuard guard;
+  Config::set_serial_threshold(64);
+
+  long loc = 0;
+  std::atomic<int> phase{0};
+  std::thread writer([&] {
+    while (phase.load() < 1) std::this_thread::yield();
+    TM::atomically([&](TM::Tx& tx) { tx.write(loc, 1L); });
+    phase.store(2);
+  });
+
+  const StatCounters before = snapshot();
+  int attempts = 0;
+  long unrelated = 0;
+  TM::atomically([&](TM::Tx& tx) {
+    (void)tx.read(unrelated);  // pin the snapshot without touching loc
+    if (attempts++ == 0) {
+      phase.store(1);
+      while (phase.load() < 2) std::this_thread::yield();
+    }
+    tx.write(unrelated, 2L);  // upgrade fails: clock moved under us
+  });
+  writer.join();
+
+  EXPECT_EQ(delta(before, AbortCause::kLockConflict), 1u);
+}
+
+// TLEager writers lock orecs at the access, so a second writer of a
+// locked location dies immediately with a lock conflict — the immediacy
+// the backend exists to model.
+TEST(AbortCauseTlEager, LockedOrecIsLockConflict) {
+  using TM = TlEager;
+  ThresholdGuard guard;
+  Config::set_serial_threshold(64);
+
+  long loc = 0;
+  std::atomic<int> phase{0};
+  std::thread holder([&] {
+    TM::atomically([&](TM::Tx& tx) {
+      tx.write(loc, 1L);  // eager acquire: orec now locked
+      phase.store(1);
+      while (phase.load() < 2) std::this_thread::yield();
+    });
+  });
+  while (phase.load() < 1) std::this_thread::yield();
+
+  const StatCounters before = snapshot();
+  int attempts = 0;
+  TM::atomically([&](TM::Tx& tx) {
+    if (attempts++ > 0) phase.store(2);  // first abort releases the holder
+    tx.write(loc, 2L);
+  });
+  holder.join();
+
+  EXPECT_GE(delta(before, AbortCause::kLockConflict), 1u);
+}
+
+// GLock cannot conflict; its only abort source is an explicit user
+// retry, and that is exactly what its counters must say.
+TEST(AbortCauseGLock, UserRetryIsTheOnlyAbort) {
+  const StatCounters before = snapshot();
+  int attempts = 0;
+  GLock::atomically([&](GLock::Tx& tx) {
+    if (attempts++ == 0) tx.retry();
+  });
+
+  EXPECT_EQ(delta(before, AbortCause::kUserAbort), 1u);
+  EXPECT_EQ(Stats::mine().aborts - before.aborts, 1u);
+  EXPECT_EQ(delta(before, AbortCause::kReadValidation), 0u);
+  EXPECT_EQ(delta(before, AbortCause::kLockConflict), 0u);
+}
+
+// The aggregate view sums per-thread slots, including exited threads'.
+TEST(AbortCauseStats, TotalAggregatesAcrossThreads) {
+  const StatCounters before = Stats::total();
+  std::thread worker([] {
+    int attempts = 0;
+    Norec::atomically([&](Norec::Tx& tx) {
+      if (attempts++ == 0) tx.retry();
+    });
+  });
+  worker.join();
+  const StatCounters after = Stats::total();
+  EXPECT_GE(after.cause(AbortCause::kUserAbort) -
+                before.cause(AbortCause::kUserAbort),
+            1u);
+  EXPECT_GE(after.commits - before.commits, 1u);
+}
+
+}  // namespace
+}  // namespace hohtm::tm

@@ -119,13 +119,20 @@ TYPED_TEST(TmSerialTest, UserRetryCountsInStats) {
   Config::set_serial_threshold(100);  // keep it speculative
   static long flag;
   flag = 0;
+  // Handshake instead of a sleep: the setter satisfies the condition only
+  // after the waiter has committed to at least one retry, so exactly-zero
+  // retries is impossible regardless of scheduling (or sanitizer slowdown).
+  std::atomic<bool> retried{false};
   const auto before = Stats::total();
   std::thread setter([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    while (!retried.load()) std::this_thread::yield();
     TM::atomically([&](typename TM::Tx& tx) { tx.write(flag, 1L); });
   });
   TM::atomically([&](typename TM::Tx& tx) {
-    if (tx.read(flag) == 0) tx.retry();
+    if (tx.read(flag) == 0) {
+      retried.store(true);  // non-transactional: survives the abort
+      tx.retry();
+    }
   });
   setter.join();
   const auto after = Stats::total();

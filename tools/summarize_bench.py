@@ -3,17 +3,32 @@
 
 Usage:
     python3 tools/summarize_bench.py bench_output.txt [--figure fig2]
+                                     [--causes]
 
-Reads the CSV rows emitted by the bench binaries
-(figure,panel,series,threads,mops,cv_pct), groups them by figure and
-panel, and prints one table per panel with series as rows and thread
-counts as columns — the same layout as the paper's figures, so shapes
-(who wins, where crossovers fall) can be eyeballed or diffed.
+Reads the CSV rows emitted by the bench binaries. Two layouts are
+accepted:
+
+  legacy (6 cols):  figure,panel,series,threads,mops,cv_pct
+  telemetry (15):   figure,panel,series,threads,mops,cv_pct,commits,
+                    aborts,validation,lock,user,serial_esc,revocations,
+                    hoh_retries,res_lost
+
+Groups rows by figure and panel and prints one throughput table per
+panel with series as rows and thread counts as columns — the same layout
+as the paper's figures, so shapes (who wins, where crossovers fall) can
+be eyeballed or diffed. With --causes (or automatically when telemetry
+columns are present), an abort-rate table per panel attributes the
+contention: aborts per 1k commits, split by cause.
 """
 
 import argparse
 import collections
 import sys
+
+CAUSE_FIELDS = [
+    "commits", "aborts", "validation", "lock", "user", "serial_esc",
+    "revocations", "hoh_retries", "res_lost",
+]
 
 
 def load(path):
@@ -24,25 +39,37 @@ def load(path):
             if not line or line.startswith("#") or line.startswith("====="):
                 continue
             parts = line.split(",")
-            if len(parts) != 6:
+            if len(parts) < 6:
                 continue
-            figure, panel, series, threads, mops, cv = parts
+            figure, panel, series, threads, mops, cv = parts[:6]
             try:
-                rows.append((figure, panel, series, int(threads), float(mops)))
+                threads = int(threads)
+                mops = float(mops)
             except ValueError:
                 continue
+            counters = None
+            if len(parts) >= 6 + len(CAUSE_FIELDS):
+                try:
+                    values = [int(v) for v in parts[6:6 + len(CAUSE_FIELDS)]]
+                    counters = dict(zip(CAUSE_FIELDS, values))
+                except ValueError:
+                    pass  # malformed telemetry: keep the throughput columns
+            rows.append((figure, panel, series, threads, mops, counters))
     return rows
 
 
-def summarize(rows, only_figure=None):
+def summarize(rows, only_figure=None, show_causes=False):
     figures = collections.defaultdict(
         lambda: collections.defaultdict(dict))  # fig -> panel -> (series, t) -> mops
+    counter_cells = {}  # (figure, panel, series, threads) -> counters dict
     thread_sets = collections.defaultdict(set)
     series_order = collections.defaultdict(list)
-    for figure, panel, series, threads, mops in rows:
+    for figure, panel, series, threads, mops, counters in rows:
         if only_figure and figure != only_figure:
             continue
         figures[figure][panel][(series, threads)] = mops
+        if counters is not None:
+            counter_cells[(figure, panel, series, threads)] = counters
         thread_sets[(figure, panel)].add(threads)
         key = (figure, panel)
         if series not in series_order[key]:
@@ -70,18 +97,47 @@ def summarize(rows, only_figure=None):
                 key=lambda pair: pair[1],
             )
             print(f"best @ {top} threads: {best[0]} ({best[1]:.3f})")
+            if show_causes:
+                emit_cause_table(figure, panel, series_order[key], top,
+                                 counter_cells)
+
+
+def emit_cause_table(figure, panel, series_list, threads, counter_cells):
+    """Abort attribution at the highest thread count of the panel: events
+    per 1k commits, per cause — who aborts, and why."""
+    have = [(s, counter_cells.get((figure, panel, s, threads)))
+            for s in series_list]
+    have = [(s, c) for s, c in have if c]
+    if not have:
+        return
+    causes = ["validation", "lock", "user", "serial_esc", "revocations",
+              "hoh_retries", "res_lost"]
+    header = ("series".ljust(14) + f"{'aborts/1k':>11}" +
+              "".join(f"{c:>12}" for c in causes))
+    print(f"   abort attribution @ {threads} threads (per 1k commits)")
+    print(header)
+    print("-" * len(header))
+    for series, c in have:
+        commits = max(c["commits"], 1)
+        row = series.ljust(14) + f"{1000.0 * c['aborts'] / commits:11.2f}"
+        for cause in causes:
+            row += f"{1000.0 * c[cause] / commits:12.2f}"
+        print(row)
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path")
     parser.add_argument("--figure", default=None)
+    parser.add_argument("--causes", action="store_true",
+                        help="force the abort-attribution tables")
     args = parser.parse_args()
     rows = load(args.path)
     if not rows:
         print("no bench rows found", file=sys.stderr)
         return 1
-    summarize(rows, args.figure)
+    has_telemetry = any(counters is not None for *_rest, counters in rows)
+    summarize(rows, args.figure, show_causes=args.causes or has_telemetry)
     return 0
 
 
