@@ -25,6 +25,7 @@ void run_series(const std::string& figure, const std::string& panel,
     config.window = tuned_window(threads);
     config.ops_per_thread = env.ops_per_thread;
     config.trials = env.trials;
+    config.footprint_ms = env.footprint_ms;
     const harness::CellResult cell =
         harness::run_cell(config, [&] { return make_set(config); });
     harness::emit_row(figure, panel, series, threads, cell);

@@ -1,22 +1,35 @@
 // mem_pressure: the memory-footprint argument of the paper, live.
 //
-// Three identical churn workloads run on three lists that differ only in
+// Four identical churn workloads run on four sets that differ only in
 // how removed nodes are reclaimed:
 //
 //   precise   — revocable reservations (RR-V): freed inside the remove
 //   hazard    — TMHP: retired, freed by batched hazard scans
+//   epoch     — epoch-based reclamation: retired, freed two epoch
+//               advances later (Fraser-style three-generation)
 //   stalled   — TMHP whose scan threshold is effectively infinite while
 //               one reader parks a hazard pointer: the unbounded backlog
 //               the paper's introduction warns about
 //
 // After each phase the live-object gauge is compared with the logical
-// set size; the difference is unreclaimed garbage.
+// set size; the difference is unreclaimed garbage. Alongside the final
+// tallies, each phase emits a reclamation-footprint *timeline* (one
+// `timeline,...` CSV row per 1000 ops, same schema as the bench
+// harness but with operation count on the x-axis so the curve is
+// deterministic on any machine) — feed the output to
+// tools/trace_report.py to see RR's flat curve against the deferred
+// schemes' backlog.
 //
 // Build & run:   ./build/examples/mem_pressure
+//                ./build/examples/mem_pressure | python3 tools/trace_report.py /dev/stdin
+#include <array>
 #include <cstdio>
 
+#include "alloc/object.hpp"
 #include "ds/sll_hoh.hpp"
 #include "ds/sll_tmhp.hpp"
+#include "harness/report.hpp"
+#include "reclaim/epoch.hpp"
 #include "reclaim/gauge.hpp"
 #include "util/random.hpp"
 
@@ -24,21 +37,91 @@ namespace {
 
 using TM = hohtm::tm::Norec;
 
+constexpr long kRange = 512;
+constexpr int kOps = 30000;
+constexpr int kSampleEvery = 1000;
+
+/// Minimal epoch-reclaimed "set" over the dense key range: the paper's
+/// deferred-reclamation comparison needs epoch *semantics* (retire now,
+/// free two generations later), not list traversal, so presence is an
+/// array and every remove routes through the EpochDomain.
+class EpochSet {
+ public:
+  explicit EpochSet(std::size_t advance_threshold = 64)
+      : epochs_(advance_threshold) {}
+
+  ~EpochSet() {
+    for (Node*& n : slots_) {
+      if (n != nullptr) {
+        hohtm::alloc::destroy(n);
+        hohtm::reclaim::Gauge::on_free();
+        n = nullptr;
+      }
+    }
+    // Retired-but-unreclaimed nodes are freed by the domain destructor;
+    // their Gauge frees happen in the deleter below.
+  }
+
+  bool insert(long key) {
+    hohtm::reclaim::EpochDomain::Pin pin(epochs_);
+    Node*& slot = slots_[static_cast<std::size_t>(key)];
+    if (slot != nullptr) return false;
+    slot = hohtm::alloc::create<Node>(key);
+    hohtm::reclaim::Gauge::on_alloc();
+    return true;
+  }
+
+  bool remove(long key) {
+    hohtm::reclaim::EpochDomain::Pin pin(epochs_);
+    Node*& slot = slots_[static_cast<std::size_t>(key)];
+    if (slot == nullptr) return false;
+    epochs_.retire(slot, &delete_node);
+    slot = nullptr;
+    return true;
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Node* node : slots_) n += node != nullptr ? 1 : 0;
+    return n;
+  }
+
+ private:
+  struct Node {
+    explicit Node(long k) : key(k) {}
+    long key;
+  };
+
+  static void delete_node(void* p) noexcept {
+    hohtm::alloc::destroy(static_cast<Node*>(p));
+    hohtm::reclaim::Gauge::on_free();
+  }
+
+  hohtm::reclaim::EpochDomain epochs_;
+  std::array<Node*, kRange> slots_{};
+};
+
 template <class List>
 long churn_and_measure(List& list, const char* label) {
   const auto live_before = hohtm::reclaim::Gauge::live();
   hohtm::util::Xoshiro256 rng(7);
-  constexpr long kRange = 512;
   for (long k = 0; k < kRange; k += 2) list.insert(k);
-  for (int i = 0; i < 30000; ++i) {
+  for (int i = 0; i < kOps; ++i) {
     const long key = static_cast<long>(rng.next_below(kRange));
     if (rng.next() & 1)
       list.insert(key);
     else
       list.remove(key);
+    if (i % kSampleEvery == 0) {
+      hohtm::harness::emit_timeline_row(
+          "mem_pressure", "churn", label, 1, static_cast<double>(i),
+          hohtm::reclaim::Gauge::live() - live_before);
+    }
   }
   const long logical = static_cast<long>(list.size());
   const long live = hohtm::reclaim::Gauge::live() - live_before;
+  hohtm::harness::emit_timeline_row("mem_pressure", "churn", label, 1,
+                                    static_cast<double>(kOps), live);
   const long garbage = live - logical;
   std::printf("%-10s live=%5ld  logical=%5ld  unreclaimed=%5ld\n", label,
               live, logical, garbage);
@@ -48,7 +131,8 @@ long churn_and_measure(List& list, const char* label) {
 }  // namespace
 
 int main() {
-  std::printf("churn: 30k mixed ops over 512-key range, then measure\n\n");
+  std::printf("churn: 30k mixed ops over 512-key range, then measure\n");
+  std::printf("# timeline x-axis is operation count (deterministic)\n\n");
 
   long precise_garbage;
   {
@@ -58,6 +142,10 @@ int main() {
   {
     hohtm::ds::SllTmhp<TM> list(8, true, /*scan_threshold=*/64);
     churn_and_measure(list, "hazard");
+  }
+  {
+    EpochSet set(/*advance_threshold=*/64);
+    churn_and_measure(set, "epoch");
   }
   {
     // A "stalled" deployment: scans so rare they never trigger during

@@ -70,4 +70,24 @@ else
   echo "-- fig4_window (smoke) ok"
 fi
 
+echo "== trace build (observability smoke)"
+# Separate tree with the hot-path instrumentation compiled in
+# (HOHTM_TRACE=ON; see docs/OBSERVABILITY.md). Building just one bench
+# target keeps this cheap. The run must produce a Chrome trace JSON, a
+# footprint timeline, and non-zero latency percentiles — all three are
+# checked by piping the output through tools/trace_report.py.
+cmake -B build-trace -G Ninja -DHOHTM_TRACE=ON
+cmake --build build-trace --target fig5_allocator
+TRACE_OUT=build-trace/trace_smoke.txt
+HOH_BENCH_OPS=2000 HOH_BENCH_TRIALS=1 HOH_BENCH_THREADS=1,2 \
+HOH_BENCH_FOOTPRINT_MS=5 HOHTM_TRACE_FILE=build-trace/trace.json \
+  ./build-trace/bench/fig5_allocator > "$TRACE_OUT"
+python3 tools/trace_report.py "$TRACE_OUT" --trace build-trace/trace.json
+if grep -q "all zero" <(python3 tools/trace_report.py "$TRACE_OUT"); then
+  echo "FAIL: trace build produced zero latency percentiles" >&2
+  exit 1
+fi
+python3 tools/summarize_bench.py "$TRACE_OUT" > /dev/null
+echo "-- fig5_allocator (trace smoke) ok"
+
 echo "ALL CHECKS PASSED"

@@ -7,6 +7,7 @@
 
 #include "util/cacheline.hpp"
 #include "util/thread_registry.hpp"
+#include "util/trace.hpp"
 
 namespace hohtm::alloc {
 namespace {
@@ -152,6 +153,7 @@ void pool_deallocate(Header* h) noexcept {
 }  // namespace
 
 void* allocate(std::size_t bytes) {
+  util::trace_event(util::Ev::kAlloc, bytes);
   if (g_use_pool.load(std::memory_order_relaxed) &&
       bytes + sizeof(Header) <= kMaxPooled) {
     return pool_allocate(bytes);
@@ -167,6 +169,7 @@ void* allocate(std::size_t bytes) {
 
 void deallocate(void* p) noexcept {
   if (p == nullptr) return;
+  util::trace_event(util::Ev::kFree, reinterpret_cast<std::uintptr_t>(p));
   Header* h = header_of(p);
   if (h->backend == kBackendPool)
     pool_deallocate(h);

@@ -94,7 +94,7 @@ class MultiRrV {
   }
 
   void revoke(Tx& tx, Ref ref) {
-    note_revocation();
+    note_revocation(ref);
     auto& counter = versions_[slot_of(ref)];
     tx.write(counter, tx.read(counter) + 1);
   }
@@ -201,7 +201,7 @@ class MultiRrFa {
   }
 
   void revoke(Tx& tx, Ref ref) {
-    note_revocation();
+    note_revocation(ref);
     for (ThreadNode* n = tx.read(head_); n != nullptr; n = tx.read(n->next)) {
       for (auto& slot : n->refs)
         if (tx.read(slot) == ref) tx.write(slot, static_cast<Ref>(nullptr));

@@ -78,6 +78,7 @@ class RrBucketed {
   }
 
   void reserve(Tx& tx, Ref ref) {
+    note_reserve(ref);
     ThreadNode* node = mine(tx);
     const std::ptrdiff_t target = bucket_index(my_array(), ref);
     const std::ptrdiff_t current = tx.read(node->bucket);
@@ -98,14 +99,18 @@ class RrBucketed {
       unlink(tx, node);
   }
 
-  Ref get(Tx& tx) { return tx.read(mine(tx)->value); }
+  Ref get(Tx& tx) {
+    const Ref ref = tx.read(mine(tx)->value);
+    note_get(ref);
+    return ref;
+  }
 
   /// Clear every reservation of `ref` in each array's matching bucket:
   /// O(A + occupants). Reserved-but-stale occupants of the bucket make
   /// the scan longer and widen the revoker's read set — the contention
   /// effect Figures 2 and 6 show for RR-DM/RR-SA.
   void revoke(Tx& tx, Ref ref) {
-    note_revocation();
+    note_revocation(ref);
     for (std::size_t array = 0; array < kArrays; ++array) {
       ThreadNode* sentinel = sentinel_of(bucket_index(array, ref));
       for (ThreadNode* n = tx.read(sentinel->next); n != sentinel;

@@ -6,6 +6,7 @@
 #include "tm/tm.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_registry.hpp"
+#include "util/trace.hpp"
 
 namespace hohtm::rr {
 
@@ -53,9 +54,24 @@ concept Reservation =
 /// (tm::Stats abort-cause taxonomy). Every Revoke implementation calls
 /// this. Counted at the call, not at commit, so an aborted transaction
 /// that re-executes its Revoke counts each attempt — the same convention
-/// the TM backends use for abort causes.
-inline void note_revocation() noexcept {
+/// the TM backends use for abort causes (and the trace events below).
+inline void note_revocation(Ref ref = nullptr) noexcept {
   tm::Stats::mine().record(tm::AbortCause::kRrRevocation);
+  util::trace_event(util::Ev::kRrRevoke,
+                    reinterpret_cast<std::uintptr_t>(ref));
+}
+
+/// Trace-only markers (no counters): every Reserve/Get implementation
+/// calls these so a trace shows the hand-over-hand choreography — which
+/// references were parked, and which Gets came back nil (arg 0) because
+/// a remover revoked or a collision evicted. Attempt-level, like the
+/// revocation tally. Compiled out entirely in non-trace builds.
+inline void note_reserve(Ref ref) noexcept {
+  util::trace_event(util::Ev::kRrReserve,
+                    reinterpret_cast<std::uintptr_t>(ref));
+}
+inline void note_get(Ref ref) noexcept {
+  util::trace_event(util::Ev::kRrGet, reinterpret_cast<std::uintptr_t>(ref));
 }
 
 /// Per-slot thread-generation tracking shared by all implementations.

@@ -61,16 +61,23 @@ class RrFa {
     generations_.mark_registered(tx);
   }
 
-  void reserve(Tx& tx, Ref ref) { tx.write(mine(tx)->value, ref); }
+  void reserve(Tx& tx, Ref ref) {
+    note_reserve(ref);
+    tx.write(mine(tx)->value, ref);
+  }
 
   void release(Tx& tx) {
     tx.write(mine(tx)->value, static_cast<Ref>(nullptr));
   }
 
-  Ref get(Tx& tx) { return tx.read(mine(tx)->value); }
+  Ref get(Tx& tx) {
+    const Ref ref = tx.read(mine(tx)->value);
+    note_get(ref);
+    return ref;
+  }
 
   void revoke(Tx& tx, Ref ref) {
-    note_revocation();
+    note_revocation(ref);
     for (ThreadNode* n = tx.read(head_); n != nullptr; n = tx.read(n->next)) {
       if (tx.read(n->value) == ref)
         tx.write(n->value, static_cast<Ref>(nullptr));

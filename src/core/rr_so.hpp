@@ -40,6 +40,7 @@ class RrSo {
   }
 
   void reserve(Tx& tx, Ref ref) {
+    note_reserve(ref);
     tx.write(own_[slot_index(my_array(), ref)], my_id());
     tx.write(my_ref(), ref);
   }
@@ -48,13 +49,17 @@ class RrSo {
 
   Ref get(Tx& tx) {
     const Ref ref = tx.read(my_ref());
-    if (ref == nullptr) return nullptr;
-    if (tx.read(own_[slot_index(my_array(), ref)]) != my_id()) return nullptr;
+    if (ref == nullptr ||
+        tx.read(own_[slot_index(my_array(), ref)]) != my_id()) {
+      note_get(nullptr);
+      return nullptr;
+    }
+    note_get(ref);
     return ref;
   }
 
   void revoke(Tx& tx, Ref ref) {
-    note_revocation();
+    note_revocation(ref);
     for (std::size_t array = 0; array < kArrays; ++array)
       tx.write(own_[slot_index(array, ref)], kRevoked);
   }

@@ -44,6 +44,7 @@ class RrV {
   /// Reads (but does not write) the shared counter: concurrent Reserves
   /// of the same reference never conflict with each other.
   void reserve(Tx& tx, Ref ref) {
+    note_reserve(ref);
     tx.write(mine().version, tx.read(versions_[slot_of(ref)]));
     tx.write(mine().ref, ref);
   }
@@ -52,14 +53,17 @@ class RrV {
 
   Ref get(Tx& tx) {
     const Ref ref = tx.read(mine().ref);
-    if (ref == nullptr) return nullptr;
-    if (tx.read(versions_[slot_of(ref)]) != tx.read(mine().version))
+    if (ref == nullptr ||
+        tx.read(versions_[slot_of(ref)]) != tx.read(mine().version)) {
+      note_get(nullptr);
       return nullptr;
+    }
+    note_get(ref);
     return ref;
   }
 
   void revoke(Tx& tx, Ref ref) {
-    note_revocation();
+    note_revocation(ref);
     auto& counter = versions_[slot_of(ref)];
     tx.write(counter, tx.read(counter) + 1);
   }

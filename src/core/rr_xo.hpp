@@ -44,6 +44,7 @@ class RrXo {
   }
 
   void reserve(Tx& tx, Ref ref) {
+    note_reserve(ref);
     tx.write(own_[hash_ref(ref, log2_slots_)], my_id());
     tx.write(my_ref(), ref);
   }
@@ -53,13 +54,16 @@ class RrXo {
 
   Ref get(Tx& tx) {
     const Ref ref = tx.read(my_ref());
-    if (ref == nullptr) return nullptr;
-    if (tx.read(own_[hash_ref(ref, log2_slots_)]) != my_id()) return nullptr;
+    if (ref == nullptr || tx.read(own_[hash_ref(ref, log2_slots_)]) != my_id()) {
+      note_get(nullptr);
+      return nullptr;
+    }
+    note_get(ref);
     return ref;
   }
 
   void revoke(Tx& tx, Ref ref) {
-    note_revocation();
+    note_revocation(ref);
     tx.write(own_[hash_ref(ref, log2_slots_)], kRevoked);
   }
 

@@ -1,14 +1,17 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
 
 #include "harness/workload.hpp"
+#include "reclaim/gauge.hpp"
 #include "tm/config.hpp"
 #include "util/barrier.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace hohtm::harness {
 
@@ -18,15 +21,36 @@ struct TrialResult {
   double mops = 0.0;
 };
 
+/// One point of the reclamation-footprint timeline: live objects (net of
+/// the cell's baseline) `t_ms` milliseconds into the timed phase.
+struct FootprintSample {
+  double t_ms = 0.0;
+  long long live = 0;
+};
+
 /// Aggregate over trials; the paper reports the mean of 5 trials and a
 /// variance below 3% — cv_percent lets the harness print the same check.
 /// `counters` carries the TM/RR/HOH telemetry (commits, aborts by cause,
 /// revocations, reservation losses) summed over all trials' timed phases
 /// — the per-cause accounting that makes contention attributable per
 /// bench cell rather than guessed from throughput dips.
+///
+/// `latency` merges the per-thread latency histograms (commit,
+/// abort-to-retry, quiescence stall; util::Metrics) over the same scope.
+/// Populated only in HOHTM_TRACE builds — all-zero otherwise, and the
+/// CSV percentile columns print 0.
+///
+/// `footprint` is the live-object timeline of the *last* trial, sampled
+/// every config.footprint_ms milliseconds (empty when 0). `live_peak` is
+/// the maximum live-object count (net of each trial's baseline) observed
+/// across all trials — from the sampler when it runs, and always from
+/// the end-of-timed-phase snapshot.
 struct CellResult {
   util::Summary mops;
   tm::StatCounters counters;
+  util::LatencyHistograms latency;
+  std::vector<FootprintSample> footprint;
+  long long live_peak = 0;
 };
 
 /// Run `config.trials` trials of the standard mixed workload against a
@@ -39,9 +63,10 @@ struct CellResult {
 /// barrier.
 template <class SetFactory>
 CellResult run_cell(const WorkloadConfig& config, SetFactory&& make_set) {
+  CellResult cell;
   std::vector<double> mops_samples;
-  tm::StatCounters counters;
   for (int trial = 0; trial < config.trials; ++trial) {
+    const long long live_baseline = reclaim::Gauge::live();
     auto set = make_set();
     for (long key : prefill_keys(config)) set->insert(key);
     // Scope the telemetry to the timed phase: prefill commits (and the
@@ -49,6 +74,7 @@ CellResult run_cell(const WorkloadConfig& config, SetFactory&& make_set) {
     // this cell's per-cause columns. No worker threads are alive here,
     // so the reset does not race with counter owners.
     tm::Stats::reset();
+    util::Metrics::reset();
 
     util::SpinBarrier barrier(static_cast<std::size_t>(config.threads) + 1);
     std::vector<std::thread> threads;
@@ -72,19 +98,51 @@ CellResult run_cell(const WorkloadConfig& config, SetFactory&& make_set) {
         barrier.arrive_and_wait();  // line up the finish
       });
     }
+    // Footprint sampler: a side thread polling the live-object gauge on
+    // a wall-clock cadence while the workers run. Bench-only (enabled by
+    // HOH_BENCH_FOOTPRINT_MS); tests keep it off, so no test depends on
+    // sleep timing.
+    std::atomic<bool> stop_sampler{false};
+    std::vector<FootprintSample> samples;
+    std::thread sampler;
     barrier.arrive_and_wait();
     const auto start = std::chrono::steady_clock::now();
+    if (config.footprint_ms > 0) {
+      sampler = std::thread([&] {
+        while (!stop_sampler.load(std::memory_order_acquire)) {
+          const double t_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+          samples.push_back(
+              FootprintSample{t_ms, reclaim::Gauge::live() - live_baseline});
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(config.footprint_ms));
+        }
+      });
+    }
     barrier.arrive_and_wait();
     const auto stop = std::chrono::steady_clock::now();
     for (auto& th : threads) th.join();
+    if (sampler.joinable()) {
+      stop_sampler.store(true, std::memory_order_release);
+      sampler.join();
+    }
 
     const double seconds = std::chrono::duration<double>(stop - start).count();
     const double total_ops =
         static_cast<double>(config.ops_per_thread) * config.threads;
     mops_samples.push_back(total_ops / seconds / 1e6);
-    counters.accumulate(tm::Stats::total());
+    cell.counters.accumulate(tm::Stats::total());
+    cell.latency.merge(util::Metrics::total());
+
+    const long long end_live = reclaim::Gauge::live() - live_baseline;
+    if (end_live > cell.live_peak) cell.live_peak = end_live;
+    for (const FootprintSample& s : samples)
+      if (s.live > cell.live_peak) cell.live_peak = s.live;
+    if (!samples.empty()) cell.footprint = std::move(samples);
   }
-  return CellResult{util::summarize(mops_samples), counters};
+  cell.mops = util::summarize(mops_samples);
+  return cell;
 }
 
 }  // namespace hohtm::harness

@@ -22,7 +22,8 @@ void emit_header(const std::string& figure, const std::string& description) {
   std::printf("# %s: %s\n", figure.c_str(), description.c_str());
   std::printf(
       "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
-      ",res_lost\n",
+      ",res_lost,commit_p50_ns,commit_p95_ns,commit_p99_ns,commit_max_ns"
+      ",live_peak\n",
       cause_columns().c_str());
   std::fflush(stdout);
 }
@@ -42,8 +43,24 @@ void emit_row(const std::string& figure, const std::string& panel,
               static_cast<unsigned long long>(c.aborts));
   for (std::size_t i = 0; i < tm::kAbortCauseCount; ++i)
     std::printf(",%llu", static_cast<unsigned long long>(c.by_cause[i]));
-  std::printf(",%llu\n", static_cast<unsigned long long>(c.reservation_losses));
+  std::printf(",%llu", static_cast<unsigned long long>(c.reservation_losses));
+  const util::Histogram& commit = cell.latency.commit_ns;
+  std::printf(",%llu,%llu,%llu,%llu",
+              static_cast<unsigned long long>(commit.percentile(0.50)),
+              static_cast<unsigned long long>(commit.percentile(0.95)),
+              static_cast<unsigned long long>(commit.percentile(0.99)),
+              static_cast<unsigned long long>(commit.max()));
+  std::printf(",%lld\n", cell.live_peak);
+  for (const FootprintSample& s : cell.footprint)
+    emit_timeline_row(figure, panel, series, threads, s.t_ms, s.live);
   std::fflush(stdout);
+}
+
+void emit_timeline_row(const std::string& figure, const std::string& panel,
+                       const std::string& series, int threads, double t,
+                       long long live) {
+  std::printf("timeline,%s,%s,%s,%d,%.2f,%lld\n", figure.c_str(),
+              panel.c_str(), series.c_str(), threads, t, live);
 }
 
 }  // namespace hohtm::harness

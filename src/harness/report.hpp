@@ -10,18 +10,38 @@ namespace hohtm::harness {
 /// binary prints one block per figure panel:
 ///
 ///   # fig2 panel=6bit-33pct series=RR-XO
-///   fig2,6bit-33pct,RR-XO,1,1.234,0.8,123456,17,9,0,8,0,42,3,12,5
+///   fig2,6bit-33pct,RR-XO,1,1.234,0.8,123456,17,9,0,8,0,42,3,12,5,...
 ///
 /// The first six columns (figure, panel, series, threads, Mops/s mean,
-/// cv%) regenerate the paper's throughput-vs-threads curves. The rest
-/// carry the abort-cause telemetry summed over the cell's timed trials:
-/// commits, aborts, then one column per tm::AbortCause (validation,
-/// lock, user, serial_esc, revocations, hoh_retries), then res_lost
-/// (reservations observed revoked by their holder). tools/
-/// summarize_bench.py understands both the old 6-column and this layout.
+/// cv%) regenerate the paper's throughput-vs-threads curves. Then the
+/// abort-cause telemetry summed over the cell's timed trials: commits,
+/// aborts, one column per tm::AbortCause (validation, lock, user,
+/// serial_esc, revocations, hoh_retries), then res_lost (reservations
+/// observed revoked by their holder). PR 2 appends the latency and
+/// footprint columns: commit_p50_ns, commit_p95_ns, commit_p99_ns,
+/// commit_max_ns (commit-latency percentiles from the merged
+/// util::Metrics histograms — zero unless built with HOHTM_TRACE=ON)
+/// and live_peak (max live-object count observed during the cell).
+/// tools/summarize_bench.py understands the legacy 6-column, 15-column,
+/// and this 20-column layout.
+///
+/// When footprint sampling is on (HOH_BENCH_FOOTPRINT_MS), each cell is
+/// followed by its reclamation-footprint timeline, one sample per row:
+///
+///   timeline,fig5,9bit-0pct,M-RR-XO,8,12.5,523
+///
+/// (t in ms since the timed phase started, then live objects net of the
+/// cell's baseline). tools/trace_report.py renders these as curves;
+/// summarize_bench.py skips them.
 void emit_header(const std::string& figure, const std::string& description);
 void emit_panel_note(const std::string& figure, const std::string& panel);
 void emit_row(const std::string& figure, const std::string& panel,
               const std::string& series, int threads, const CellResult& cell);
+
+/// One footprint-timeline sample row (also used directly by examples
+/// whose x-axis is operation count rather than milliseconds).
+void emit_timeline_row(const std::string& figure, const std::string& panel,
+                       const std::string& series, int threads, double t,
+                       long long live);
 
 }  // namespace hohtm::harness

@@ -17,6 +17,8 @@ BenchEnv BenchEnv::from_environment() {
     env.trials = static_cast<int>(std::strtol(trials, nullptr, 10));
   if (const char* bits = std::getenv("HOH_BENCH_BIGBITS"))
     env.big_key_bits = static_cast<int>(std::strtol(bits, nullptr, 10));
+  if (const char* cadence = std::getenv("HOH_BENCH_FOOTPRINT_MS"))
+    env.footprint_ms = static_cast<int>(std::strtol(cadence, nullptr, 10));
   if (const char* threads = std::getenv("HOH_BENCH_THREADS")) {
     env.thread_counts.clear();
     std::stringstream stream(threads);

@@ -19,6 +19,9 @@ struct WorkloadConfig {
   int window = 16;
   int trials = 1;
   std::uint64_t seed = 42;
+  /// Footprint-timeline sampling cadence in milliseconds; 0 (default)
+  /// disables the sampler thread entirely (see run_cell).
+  int footprint_ms = 0;
 
   long key_range() const noexcept { return 1L << key_bits; }
 };
@@ -29,11 +32,14 @@ struct WorkloadConfig {
 ///   HOH_BENCH_TRIALS   trials per cell         (default 2; paper used 5)
 ///   HOH_BENCH_THREADS  comma list, e.g. 1,2,4,8
 ///   HOH_BENCH_BIGBITS  "large" tree key bits   (default 16; paper 21)
+///   HOH_BENCH_FOOTPRINT_MS  live-object sampling cadence for the
+///                      footprint timeline (default 0 = off)
 struct BenchEnv {
   std::uint64_t ops_per_thread = 20000;
   int trials = 2;
   std::vector<int> thread_counts{1, 2, 4, 8};
   int big_key_bits = 16;
+  int footprint_ms = 0;
 
   static BenchEnv from_environment();
 };

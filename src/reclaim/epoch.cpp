@@ -1,5 +1,7 @@
 #include "reclaim/epoch.hpp"
 
+#include "util/trace.hpp"
+
 namespace hohtm::reclaim {
 
 EpochDomain::~EpochDomain() {
@@ -12,6 +14,7 @@ EpochDomain::~EpochDomain() {
 }
 
 void EpochDomain::retire(void* ptr, void (*deleter)(void*) noexcept) {
+  util::trace_event(util::Ev::kRetire, reinterpret_cast<std::uintptr_t>(ptr));
   Bucket& mine = buckets_[util::ThreadRegistry::slot()].value;
   const std::uint64_t e = global_epoch_->load(std::memory_order_acquire);
   mine.generation[e % kGenerations].push_back(Retired{ptr, deleter});
@@ -35,6 +38,7 @@ bool EpochDomain::try_advance() {
   if (!global_epoch_->compare_exchange_strong(expected, e + 1,
                                               std::memory_order_seq_cst))
     return false;  // someone else advanced; their free pass covers us
+  util::trace_event(util::Ev::kEpochAdvance, e + 1);
   Bucket& mine = buckets_[util::ThreadRegistry::slot()].value;
   auto& reclaimable = mine.generation[(e + 1) % kGenerations];
   for (const Retired& r : reclaimable) r.deleter(r.ptr);

@@ -34,7 +34,26 @@ class Gauge {
       allocs += slots_[i]->allocs.load(std::memory_order_acquire);
       frees += slots_[i]->frees.load(std::memory_order_acquire);
     }
-    return allocs - frees;
+    const std::int64_t result = allocs - frees;
+    // Advance the high-water mark: live() is the only place a coherent
+    // global sum exists (per-cell peaks would not sum to a global peak),
+    // so the peak is over *snapshots* — every live() call, including the
+    // footprint-timeline sampler's, feeds it. The hot alloc/free path
+    // stays contention-free.
+    std::int64_t seen = peak_.load(std::memory_order_relaxed);
+    while (result > seen &&
+           !peak_.compare_exchange_weak(seen, result,
+                                        std::memory_order_relaxed)) {
+    }
+    return result;
+  }
+
+  /// Monotonic high-water mark over every live() snapshot taken so far —
+  /// the single-scalar "max footprint" benches report. Process-wide and
+  /// never reset; callers that want a per-phase peak snapshot live()
+  /// around the phase and difference against their own baseline.
+  static std::int64_t peak() noexcept {
+    return peak_.load(std::memory_order_acquire);
   }
 
   /// Not resettable per-test via zeroing (racy); tests snapshot live()
@@ -56,6 +75,7 @@ class Gauge {
                   std::memory_order_release);
   }
   static inline util::CachePadded<Cell> slots_[util::kMaxThreads];
+  static inline std::atomic<std::int64_t> peak_{0};
 };
 
 }  // namespace hohtm::reclaim

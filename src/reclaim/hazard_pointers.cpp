@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.hpp"
+
 namespace hohtm::reclaim {
 
 HazardDomain::~HazardDomain() {
@@ -12,6 +14,7 @@ HazardDomain::~HazardDomain() {
 }
 
 void HazardDomain::retire(void* ptr, void (*deleter)(void*) noexcept) {
+  util::trace_event(util::Ev::kRetire, reinterpret_cast<std::uintptr_t>(ptr));
   RetireList& mine = lists_[util::ThreadRegistry::slot()].value;
   mine.items.push_back(Retired{ptr, deleter});
   if (mine.items.size() >= scan_threshold_) scan();
@@ -41,6 +44,8 @@ void HazardDomain::scan() {
       r.deleter(r.ptr);
     }
   }
+  util::trace_event(util::Ev::kScan,
+                    mine.items.size() - still_hazardous.size());
   mine.items = std::move(still_hazardous);
 }
 

@@ -6,6 +6,7 @@
 #include "tm/abort.hpp"
 #include "tm/config.hpp"
 #include "util/backoff.hpp"
+#include "util/trace.hpp"
 
 namespace hohtm::tm {
 
@@ -32,6 +33,7 @@ decltype(auto) run_transaction(F&& f) {
   for (std::uint32_t attempts = 0;; ++attempts) {
     if (attempts >= Config::serial_threshold()) {
       Stats::mine().record(AbortCause::kSerialEscalation);
+      util::trace_event(util::Ev::kTxSerial, attempts);
       return TM::run_serial(std::forward<F>(f));
     }
     Tx& tx = TM::tls_tx();
@@ -40,22 +42,30 @@ decltype(auto) run_transaction(F&& f) {
       ~ClearCurrent() { TM::set_current(nullptr); }
     } clear_guard;
     try {
+      util::trace_event(util::Ev::kTxBegin);
+      const std::uint64_t tx_start = util::trace_clock();
       tx.begin();
       if constexpr (std::is_void_v<R>) {
         f(tx);
         tx.commit();
         Stats::mine().commits += 1;
+        util::trace_tx_commit(tx_start);
         return;
       } else {
         R result = f(tx);
         tx.commit();
         Stats::mine().commits += 1;
+        util::trace_tx_commit(tx_start);
         return result;
       }
-    } catch (const Conflict&) {
+    } catch (const Conflict& conflict) {
       tx.on_abort();
       Stats::mine().aborts += 1;
+      util::trace_event(util::Ev::kTxAbort,
+                        static_cast<std::uint64_t>(conflict.cause));
+      const std::uint64_t pause_start = util::trace_clock();
       backoff.pause();
+      util::trace_tx_retry_pause(pause_start);
     } catch (...) {
       tx.on_abort();
       throw;
@@ -71,21 +81,27 @@ decltype(auto) run_serial_body(Tx& tx, F&& f) {
   using R = std::invoke_result_t<F&, Tx&>;
   for (;;) {
     try {
+      util::trace_event(util::Ev::kTxBegin, 1);
+      const std::uint64_t tx_start = util::trace_clock();
       tx.begin_serial();
       if constexpr (std::is_void_v<R>) {
         f(tx);
         tx.commit_serial();
         Stats::mine().serial_commits += 1;
+        util::trace_tx_commit(tx_start);
         return;
       } else {
         R result = f(tx);
         tx.commit_serial();
         Stats::mine().serial_commits += 1;
+        util::trace_tx_commit(tx_start);
         return result;
       }
-    } catch (const Conflict&) {
+    } catch (const Conflict& conflict) {
       tx.abort_serial();
       Stats::mine().aborts += 1;
+      util::trace_event(util::Ev::kTxAbort,
+                        static_cast<std::uint64_t>(conflict.cause));
     } catch (...) {
       tx.abort_serial();
       throw;

@@ -1,10 +1,12 @@
 #include "tm/quiescence.hpp"
 
 #include "util/backoff.hpp"
+#include "util/trace.hpp"
 
 namespace hohtm::tm {
 
 void Quiescence::wait_until(std::uint64_t ts) const noexcept {
+  const std::uint64_t stall_start = util::trace_quiesce_enter();
   const std::size_t n = util::ThreadRegistry::high_watermark();
   for (std::size_t i = 0; i < n; ++i) {
     util::Backoff backoff;
@@ -15,14 +17,17 @@ void Quiescence::wait_until(std::uint64_t ts) const noexcept {
       backoff.pause();
     }
   }
+  util::trace_quiesce_exit(stall_start);
 }
 
 void Quiescence::wait_all_inactive() const noexcept {
+  const std::uint64_t stall_start = util::trace_quiesce_enter();
   const std::size_t n = util::ThreadRegistry::high_watermark();
   for (std::size_t i = 0; i < n; ++i) {
     util::Backoff backoff;
     while (slots_[i]->load(std::memory_order_acquire) != 0) backoff.pause();
   }
+  util::trace_quiesce_exit(stall_start);
 }
 
 }  // namespace hohtm::tm

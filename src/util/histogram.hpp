@@ -1,0 +1,95 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace hohtm::util {
+
+/// Power-of-two-bucketed histogram of non-negative 64-bit samples
+/// (latencies in nanoseconds, mostly).
+///
+/// Bucket `b` holds every value whose bit width is `b`: bucket 0 is the
+/// value 0, bucket b >= 1 covers [2^(b-1), 2^b - 1]. Recording is a
+/// bit_width plus one array increment — cheap enough for commit paths —
+/// and the geometric buckets give the usual trade: exact counts, ~2x
+/// relative error on reported quantiles, bounded (65-slot) footprint no
+/// matter the value range.
+///
+/// Not thread-safe by itself. The library uses it the same way it uses
+/// tm::StatCounters: one instance per thread slot, written only by the
+/// owning thread, merged by an aggregator at quiescent points.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t value) noexcept {
+    counts_[std::bit_width(value)] += 1;
+    count_ += 1;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  void merge(const Histogram& other) noexcept {
+    if (other.count_ == 0) return;
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void reset() noexcept { *this = Histogram{}; }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  std::uint64_t bucket_count(std::size_t b) const noexcept {
+    return b < kBuckets ? counts_[b] : 0;
+  }
+
+  /// Inclusive upper bound of bucket `b` (the value the quantile queries
+  /// report for samples landing in it).
+  static constexpr std::uint64_t bucket_upper(std::size_t b) noexcept {
+    return b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+  }
+
+  /// Value at or below which at least a fraction `p` in (0, 1] of the
+  /// samples fall. Reports the containing bucket's upper bound, clamped
+  /// to the observed max (so percentile(1.0) == max(), exactly).
+  std::uint64_t percentile(double p) const noexcept {
+    if (count_ == 0) return 0;
+    if (p <= 0.0) return min();
+    if (p > 1.0) p = 1.0;
+    // Smallest rank r (1-based) with r >= p * count.
+    const double scaled = p * static_cast<double>(count_);
+    std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+    if (static_cast<double>(rank) < scaled) rank += 1;
+    if (rank == 0) rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      cumulative += counts_[b];
+      if (cumulative >= rank) {
+        const std::uint64_t upper = bucket_upper(b);
+        return upper < max_ ? upper : max_;
+      }
+    }
+    return max_;
+  }
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace hohtm::util

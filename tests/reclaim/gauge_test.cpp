@@ -1,0 +1,76 @@
+#include "reclaim/gauge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+namespace hohtm::reclaim {
+namespace {
+
+// The gauge is process-global and deliberately not resettable (zeroing
+// races with other threads' cells), so every assertion differences
+// live() against a baseline taken at the start of the test.
+
+TEST(Gauge, AllocFreeNetsToZero) {
+  const std::int64_t baseline = Gauge::live();
+  for (int i = 0; i < 100; ++i) Gauge::on_alloc();
+  EXPECT_EQ(Gauge::live() - baseline, 100);
+  for (int i = 0; i < 100; ++i) Gauge::on_free();
+  EXPECT_EQ(Gauge::live() - baseline, 0);
+}
+
+TEST(Gauge, CrossSlotNetting) {
+  // Allocations by one thread, frees by another: live() must net the
+  // per-slot counters globally, not per slot. This is the pattern every
+  // deferred reclaimer produces (the retiring thread is rarely the
+  // scanning thread that frees).
+  const std::int64_t baseline = Gauge::live();
+  std::thread allocator([] {
+    for (int i = 0; i < 50; ++i) Gauge::on_alloc();
+  });
+  allocator.join();
+  EXPECT_EQ(Gauge::live() - baseline, 50);
+  for (int i = 0; i < 50; ++i) Gauge::on_free();
+  EXPECT_EQ(Gauge::live() - baseline, 0);
+  // A slot whose frees outnumber its allocs is fine in isolation.
+  std::thread freer([] {
+    for (int i = 0; i < 30; ++i) Gauge::on_free();
+  });
+  freer.join();
+  EXPECT_EQ(Gauge::live() - baseline, -30);
+  for (int i = 0; i < 30; ++i) Gauge::on_alloc();
+  EXPECT_EQ(Gauge::live() - baseline, 0);
+}
+
+TEST(Gauge, LiveIsASnapshotAfterJoin) {
+  // live() has snapshot semantics at quiescent points: once the mutating
+  // threads are joined, repeated reads agree exactly.
+  const std::int64_t baseline = Gauge::live();
+  std::thread worker([] {
+    for (int i = 0; i < 200; ++i) Gauge::on_alloc();
+    for (int i = 0; i < 80; ++i) Gauge::on_free();
+  });
+  worker.join();
+  const std::int64_t first = Gauge::live() - baseline;
+  EXPECT_EQ(first, 120);
+  EXPECT_EQ(Gauge::live() - baseline, first);
+  for (int i = 0; i < 120; ++i) Gauge::on_free();
+  EXPECT_EQ(Gauge::live() - baseline, 0);
+}
+
+TEST(Gauge, PeakIsMonotonicHighWaterOverSnapshots) {
+  const std::int64_t baseline = Gauge::live();
+  const std::int64_t peak_before = Gauge::peak();
+  for (int i = 0; i < 40; ++i) Gauge::on_alloc();
+  const std::int64_t high = Gauge::live();  // snapshot feeds the peak
+  EXPECT_GE(Gauge::peak(), high);
+  EXPECT_GE(Gauge::peak(), peak_before);
+  for (int i = 0; i < 40; ++i) Gauge::on_free();
+  EXPECT_EQ(Gauge::live() - baseline, 0);
+  // Dropping back down must not lower the high-water mark.
+  EXPECT_GE(Gauge::peak(), high);
+}
+
+}  // namespace
+}  // namespace hohtm::reclaim

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""ctest-registered checks for tools/summarize_bench.py and
+tools/trace_report.py: every CSV layout the benches have ever emitted
+must keep loading (legacy 6-column, telemetry 15-column, observability
+20-column), malformed rows must be skipped rather than crash the report,
+and timeline rows must route to trace_report.py only."""
+
+import io
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+TOOLS = REPO / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import summarize_bench  # noqa: E402
+import trace_report  # noqa: E402
+
+LEGACY_ROW = "fig2,intset,rr-fa,4,12.3456,1.20"
+TELEMETRY_ROW = ("fig2,intset,rr-fa,8,10.5000,0.90,"
+                 "1000,50,10,20,5,3,7,4,1")
+OBSERVABILITY_ROW = (TELEMETRY_ROW.replace(",8,", ",16,") +
+                     ",2048,8192,16384,30000,512")
+
+
+def write(rows):
+    handle = tempfile.NamedTemporaryFile(
+        "w", suffix=".txt", delete=False)
+    handle.write("\n".join(rows) + "\n")
+    handle.close()
+    return handle.name
+
+
+class LoadTest(unittest.TestCase):
+    def load(self, rows):
+        path = write(rows)
+        try:
+            return summarize_bench.load(path)
+        finally:
+            os.unlink(path)
+
+    def test_legacy_six_columns(self):
+        rows = self.load(["# a comment", LEGACY_ROW])
+        self.assertEqual(len(rows), 1)
+        figure, panel, series, threads, mops, counters = rows[0]
+        self.assertEqual((figure, panel, series, threads),
+                         ("fig2", "intset", "rr-fa", 4))
+        self.assertAlmostEqual(mops, 12.3456)
+        self.assertIsNone(counters)
+
+    def test_telemetry_fifteen_columns(self):
+        rows = self.load([TELEMETRY_ROW])
+        self.assertEqual(len(rows), 1)
+        counters = rows[0][-1]
+        self.assertEqual(counters["commits"], 1000)
+        self.assertEqual(counters["aborts"], 50)
+        self.assertEqual(counters["res_lost"], 1)
+        self.assertNotIn("live_peak", counters)
+
+    def test_observability_twenty_columns(self):
+        rows = self.load([OBSERVABILITY_ROW])
+        counters = rows[0][-1]
+        self.assertEqual(counters["commit_p50_ns"], 2048)
+        self.assertEqual(counters["commit_max_ns"], 30000)
+        self.assertEqual(counters["live_peak"], 512)
+
+    def test_mixed_layouts_coexist(self):
+        rows = self.load([LEGACY_ROW, TELEMETRY_ROW, OBSERVABILITY_ROW])
+        self.assertEqual(len(rows), 3)
+
+    def test_malformed_rows_are_skipped(self):
+        rows = self.load([
+            "not,a,row",
+            "fig2,intset,rr-fa,four,12.3,1.2",     # non-integer threads
+            "fig2,intset,rr-fa,4,fast,1.2",        # non-float mops
+            "",
+            "===== banner =====",
+            LEGACY_ROW,
+        ])
+        self.assertEqual(len(rows), 1)
+
+    def test_malformed_telemetry_keeps_throughput(self):
+        bad = TELEMETRY_ROW.rsplit(",", 1)[0] + ",oops"
+        rows = self.load([bad])
+        self.assertEqual(len(rows), 1)
+        self.assertIsNone(rows[0][-1])  # counters dropped, row kept
+
+    def test_timeline_rows_are_skipped(self):
+        rows = self.load([
+            "timeline,fig5,alloc,rr-fa,4,10.00,123",
+            LEGACY_ROW,
+        ])
+        self.assertEqual(len(rows), 1)
+        self.assertEqual(rows[0][0], "fig2")
+
+
+class CliTest(unittest.TestCase):
+    def run_tool(self, tool, rows, *argv):
+        path = write(rows)
+        try:
+            return subprocess.run(
+                [sys.executable, str(TOOLS / tool), path, *argv],
+                capture_output=True, text=True, timeout=60)
+        finally:
+            os.unlink(path)
+
+    def test_summarize_renders_table(self):
+        proc = self.run_tool("summarize_bench.py",
+                             [LEGACY_ROW, OBSERVABILITY_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("fig2 / intset", proc.stdout)
+        self.assertIn("rr-fa", proc.stdout)
+        self.assertIn("live_peak", proc.stdout)  # observability column shows
+
+    def test_summarize_empty_input_fails(self):
+        proc = self.run_tool("summarize_bench.py", ["# nothing here"])
+        self.assertEqual(proc.returncode, 1)
+
+    def test_trace_report_renders_latency_and_timeline(self):
+        proc = self.run_tool("trace_report.py", [
+            OBSERVABILITY_ROW,
+            "timeline,fig2,intset,rr-fa,16,0.00,10",
+            "timeline,fig2,intset,rr-fa,16,5.00,12",
+            "timeline,fig2,intset,hazard,16,0.00,10",
+            "timeline,fig2,intset,hazard,16,5.00,400",
+        ])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("commit latency", proc.stdout)
+        self.assertIn("footprint timeline", proc.stdout)
+        self.assertIn("peak=400", proc.stdout)
+        self.assertIn("peak=12", proc.stdout)
+
+
+class TimelineParseTest(unittest.TestCase):
+    def test_trace_report_load(self):
+        path = write([
+            OBSERVABILITY_ROW,
+            "timeline,fig2,intset,rr-fa,16,0.00,10",
+            "timeline,fig2,intset,rr-fa,16,5.00,12",
+            "timeline,broken,row,only,six",
+        ])
+        try:
+            latency_rows, timelines = trace_report.load(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(len(latency_rows), 1)
+        self.assertEqual(latency_rows[0][4]["commit_p99_ns"], 16384)
+        samples = timelines[("fig2", "intset")][("rr-fa", 16)]
+        self.assertEqual(samples, [(0.0, 10), (5.0, 12)])
+
+    def test_sparkline_is_deterministic(self):
+        samples = [(0.0, 0), (1.0, 50), (2.0, 100)]
+        line = trace_report.sparkline(samples, 10, 0, 100)
+        self.assertEqual(len(line), 10)
+        self.assertEqual(line[0], trace_report.SPARK[0])
+        self.assertEqual(line[-1], trace_report.SPARK[-1])
+
+    def test_percentile_table_suppressed_when_zero(self):
+        zero_row = TELEMETRY_ROW + ",0,0,0,0,0"
+        buffer = io.StringIO()
+        path = write([zero_row])
+        try:
+            latency_rows, _ = trace_report.load(path)
+            with redirect_stdout(buffer):
+                trace_report.emit_latency_tables(latency_rows)
+        finally:
+            os.unlink(path)
+        self.assertIn("all zero", buffer.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,145 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace hohtm::util {
+namespace {
+
+TEST(Histogram, EmptyIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(Histogram, BucketingByBitWidth) {
+  Histogram h;
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 1
+  h.record(2);    // bucket 2
+  h.record(3);    // bucket 2
+  h.record(4);    // bucket 3
+  h.record(255);  // bucket 8
+  h.record(256);  // bucket 9
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(8), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + 255 + 256);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(8), 255u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, ExtremeValues) {
+  Histogram h;
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket_count(64), 1u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  EXPECT_EQ(h.percentile(1.0), ~std::uint64_t{0});
+}
+
+TEST(Histogram, MinMaxMean) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(90);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 90u);
+  EXPECT_DOUBLE_EQ(h.mean(), 40.0);
+}
+
+TEST(Histogram, PercentileReportsBucketUpperClampedToMax) {
+  Histogram h;
+  // 100 samples of value 5 (bucket 3, upper bound 7): every quantile must
+  // clamp to the observed max, not report the bucket bound.
+  for (int i = 0; i < 100; ++i) h.record(5);
+  EXPECT_EQ(h.percentile(0.50), 5u);
+  EXPECT_EQ(h.percentile(0.99), 5u);
+  EXPECT_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(Histogram, PercentileRankSelection) {
+  Histogram h;
+  // 90 small samples (bucket 4: 8..15), 10 large ones (bucket 11:
+  // 1024..2047). p50/p90 land in the small bucket, p95/p99 in the large.
+  for (int i = 0; i < 90; ++i) h.record(12);
+  for (int i = 0; i < 10; ++i) h.record(1500);
+  EXPECT_EQ(h.percentile(0.50), 15u);   // bucket 4 upper bound
+  EXPECT_EQ(h.percentile(0.90), 15u);   // rank 90 is the last small sample
+  EXPECT_EQ(h.percentile(0.95), 1500u);  // bucket 11 upper clamped to max
+  EXPECT_EQ(h.percentile(0.99), 1500u);
+  EXPECT_EQ(h.percentile(1.0), 1500u);
+}
+
+TEST(Histogram, PercentileEdgeFractions) {
+  Histogram h;
+  h.record(4);
+  h.record(1000);
+  EXPECT_EQ(h.percentile(0.0), h.min());
+  EXPECT_EQ(h.percentile(-1.0), h.min());
+  EXPECT_EQ(h.percentile(2.0), h.max());  // out-of-range p clamps to 1.0
+}
+
+TEST(Histogram, MergeCombinesEverything) {
+  Histogram a;
+  Histogram b;
+  a.record(3);
+  a.record(100);
+  b.record(1);
+  b.record(5000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 3u + 100 + 1 + 5000);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 5000u);
+  EXPECT_EQ(a.bucket_count(1), 1u);  // the 1 from b
+  EXPECT_EQ(a.bucket_count(2), 1u);  // the 3 from a
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  Histogram a;
+  a.record(42);
+  const Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42u);
+  EXPECT_EQ(a.max(), 42u);
+
+  Histogram fresh;
+  fresh.merge(a);
+  EXPECT_EQ(fresh.count(), 1u);
+  EXPECT_EQ(fresh.min(), 42u);  // min taken from the non-empty side
+}
+
+TEST(Histogram, ResetRestoresEmptyState) {
+  Histogram h;
+  h.record(7);
+  h.record(9);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+  h.record(2);  // usable after reset
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 2u);
+}
+
+}  // namespace
+}  // namespace hohtm::util

@@ -1,0 +1,168 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hohtm::util {
+namespace {
+
+// Deterministic clock injected through the trace API: no sleeps, no
+// wall-clock assertions (the suite must pass identically on a loaded
+// single-core box). Each call advances by a fixed step.
+std::uint64_t g_fake_now = 0;
+std::uint64_t fake_clock() { return g_fake_now += 100; }
+
+// The Trace rings are process-global; every test starts from a clean,
+// deterministic state and restores the real clock afterwards.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::reset();
+    Metrics::reset();
+    g_fake_now = 0;
+    Trace::set_clock(&fake_clock);
+    Trace::set_active(true);
+  }
+  void TearDown() override {
+    Trace::set_clock(nullptr);
+    Trace::set_active(true);
+    Trace::reset();
+    Metrics::reset();
+  }
+};
+
+TEST_F(TraceTest, RecordAndSnapshot) {
+  Trace::record(Ev::kTxBegin, 0);
+  Trace::record(Ev::kTxCommit, 1234);
+  Trace::record(Ev::kTxAbort, 2);
+  const std::vector<TraceRecord> events = Trace::snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, Ev::kTxBegin);
+  EXPECT_EQ(events[1].kind, Ev::kTxCommit);
+  EXPECT_EQ(events[1].arg, 1234u);
+  EXPECT_EQ(events[2].kind, Ev::kTxAbort);
+  EXPECT_EQ(events[2].arg, 2u);
+  // Timestamps come from the injected clock and are strictly increasing.
+  EXPECT_EQ(events[0].ts, 100u);
+  EXPECT_EQ(events[1].ts, 200u);
+  EXPECT_EQ(events[2].ts, 300u);
+  EXPECT_EQ(Trace::size(), 3u);
+  EXPECT_EQ(Trace::dropped(), 0u);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsDrops) {
+  const std::size_t extra = 10;
+  for (std::size_t i = 0; i < Trace::kCapacity + extra; ++i)
+    Trace::record(Ev::kAlloc, i);
+  EXPECT_EQ(Trace::size(), Trace::kCapacity);
+  EXPECT_EQ(Trace::dropped(), extra);
+  const std::vector<TraceRecord> events = Trace::snapshot();
+  ASSERT_EQ(events.size(), Trace::kCapacity);
+  // The retained window is the *last* kCapacity events.
+  EXPECT_EQ(events.front().arg, extra);
+  EXPECT_EQ(events.back().arg, Trace::kCapacity + extra - 1);
+}
+
+TEST_F(TraceTest, SetActiveSuppressesRecording) {
+  Trace::record(Ev::kRrReserve, 1);
+  Trace::set_active(false);
+  Trace::record(Ev::kRrReserve, 2);
+  Trace::record(Ev::kRrRevoke, 3);
+  Trace::set_active(true);
+  Trace::record(Ev::kRrGet, 4);
+  const std::vector<TraceRecord> events = Trace::snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].arg, 1u);
+  EXPECT_EQ(events[1].arg, 4u);
+}
+
+TEST_F(TraceTest, ResetClearsEverything) {
+  Trace::record(Ev::kQuiesceEnter);
+  Trace::record(Ev::kQuiesceExit, 50);
+  Trace::reset();
+  EXPECT_EQ(Trace::size(), 0u);
+  EXPECT_EQ(Trace::dropped(), 0u);
+  EXPECT_TRUE(Trace::snapshot().empty());
+}
+
+TEST_F(TraceTest, DrainJsonEmitsChromeTraceEvents) {
+  Trace::record(Ev::kTxBegin, 0);
+  Trace::record(Ev::kScan, 7);
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  Trace::drain_json(tmp);
+  std::fseek(tmp, 0, SEEK_END);
+  const long size = std::ftell(tmp);
+  std::fseek(tmp, 0, SEEK_SET);
+  std::string json(static_cast<std::size_t>(size), '\0');
+  ASSERT_EQ(std::fread(json.data(), 1, json.size(), tmp), json.size());
+  std::fclose(tmp);
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"tx_begin\""), std::string::npos);
+  EXPECT_NE(json.find("\"scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Draining does not clear the rings.
+  EXPECT_EQ(Trace::size(), 2u);
+}
+
+TEST_F(TraceTest, EventNamesCoverTheTaxonomy) {
+  ASSERT_EQ(kEvCount, 14u);
+  for (std::size_t i = 0; i < kEvCount; ++i) {
+    ASSERT_NE(kEvNames[i], nullptr);
+    EXPECT_GT(std::string(kEvNames[i]).size(), 0u);
+  }
+  EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kEpochAdvance)],
+               "epoch_advance");
+}
+
+TEST_F(TraceTest, MetricsAggregateAcrossSlots) {
+  Metrics::mine().commit_ns.record(100);
+  Metrics::mine().commit_ns.record(300);
+  Metrics::mine().retry_ns.record(50);
+  const LatencyHistograms total = Metrics::total();
+  EXPECT_EQ(total.commit_ns.count(), 2u);
+  EXPECT_EQ(total.commit_ns.sum(), 400u);
+  EXPECT_EQ(total.retry_ns.count(), 1u);
+  EXPECT_EQ(total.quiesce_ns.count(), 0u);
+  Metrics::reset();
+  EXPECT_EQ(Metrics::total().commit_ns.count(), 0u);
+}
+
+TEST_F(TraceTest, HooksFollowTheBuildMode) {
+  // The hooks compile in every build; whether they *do* anything is the
+  // compile-time switch. This pins the contract for both configurations.
+  trace_event(Ev::kFree, 99);
+  const std::uint64_t t0 = trace_clock();
+  trace_tx_commit(t0);
+  if constexpr (kTraceBuild) {
+    EXPECT_GE(Trace::size(), 2u);  // kFree plus the commit event
+    EXPECT_EQ(Metrics::total().commit_ns.count(), 1u);
+    EXPECT_GT(t0, 0u);
+  } else {
+    EXPECT_EQ(Trace::size(), 0u);
+    EXPECT_EQ(Metrics::total().commit_ns.count(), 0u);
+    EXPECT_EQ(t0, 0u);
+  }
+}
+
+TEST_F(TraceTest, QuiesceHooksRecordStall) {
+  const std::uint64_t t0 = trace_quiesce_enter();
+  trace_quiesce_exit(t0);
+  if constexpr (kTraceBuild) {
+    EXPECT_EQ(Metrics::total().quiesce_ns.count(), 1u);
+    EXPECT_EQ(Trace::size(), 2u);  // enter + exit
+  } else {
+    EXPECT_EQ(t0, 0u);
+    EXPECT_EQ(Metrics::total().quiesce_ns.count(), 0u);
+    EXPECT_EQ(Trace::size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hohtm::util

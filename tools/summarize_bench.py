@@ -5,20 +5,27 @@ Usage:
     python3 tools/summarize_bench.py bench_output.txt [--figure fig2]
                                      [--causes]
 
-Reads the CSV rows emitted by the bench binaries. Two layouts are
+Reads the CSV rows emitted by the bench binaries. Three layouts are
 accepted:
 
   legacy (6 cols):  figure,panel,series,threads,mops,cv_pct
   telemetry (15):   figure,panel,series,threads,mops,cv_pct,commits,
                     aborts,validation,lock,user,serial_esc,revocations,
                     hoh_retries,res_lost
+  observability (20): the 15 telemetry columns plus commit_p50_ns,
+                    commit_p95_ns,commit_p99_ns,commit_max_ns,live_peak
+
+`timeline,...` rows (the reclamation-footprint samples) are skipped
+here; tools/trace_report.py renders those, along with the latency
+percentiles, as curves and tables.
 
 Groups rows by figure and panel and prints one throughput table per
 panel with series as rows and thread counts as columns — the same layout
 as the paper's figures, so shapes (who wins, where crossovers fall) can
 be eyeballed or diffed. With --causes (or automatically when telemetry
 columns are present), an abort-rate table per panel attributes the
-contention: aborts per 1k commits, split by cause.
+contention: aborts per 1k commits, split by cause, plus the cell's
+live_peak when the observability columns are present.
 """
 
 import argparse
@@ -28,6 +35,10 @@ import sys
 CAUSE_FIELDS = [
     "commits", "aborts", "validation", "lock", "user", "serial_esc",
     "revocations", "hoh_retries", "res_lost",
+]
+OBSERVABILITY_FIELDS = [
+    "commit_p50_ns", "commit_p95_ns", "commit_p99_ns", "commit_max_ns",
+    "live_peak",
 ]
 
 
@@ -39,7 +50,7 @@ def load(path):
             if not line or line.startswith("#") or line.startswith("====="):
                 continue
             parts = line.split(",")
-            if len(parts) < 6:
+            if len(parts) < 6 or parts[0] == "timeline":
                 continue
             figure, panel, series, threads, mops, cv = parts[:6]
             try:
@@ -54,6 +65,15 @@ def load(path):
                     counters = dict(zip(CAUSE_FIELDS, values))
                 except ValueError:
                     pass  # malformed telemetry: keep the throughput columns
+            if counters is not None and \
+                    len(parts) >= 6 + len(CAUSE_FIELDS) + len(OBSERVABILITY_FIELDS):
+                start = 6 + len(CAUSE_FIELDS)
+                try:
+                    values = [int(v) for v in
+                              parts[start:start + len(OBSERVABILITY_FIELDS)]]
+                    counters.update(zip(OBSERVABILITY_FIELDS, values))
+                except ValueError:
+                    pass  # malformed observability tail: keep the rest
             rows.append((figure, panel, series, threads, mops, counters))
     return rows
 
@@ -112,8 +132,10 @@ def emit_cause_table(figure, panel, series_list, threads, counter_cells):
         return
     causes = ["validation", "lock", "user", "serial_esc", "revocations",
               "hoh_retries", "res_lost"]
+    show_peak = any("live_peak" in c for _, c in have)
     header = ("series".ljust(14) + f"{'aborts/1k':>11}" +
-              "".join(f"{c:>12}" for c in causes))
+              "".join(f"{c:>12}" for c in causes) +
+              (f"{'live_peak':>11}" if show_peak else ""))
     print(f"   abort attribution @ {threads} threads (per 1k commits)")
     print(header)
     print("-" * len(header))
@@ -122,6 +144,8 @@ def emit_cause_table(figure, panel, series_list, threads, counter_cells):
         row = series.ljust(14) + f"{1000.0 * c['aborts'] / commits:11.2f}"
         for cause in causes:
             row += f"{1000.0 * c[cause] / commits:12.2f}"
+        if show_peak:
+            row += f"{c.get('live_peak', 0):11d}"
         print(row)
 
 
