@@ -2,13 +2,15 @@
 # One-command verification: configure, build, test, smoke the examples,
 # and run a fast benchmark pass. Mirrors what a CI pipeline would do.
 #
-# Usage: scripts/check.sh [--tsan] [--full-bench]
+# Usage: scripts/check.sh [--tsan] [--asan] [--sched] [--full-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 SANITIZE=""
 TSAN=0
+ASAN=0
+SCHED=0
 FULL_BENCH=0
 for arg in "$@"; do
   case "$arg" in
@@ -19,6 +21,22 @@ for arg in "$@"; do
       BUILD_DIR=build-tsan
       SANITIZE="-DHOHTM_SANITIZE=thread"
       TSAN=1
+      ;;
+    --asan)
+      # Rebuild under AddressSanitizer + UBSan and run the full suite:
+      # precise reclamation is the point of the paper, so a use-after-free
+      # or leak anywhere is a correctness bug, not noise.
+      BUILD_DIR=build-asan
+      SANITIZE="-DHOHTM_SANITIZE=address,undefined"
+      ASAN=1
+      ;;
+    --sched)
+      # Rebuild with the virtual-scheduler hooks compiled in and run the
+      # schedule-exploration + differential suites only (docs/TESTING.md).
+      # Scale exploration budgets with HOH_SCHED_DEPTH=<n>.
+      BUILD_DIR=build-sched
+      SANITIZE="-DHOHTM_SCHED=ON"
+      SCHED=1
       ;;
     --full-bench) FULL_BENCH=1 ;;
     *)
@@ -41,6 +59,27 @@ if [ "$TSAN" -eq 1 ]; then
     exit 1
   fi
   echo "TSAN CHECKS PASSED"
+  exit 0
+fi
+
+if [ "$ASAN" -eq 1 ]; then
+  echo "== tests (asan+ubsan, full suite)"
+  if ! ctest --test-dir "$BUILD_DIR" --output-on-failure; then
+    echo "FAIL: test suite under AddressSanitizer" >&2
+    exit 1
+  fi
+  echo "ASAN CHECKS PASSED"
+  exit 0
+fi
+
+if [ "$SCHED" -eq 1 ]; then
+  echo "== tests (schedule exploration + differential oracle)"
+  echo "   HOH_SCHED_DEPTH=${HOH_SCHED_DEPTH:-1}"
+  if ! ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'sched|differential'; then
+    echo "FAIL: schedule-exploration tests" >&2
+    exit 1
+  fi
+  echo "SCHED CHECKS PASSED"
   exit 0
 fi
 

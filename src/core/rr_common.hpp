@@ -3,6 +3,7 @@
 #include <concepts>
 #include <cstdint>
 
+#include "sched/schedpoint.hpp"
 #include "tm/tm.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_registry.hpp"
@@ -56,9 +57,19 @@ concept Reservation =
 /// that re-executes its Revoke counts each attempt — the same convention
 /// the TM backends use for abort causes (and the trace events below).
 inline void note_revocation(Ref ref = nullptr) noexcept {
+  sched::point(sched::Op::kRrRevoke, ref);
   tm::Stats::mine().record(tm::AbortCause::kRrRevocation);
   util::trace_event(util::Ev::kRrRevoke,
                     reinterpret_cast<std::uintptr_t>(ref));
+}
+
+/// Bug-injection mutant: when enabled, every Revoke implementation turns
+/// into a no-op right after its telemetry fires. The schedule explorer
+/// must then find an interleaving where a traverser's Get returns a
+/// reference that is freed under it — validating that the exploration
+/// actually exercises the reserve/revoke race.
+inline bool mutation_drops_revoke() noexcept {
+  return sched::mutate(sched::Mutation::kDropRevoke);
 }
 
 /// Trace-only markers (no counters): every Reserve/Get implementation
@@ -67,10 +78,12 @@ inline void note_revocation(Ref ref = nullptr) noexcept {
 /// a remover revoked or a collision evicted. Attempt-level, like the
 /// revocation tally. Compiled out entirely in non-trace builds.
 inline void note_reserve(Ref ref) noexcept {
+  sched::point(sched::Op::kRrReserve, ref);
   util::trace_event(util::Ev::kRrReserve,
                     reinterpret_cast<std::uintptr_t>(ref));
 }
 inline void note_get(Ref ref) noexcept {
+  sched::point(sched::Op::kRrGet, ref);
   util::trace_event(util::Ev::kRrGet, reinterpret_cast<std::uintptr_t>(ref));
 }
 

@@ -60,6 +60,7 @@ class RrSo {
 
   void revoke(Tx& tx, Ref ref) {
     note_revocation(ref);
+    if (mutation_drops_revoke()) return;
     for (std::size_t array = 0; array < kArrays; ++array)
       tx.write(own_[slot_index(array, ref)], kRevoked);
   }

@@ -64,6 +64,7 @@ class RrV {
 
   void revoke(Tx& tx, Ref ref) {
     note_revocation(ref);
+    if (mutation_drops_revoke()) return;
     auto& counter = versions_[slot_of(ref)];
     tx.write(counter, tx.read(counter) + 1);
   }

@@ -64,6 +64,7 @@ class RrXo {
 
   void revoke(Tx& tx, Ref ref) {
     note_revocation(ref);
+    if (mutation_drops_revoke()) return;
     tx.write(own_[hash_ref(ref, log2_slots_)], kRevoked);
   }
 

@@ -1,0 +1,199 @@
+#include "sched/explore.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace hohtm::sched {
+
+namespace {
+
+/// Run one schedule and evaluate the scenario. Returns "" on success.
+/// Deadlock and body exceptions are failures; truncation is not (it is
+/// tallied by the caller).
+std::string run_once(const Scenario& scenario, const Scheduler::Picker& pick,
+                     std::size_t max_steps, Scheduler::Result& out) {
+  if (scenario.setup) scenario.setup();
+  out = Scheduler::run(scenario.bodies, pick, max_steps);
+  if (!out.error.empty()) return out.error;
+  if (out.deadlocked) return "deadlock: no enabled thread";
+  if (out.truncated) return "";  // counted, not failed
+  if (scenario.check) return scenario.check();
+  return "";
+}
+
+}  // namespace
+
+ExploreResult explore_dfs(const Scenario& scenario,
+                          std::size_t max_schedules, std::size_t max_steps) {
+  ExploreResult result;
+  // DFS frontier: for each decision along the current path, the choice
+  // taken and how many choices were enabled there. The next schedule
+  // replays the recorded prefix, then takes first-choice everywhere.
+  struct Decision {
+    std::size_t chosen;
+    std::size_t fanout;
+  };
+  std::vector<Decision> path;
+
+  while (result.schedules < max_schedules) {
+    std::vector<Decision> taken;
+    bool mismatch = false;
+    Scheduler::Picker pick = [&](const std::vector<std::size_t>& enabled,
+                                 std::size_t decision) -> std::size_t {
+      std::size_t choice = 0;
+      if (decision < path.size()) {
+        if (enabled.size() != path[decision].fanout) {
+          mismatch = true;
+          throw std::runtime_error(
+              "nondeterministic scenario: replayed prefix saw a different "
+              "enabled set");
+        }
+        choice = path[decision].chosen;
+      }
+      taken.push_back(Decision{choice, enabled.size()});
+      return choice;
+    };
+
+    Scheduler::Result run;
+    const std::string failure = run_once(scenario, pick, max_steps, run);
+    result.schedules += 1;
+    if (run.truncated) result.truncated += 1;
+    if (!failure.empty() || mismatch) {
+      result.failed = true;
+      result.failure = failure;
+      result.failing_steps = run.steps;
+      result.failing_choices.clear();
+      for (const Decision& d : taken) result.failing_choices.push_back(d.chosen);
+      return result;
+    }
+
+    // Backtrack: drop exhausted tail decisions, advance the deepest one
+    // that still has an untried sibling.
+    path = std::move(taken);
+    while (!path.empty() && path.back().chosen + 1 >= path.back().fanout)
+      path.pop_back();
+    if (path.empty()) {
+      result.exhausted = true;
+      return result;
+    }
+    path.back().chosen += 1;
+  }
+  return result;
+}
+
+ExploreResult explore_random(const Scenario& scenario,
+                             std::uint64_t base_seed, std::size_t schedules,
+                             std::size_t pct_depth, std::size_t max_steps) {
+  ExploreResult result;
+  result.pct_depth = pct_depth;
+  for (std::size_t i = 0; i < schedules; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    util::Xoshiro256 rng(seed);
+
+    // PCT state: a random priority per logical thread (higher wins) and
+    // pct_depth decision indices where the running thread is demoted.
+    std::vector<std::uint64_t> priority;
+    std::vector<std::size_t> change_points;
+    if (pct_depth > 0) {
+      for (std::size_t d = 0; d < pct_depth; ++d)
+        change_points.push_back(
+            static_cast<std::size_t>(rng.next_below(max_steps ? max_steps : 1)));
+      std::sort(change_points.begin(), change_points.end());
+    }
+    std::uint64_t demotions = 0;
+
+    Scheduler::Picker pick = [&](const std::vector<std::size_t>& enabled,
+                                 std::size_t decision) -> std::size_t {
+      if (pct_depth == 0) {
+        return static_cast<std::size_t>(rng.next_below(enabled.size()));
+      }
+      while (priority.size() <= *std::max_element(enabled.begin(),
+                                                  enabled.end()))
+        priority.push_back((rng.next() >> 1) + (1ULL << 62));
+      std::size_t best = 0;
+      for (std::size_t k = 1; k < enabled.size(); ++k)
+        if (priority[enabled[k]] > priority[enabled[best]]) best = k;
+      if (std::binary_search(change_points.begin(), change_points.end(),
+                             decision))
+        // Successive demotions get pct_depth, pct_depth-1, ... — each
+        // below every initial priority (>= 2^62) and below all earlier
+        // demotions, as PCT requires.
+        priority[enabled[best]] =
+            pct_depth > demotions ? pct_depth - demotions++ : 0;
+      return best;
+    };
+
+    Scheduler::Result run;
+    const std::string failure = run_once(scenario, pick, max_steps, run);
+    result.schedules += 1;
+    if (run.truncated) result.truncated += 1;
+    if (!failure.empty()) {
+      result.failed = true;
+      result.failure = failure;
+      result.failing_steps = run.steps;
+      result.failing_seed = seed;
+      return result;
+    }
+  }
+  return result;
+}
+
+ExploreResult replay_choices(const Scenario& scenario,
+                             const std::vector<std::size_t>& choices,
+                             std::size_t max_steps) {
+  ExploreResult result;
+  Scheduler::Picker pick = [&](const std::vector<std::size_t>& enabled,
+                               std::size_t decision) -> std::size_t {
+    if (decision < choices.size()) {
+      if (choices[decision] >= enabled.size())
+        throw std::runtime_error(
+            "nondeterministic scenario: replayed choice out of range");
+      return choices[decision];
+    }
+    return 0;
+  };
+  Scheduler::Result run;
+  const std::string failure = run_once(scenario, pick, max_steps, run);
+  result.schedules = 1;
+  if (run.truncated) result.truncated = 1;
+  result.failing_steps = run.steps;
+  result.failing_choices = choices;
+  if (!failure.empty()) {
+    result.failed = true;
+    result.failure = failure;
+  }
+  return result;
+}
+
+std::size_t depth_multiplier() {
+  const char* env = std::getenv("HOH_SCHED_DEPTH");
+  if (env == nullptr) return 1;
+  const long v = std::atol(env);
+  return v > 0 ? static_cast<std::size_t>(v) : 1;
+}
+
+std::string describe(const ExploreResult& r) {
+  std::string out = std::to_string(r.schedules) + " schedules";
+  if (r.truncated > 0)
+    out += " (" + std::to_string(r.truncated) + " truncated)";
+  if (r.exhausted) out += ", exhausted";
+  if (r.failed) {
+    out += ", FAILED: " + r.failure;
+    if (!r.failing_choices.empty()) {
+      out += " [choices:";
+      for (std::size_t c : r.failing_choices) out += ' ' + std::to_string(c);
+      out += "]";
+    } else {
+      out += " [seed " + std::to_string(r.failing_seed) + ", depth " +
+             std::to_string(r.pct_depth) + "]";
+    }
+    out += " schedule: " + format_steps(r.failing_steps);
+  }
+  return out;
+}
+
+}  // namespace hohtm::sched

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace hohtm::sched {
+
+/// A schedule-exploration scenario: `setup` resets the shared state
+/// (which should live in static storage, so addresses — and therefore
+/// orec / reservation hash slots — are identical across schedules),
+/// `bodies` are the logical threads, and `check` runs after every
+/// schedule with all threads joined; it returns "" on success or a
+/// failure message.
+struct Scenario {
+  std::function<void()> setup;
+  std::vector<std::function<void()>> bodies;
+  std::function<std::string()> check;
+};
+
+/// Outcome of an exploration. On failure, `failure` carries the message,
+/// `failing_steps` the interleaving, and either `failing_choices` (DFS)
+/// or `failing_seed`/`pct_depth` (random/PCT) is enough to replay the
+/// identical schedule — see replay_choices / replay_random.
+struct ExploreResult {
+  std::size_t schedules = 0;   // schedules actually executed
+  std::size_t truncated = 0;   // schedules that hit the step bound
+  bool exhausted = false;      // DFS: the full tree fit in the budget
+  bool failed = false;
+  std::string failure;
+  std::vector<Step> failing_steps;
+  std::vector<std::size_t> failing_choices;
+  std::uint64_t failing_seed = 0;
+  std::size_t pct_depth = 0;
+};
+
+/// Exhaustive depth-first exploration of every interleaving of the
+/// scenario's SchedPoints, up to `max_schedules` schedules of at most
+/// `max_steps` decisions each. Stops at the first failing schedule.
+/// Deterministic: rerunning is replaying.
+ExploreResult explore_dfs(const Scenario& scenario,
+                          std::size_t max_schedules, std::size_t max_steps);
+
+/// Seeded random exploration. Schedule i uses seed `base_seed + i`, so a
+/// failure report names the exact per-schedule seed. With `pct_depth` ==
+/// 0 every decision picks uniformly among enabled threads; with d > 0 it
+/// is PCT-style priority scheduling (Burckhardt et al.): threads get a
+/// random priority order, the highest-priority enabled thread always
+/// runs, and at d randomly chosen decisions the running thread's
+/// priority drops below everyone — covering bugs that need d ordered
+/// context switches with provable probability. Stops at first failure.
+ExploreResult explore_random(const Scenario& scenario,
+                             std::uint64_t base_seed, std::size_t schedules,
+                             std::size_t pct_depth, std::size_t max_steps);
+
+/// Replay one DFS schedule from its recorded choice list.
+ExploreResult replay_choices(const Scenario& scenario,
+                             const std::vector<std::size_t>& choices,
+                             std::size_t max_steps);
+
+/// Replay one random/PCT schedule from its printed (seed, depth) pair.
+inline ExploreResult replay_random(const Scenario& scenario,
+                                   std::uint64_t seed, std::size_t pct_depth,
+                                   std::size_t max_steps) {
+  return explore_random(scenario, seed, 1, pct_depth, max_steps);
+}
+
+/// Depth multiplier for exploration budgets, from the HOH_SCHED_DEPTH
+/// environment variable (default 1; CI's deep job raises it). Tests
+/// scale max_schedules / schedule counts by this so plain ctest stays
+/// inside the tier-1 time budget.
+std::size_t depth_multiplier();
+
+/// One-line human summary ("42 schedules, exhausted" / "FAILED at seed
+/// 17 depth 3: ...") for test logs.
+std::string describe(const ExploreResult& r);
+
+}  // namespace hohtm::sched

@@ -1,0 +1,235 @@
+#include "sched/scheduler.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace hohtm::sched {
+
+const char* const kOpNames[kOpCount] = {
+    "yield",        "clock_read",   "lock_acquire", "lock_release",
+    "clock_adv",    "orec_read",    "orec_cas",     "orec_release",
+    "load",         "store",        "q_publish",    "q_deactivate",
+    "q_wait",       "rr_reserve",   "rr_get",       "rr_revoke",
+    "backoff",      "mark"};
+
+namespace {
+
+constexpr std::size_t kNone = ~std::size_t{0};
+
+/// All mutable state of one scheduler run. Guarded by `mu`; a single
+/// condition variable is shared by the host and every logical thread
+/// (thread counts are tiny, so broadcast wakeups are cheap and keep the
+/// token-passing protocol simple).
+struct Run {
+  enum class State : std::uint8_t {
+    kStarting,  // thread spawned, not yet parked at its entry point
+    kReady,     // parked at a SchedPoint, runnable
+    kBlocked,   // parked in spin_wait; runnable only when pred() holds
+    kRunning,   // the one thread currently executing
+    kDone,      // body returned
+  };
+
+  struct Thread {
+    State state = State::kStarting;
+    Op pending_op = Op::kYield;     // op it will perform when resumed
+    const void* pending_addr = nullptr;
+    bool (*pred)(void*) = nullptr;  // kBlocked only
+    void* pred_ctx = nullptr;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Thread> threads;
+  std::size_t active = kNone;  // index allowed to run; kNone = host
+  bool cancelled = false;
+  std::string error;
+
+  bool runnable(std::size_t i) {
+    Thread& t = threads[i];
+    if (t.state == State::kReady) return true;
+    // Predicates run on the host thread while every logical thread is
+    // parked (we hold mu), so read-only evaluation is race-free.
+    return t.state == State::kBlocked && t.pred != nullptr &&
+           t.pred(t.pred_ctx);
+  }
+};
+
+Run* g_run = nullptr;                       // guarded by g_run_mu
+std::mutex g_run_mu;                        // serializes whole runs
+thread_local Run* tls_run = nullptr;        // set in managed threads
+thread_local std::size_t tls_index = 0;
+
+/// Park the calling logical thread and hand control to the host. Called
+/// with `lock` held; returns with it held, once this thread is active
+/// again (or the run was cancelled).
+void park(std::unique_lock<std::mutex>& lock, Run& run, std::size_t me) {
+  run.active = kNone;
+  run.cv.notify_all();
+  run.cv.wait(lock, [&] { return run.active == me || run.cancelled; });
+}
+
+}  // namespace
+
+namespace detail {
+
+bool managed_impl() noexcept { return tls_run != nullptr; }
+
+void point_impl(Op op, const void* addr) noexcept {
+  Run* run = tls_run;
+  if (run == nullptr) return;
+  std::unique_lock<std::mutex> lock(run->mu);
+  if (run->cancelled) return;  // free-running teardown
+  Run::Thread& me = run->threads[tls_index];
+  me.state = Run::State::kReady;
+  me.pending_op = op;
+  me.pending_addr = addr;
+  park(lock, *run, tls_index);
+  me.state = Run::State::kRunning;
+}
+
+bool spin_wait_impl(Op op, bool (*ready)(void*), void* ctx) noexcept {
+  Run* run = tls_run;
+  if (run == nullptr) return false;
+  std::unique_lock<std::mutex> lock(run->mu);
+  if (run->cancelled) return false;
+  Run::Thread& me = run->threads[tls_index];
+  me.state = Run::State::kBlocked;
+  me.pending_op = op;
+  me.pending_addr = nullptr;
+  me.pred = ready;
+  me.pred_ctx = ctx;
+  park(lock, *run, tls_index);
+  me.pred = nullptr;
+  me.pred_ctx = nullptr;
+  if (run->cancelled) return false;  // caller falls back to real spinning
+  me.state = Run::State::kRunning;
+  return true;
+}
+
+}  // namespace detail
+
+std::string format_steps(const std::vector<Step>& steps) {
+  std::string out;
+  for (const Step& s : steps) {
+    if (!out.empty()) out += ' ';
+    out += 'T';
+    out += std::to_string(s.thread);
+    out += ':';
+    out += kOpNames[static_cast<std::size_t>(s.op)];
+  }
+  return out;
+}
+
+Scheduler::Result Scheduler::run(
+    const std::vector<std::function<void()>>& bodies, const Picker& pick,
+    std::size_t max_steps) {
+  std::lock_guard<std::mutex> run_guard(g_run_mu);
+  Run run;
+  run.threads.resize(bodies.size());
+  g_run = &run;
+
+  std::vector<std::thread> workers;
+  workers.reserve(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    workers.emplace_back([&run, &bodies, i] {
+      tls_run = &run;
+      tls_index = i;
+      // Entry SchedPoint: every thread parks before touching anything,
+      // so "who goes first" (and thus thread-registry slot order) is the
+      // scheduler's first decision, not an OS race.
+      detail::point_impl(Op::kYield, nullptr);
+      try {
+        bodies[i]();
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(run.mu);
+        if (run.error.empty())
+          run.error = std::string("body threw: ") + e.what();
+        run.cancelled = true;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(run.mu);
+        if (run.error.empty()) run.error = "body threw";
+        run.cancelled = true;
+      }
+      std::lock_guard<std::mutex> lock(run.mu);
+      run.threads[i].state = Run::State::kDone;
+      run.active = kNone;
+      run.cv.notify_all();
+      tls_run = nullptr;
+    });
+  }
+
+  Result result;
+  std::vector<std::size_t> enabled;
+  {
+    std::unique_lock<std::mutex> lock(run.mu);
+    for (std::size_t decision = 0;; ++decision) {
+      // Wait until the world is quiet: no thread running or still
+      // starting up.
+      run.cv.wait(lock, [&] {
+        if (run.active != kNone) return false;
+        for (const Run::Thread& t : run.threads)
+          if (t.state == Run::State::kStarting ||
+              t.state == Run::State::kRunning)
+            return false;
+        return true;
+      });
+      if (run.cancelled) break;
+
+      enabled.clear();
+      bool all_done = true;
+      for (std::size_t i = 0; i < run.threads.size(); ++i) {
+        if (run.threads[i].state != Run::State::kDone) all_done = false;
+        if (run.runnable(i)) enabled.push_back(i);
+      }
+      if (all_done) break;
+      if (enabled.empty()) {
+        result.deadlocked = true;
+        run.cancelled = true;
+        run.cv.notify_all();
+        break;
+      }
+      if (result.steps.size() >= max_steps) {
+        result.truncated = true;
+        run.cancelled = true;
+        run.cv.notify_all();
+        break;
+      }
+
+      std::size_t choice;
+      try {
+        choice = pick(enabled, decision);
+      } catch (const std::exception& e) {
+        run.error = std::string("picker: ") + e.what();
+        run.cancelled = true;
+        run.cv.notify_all();
+        break;
+      }
+      if (choice >= enabled.size()) {
+        run.error = "picker returned out-of-range choice";
+        run.cancelled = true;
+        run.cv.notify_all();
+        break;
+      }
+      const std::size_t next = enabled[choice];
+      result.steps.push_back(Step{static_cast<std::uint32_t>(next),
+                                  run.threads[next].pending_op,
+                                  run.threads[next].pending_addr});
+      run.active = next;
+      run.cv.notify_all();
+    }
+  }
+
+  // Cancelled threads free-run (hooks pass through) until they finish;
+  // healthy runs are already done. Either way the workers are joinable.
+  for (std::thread& w : workers) w.join();
+  {
+    std::lock_guard<std::mutex> lock(run.mu);
+    result.error = run.error;
+  }
+  g_run = nullptr;
+  return result;
+}
+
+}  // namespace hohtm::sched

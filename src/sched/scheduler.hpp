@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/schedpoint.hpp"
+
+namespace hohtm::sched {
+
+/// One executed scheduling decision: logical thread `thread` was chosen
+/// to perform its pending operation `op` on `addr`.
+struct Step {
+  std::uint32_t thread;
+  Op op;
+  const void* addr;
+};
+
+/// Render a schedule as "T0:clock_read T1:lock_acquire ..." for failure
+/// reports and replay comparison.
+std::string format_steps(const std::vector<Step>& steps);
+
+/// Cooperative virtual scheduler: runs N logical threads (real OS
+/// threads, at most ONE runnable at any instant) and serializes them at
+/// SchedPoints, so every interleaving of instrumented shared-memory
+/// accesses is reachable deterministically — including on a 1-CPU box
+/// where preemptive scheduling explores almost nothing.
+///
+/// Execution model (loom/relacy/CHESS style):
+///  - every logical thread parks at start; the host picks who runs;
+///  - the running thread executes until its next SchedPoint, then parks
+///    and hands control back to the host;
+///  - spin_wait points disable a thread until its predicate holds, so
+///    unbounded spin loops (seqlock wait_even, the quiescence fence) are
+///    never scheduling choices and exploration stays finite;
+///  - when no thread is enabled and not all are finished, the run is
+///    reported as a deadlock; when the step bound is hit, as truncated.
+///    In both cases the run is cancelled: hooks become pass-throughs and
+///    the threads free-run to completion so they can be joined.
+///
+/// Requirements on scenario code (see docs/TESTING.md):
+///  - bodies must be deterministic given the schedule (no time, no
+///    unseeded randomness) and must not block on OS primitives the
+///    scheduler cannot see (notably GLock's global std::mutex — use the
+///    instrumented backends TML/NOrec/TL2/TLEager);
+///  - shared state should live in static storage so addresses (and thus
+///    orec/reservation hash slots) are identical across schedules;
+///  - exceptions escaping a body cancel the run and are reported.
+class Scheduler {
+ public:
+  /// Picks the next thread: returns an index INTO `enabled` (sorted
+  /// logical-thread ids that are runnable right now). `decision` counts
+  /// scheduling decisions made so far in this run.
+  using Picker = std::function<std::size_t(
+      const std::vector<std::size_t>& enabled, std::size_t decision)>;
+
+  struct Result {
+    std::vector<Step> steps;
+    bool deadlocked = false;
+    bool truncated = false;  // hit max_steps
+    std::string error;       // body exception / picker failure, if any
+    bool ok() const noexcept {
+      return !deadlocked && !truncated && error.empty();
+    }
+  };
+
+  /// Run `bodies` to completion under `pick`. Only one scheduler run may
+  /// be active per process at a time (enforced). Usable in every build:
+  /// in non-sched builds only explicit Scheduler::yield / spin-wait
+  /// calls inside the bodies create scheduling points.
+  static Result run(const std::vector<std::function<void()>>& bodies,
+                    const Picker& pick, std::size_t max_steps);
+
+  /// Explicit SchedPoint for scenario/test code; works in every build
+  /// (no-op when the calling thread is unmanaged).
+  static void yield(Op op = Op::kYield, const void* addr = nullptr) noexcept {
+    detail::point_impl(op, addr);
+  }
+
+  /// Explicit blocking SchedPoint for scenario/test code. Same contract
+  /// as sched::spin_wait but not compile-time gated: false means the
+  /// caller must spin for real.
+  template <class Pred>
+  static bool block_until(Pred&& pred, Op op = Op::kYield) noexcept {
+    if (!detail::managed_impl()) return false;
+    using P = std::remove_reference_t<Pred>;
+    return detail::spin_wait_impl(
+        op, [](void* ctx) { return (*static_cast<P*>(ctx))(); },
+        const_cast<std::remove_const_t<P>*>(&pred));
+  }
+};
+
+}  // namespace hohtm::sched

@@ -5,6 +5,14 @@
 namespace hohtm::tm {
 
 std::uint64_t SeqLock::wait_even() const noexcept {
+  // Under the virtual scheduler a spinning reader must be *disabled*
+  // (not a scheduling choice) until the writer releases, or exhaustive
+  // exploration would branch on every futile spin. Managed threads park
+  // here; everyone else falls through to the real spin loop, whose
+  // first iteration then succeeds immediately for the managed case.
+  sched::spin_wait(sched::Op::kClockRead, [this] {
+    return (clock_->load(std::memory_order_acquire) & 1) == 0;
+  });
   util::Backoff backoff;
   for (;;) {
     const std::uint64_t v = clock_->load(std::memory_order_acquire);

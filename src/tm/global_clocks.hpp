@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sched/schedpoint.hpp"
 #include "util/cacheline.hpp"
 
 namespace hohtm::tm {
@@ -15,6 +16,7 @@ namespace hohtm::tm {
 class SeqLock {
  public:
   std::uint64_t load_acquire() const noexcept {
+    sched::point(sched::Op::kClockRead, this);
     return clock_->load(std::memory_order_acquire);
   }
 
@@ -23,6 +25,7 @@ class SeqLock {
 
   /// Try to move even `expected` to odd; true on success.
   bool try_lock_from(std::uint64_t expected) noexcept {
+    sched::point(sched::Op::kLockAcquire, this);
     return clock_->compare_exchange_strong(expected, expected + 1,
                                            std::memory_order_acquire,
                                            std::memory_order_relaxed);
@@ -30,6 +33,7 @@ class SeqLock {
 
   /// Release a held (odd) lock, completing one writer generation.
   void unlock_to(std::uint64_t next_even) noexcept {
+    sched::point(sched::Op::kLockRelease, this);
     clock_->store(next_even, std::memory_order_release);
   }
 
@@ -63,10 +67,12 @@ class OrecTable {
   }
 
   std::uint64_t clock() const noexcept {
+    sched::point(sched::Op::kClockRead, this);
     return gvc_->load(std::memory_order_acquire);
   }
 
   std::uint64_t advance_clock() noexcept {
+    sched::point(sched::Op::kClockAdvance, this);
     return gvc_->fetch_add(1, std::memory_order_acq_rel) + 1;
   }
 

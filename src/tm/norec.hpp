@@ -44,7 +44,9 @@ class Norec {
       ErasedWord seen = erased_load(&loc, sizeof(T));
       for (;;) {
         std::atomic_thread_fence(std::memory_order_acquire);
-        if (seqlock().load_acquire() == snapshot_) break;
+        if (seqlock().load_acquire() == snapshot_ ||
+            sched::mutate(sched::Mutation::kSkipReadValidation))
+          break;
         snapshot_ = validate();
         seen = erased_load(&loc, sizeof(T));
       }

@@ -6,7 +6,15 @@
 namespace hohtm::tm {
 
 void Quiescence::wait_until(std::uint64_t ts) const noexcept {
+  // Bug-injection mutant for the schedule explorer: skipping the fence
+  // must let it catch a use-after-free ordering within a bounded search.
+  if (sched::mutate(sched::Mutation::kSkipQuiescenceWait)) return;
   const std::uint64_t stall_start = util::trace_quiesce_enter();
+  // Under the virtual scheduler, block on the whole-fence predicate so
+  // the wait is a single disabled-until-true step whose enabledness does
+  // not depend on registry slot-scan order (keeps replays exact).
+  sched::spin_wait(sched::Op::kQuiesceWait,
+                   [this, ts] { return settled_at(ts); });
   const std::size_t n = util::ThreadRegistry::high_watermark();
   for (std::size_t i = 0; i < n; ++i) {
     util::Backoff backoff;
@@ -22,6 +30,7 @@ void Quiescence::wait_until(std::uint64_t ts) const noexcept {
 
 void Quiescence::wait_all_inactive() const noexcept {
   const std::uint64_t stall_start = util::trace_quiesce_enter();
+  sched::spin_wait(sched::Op::kQuiesceWait, [this] { return all_inactive(); });
   const std::size_t n = util::ThreadRegistry::high_watermark();
   for (std::size_t i = 0; i < n; ++i) {
     util::Backoff backoff;

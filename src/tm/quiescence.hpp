@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "sched/schedpoint.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_registry.hpp"
 
@@ -30,12 +31,14 @@ class Quiescence {
   /// seq_cst: pairs with the scans in wait_* and with serial-mode flags
   /// (Dekker-style publish-then-check / set-then-scan).
   void publish(std::uint64_t ts) noexcept {
+    sched::point(sched::Op::kQuiescePublish, this);
     slots_[util::ThreadRegistry::slot()]->store(ts + 1,
                                                 std::memory_order_seq_cst);
   }
 
   /// Calling thread has no transaction in flight.
   void deactivate() noexcept {
+    sched::point(sched::Op::kQuiesceDeactivate, this);
     slots_[util::ThreadRegistry::slot()]->store(0, std::memory_order_release);
   }
 
@@ -51,6 +54,28 @@ class Quiescence {
   /// Block until every thread is inactive (stop-the-world; used by the
   /// TL2 serial-irrevocable mode). Caller must be inactive.
   void wait_all_inactive() const noexcept;
+
+  /// True when every slot is inactive or published at a timestamp >= ts —
+  /// i.e. wait_until(ts) would return without blocking. A single whole-
+  /// fence predicate (rather than a per-slot scan) so that tests and the
+  /// virtual scheduler observe settledness independently of slot order.
+  bool settled_at(std::uint64_t ts) const noexcept {
+    const std::size_t n = util::ThreadRegistry::high_watermark();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t published =
+          slots_[i]->load(std::memory_order_acquire);
+      if (published != 0 && published < ts + 1) return false;
+    }
+    return true;
+  }
+
+  /// True when every slot is inactive — wait_all_inactive() would not block.
+  bool all_inactive() const noexcept {
+    const std::size_t n = util::ThreadRegistry::high_watermark();
+    for (std::size_t i = 0; i < n; ++i)
+      if (slots_[i]->load(std::memory_order_acquire) != 0) return false;
+    return true;
+  }
 
  private:
   util::CachePadded<std::atomic<std::uint64_t>> slots_[util::kMaxThreads];

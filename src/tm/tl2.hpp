@@ -42,13 +42,16 @@ class Tl2 {
       if (const ErasedWord* buffered = writes_.find(&loc))
         return restore_word<T>(*buffered);
       std::atomic<std::uint64_t>& orec = orecs().orec_for(&loc);
+      sched::point(sched::Op::kOrecRead, &orec);
       const std::uint64_t before = orec.load(std::memory_order_acquire);
       if (OrecTable::is_locked(before)) abort_tx(AbortCause::kLockConflict);
       if (OrecTable::version_of(before) > rv_)
         abort_tx(AbortCause::kReadValidation);
       const T val = atomic_load(loc);
       std::atomic_thread_fence(std::memory_order_acquire);
-      if (orec.load(std::memory_order_acquire) != before)
+      sched::point(sched::Op::kOrecRead, &orec);
+      if (!sched::mutate(sched::Mutation::kSkipReadValidation) &&
+          orec.load(std::memory_order_acquire) != before)
         abort_tx(AbortCause::kReadValidation);
       reads_.push_back(&orec);
       return val;
@@ -78,6 +81,9 @@ class Tl2 {
         // A serial transaction is starting (or running): get out of its
         // way, then re-sample the clock.
         quiescence().deactivate();
+        sched::spin_wait(sched::Op::kLockAcquire, [] {
+          return !serial_flag().load(std::memory_order_acquire);
+        });
         util::Backoff backoff;
         while (serial_flag().load(std::memory_order_acquire)) backoff.pause();
       }
@@ -92,8 +98,10 @@ class Tl2 {
       const std::uint64_t wv = orecs().advance_clock();
       if (rv_ + 1 != wv) validate_reads();
       writes_.write_back();
-      for (const LockedOrec& lo : locked_)
+      for (const LockedOrec& lo : locked_) {
+        sched::point(sched::Op::kOrecRelease, lo.orec);
         lo.orec->store(OrecTable::unlocked(wv), std::memory_order_release);
+      }
       locked_.clear();
       finish_with_frees(wv);
     }
@@ -138,6 +146,7 @@ class Tl2 {
         auto& orec = orecs().orec_for(reinterpret_cast<void*>(e.addr));
         util::Backoff backoff;
         for (std::uint32_t spins = 0;; ++spins) {
+          sched::point(sched::Op::kOrecRead, &orec);
           std::uint64_t seen = orec.load(std::memory_order_acquire);
           if (seen == mine) break;  // already locked by this commit
           if (OrecTable::is_locked(seen)) {
@@ -152,6 +161,7 @@ class Tl2 {
             release_locked();
             abort_tx(AbortCause::kLockConflict);
           }
+          sched::point(sched::Op::kOrecCas, &orec);
           if (orec.compare_exchange_weak(seen, mine,
                                          std::memory_order_acq_rel,
                                          std::memory_order_relaxed)) {
@@ -166,6 +176,7 @@ class Tl2 {
       const std::uint64_t mine =
           OrecTable::locked_by(util::ThreadRegistry::slot());
       for (std::atomic<std::uint64_t>* orec : reads_) {
+        sched::point(sched::Op::kOrecRead, orec);
         const std::uint64_t seen = orec->load(std::memory_order_acquire);
         if (seen == mine) continue;
         if (OrecTable::is_locked(seen) || OrecTable::version_of(seen) > rv_) {
@@ -176,8 +187,10 @@ class Tl2 {
     }
 
     void release_locked() noexcept {
-      for (const LockedOrec& lo : locked_)
+      for (const LockedOrec& lo : locked_) {
+        sched::point(sched::Op::kOrecRelease, lo.orec);
         lo.orec->store(lo.previous, std::memory_order_release);
+      }
       locked_.clear();
     }
 

@@ -47,6 +47,7 @@ class TlEager {
     T read(const T& loc) {
       if (serial_) return atomic_load(loc);
       std::atomic<std::uint64_t>& orec = orecs().orec_for(&loc);
+      sched::point(sched::Op::kOrecRead, &orec);
       const std::uint64_t before = orec.load(std::memory_order_acquire);
       if (before == my_lock_word()) return atomic_load(loc);  // mine
       if (OrecTable::is_locked(before)) abort_tx(AbortCause::kLockConflict);
@@ -54,7 +55,9 @@ class TlEager {
         abort_tx(AbortCause::kReadValidation);
       const T val = atomic_load(loc);
       std::atomic_thread_fence(std::memory_order_acquire);
-      if (orec.load(std::memory_order_acquire) != before)
+      sched::point(sched::Op::kOrecRead, &orec);
+      if (!sched::mutate(sched::Mutation::kSkipReadValidation) &&
+          orec.load(std::memory_order_acquire) != before)
         abort_tx(AbortCause::kReadValidation);
       reads_.push_back(&orec);
       return val;
@@ -85,6 +88,9 @@ class TlEager {
         quiescence().publish(rv_);
         if (!serial_flag().load(std::memory_order_seq_cst)) break;
         quiescence().deactivate();
+        sched::spin_wait(sched::Op::kLockAcquire, [] {
+          return !serial_flag().load(std::memory_order_acquire);
+        });
         util::Backoff backoff;
         while (serial_flag().load(std::memory_order_acquire)) backoff.pause();
       }
@@ -99,16 +105,20 @@ class TlEager {
       const std::uint64_t wv = orecs().advance_clock();
       if (rv_ + 1 != wv) validate_reads();
       undo_.clear();  // writes are already in place and now permanent
-      for (const LockedOrec& lo : locked_)
+      for (const LockedOrec& lo : locked_) {
+        sched::point(sched::Op::kOrecRelease, lo.orec);
         lo.orec->store(OrecTable::unlocked(wv), std::memory_order_release);
+      }
       locked_.clear();
       finish_with_frees(wv);
     }
 
     void on_abort() noexcept {
       undo_.roll_back();  // restore values BEFORE re-exposing old versions
-      for (const LockedOrec& lo : locked_)
+      for (const LockedOrec& lo : locked_) {
+        sched::point(sched::Op::kOrecRelease, lo.orec);
         lo.orec->store(lo.previous, std::memory_order_release);
+      }
       locked_.clear();
       life_.abort();
       quiescence().deactivate();
@@ -144,10 +154,12 @@ class TlEager {
 
     void acquire(const void* addr) {
       std::atomic<std::uint64_t>& orec = orecs().orec_for(addr);
+      sched::point(sched::Op::kOrecRead, &orec);
       std::uint64_t seen = orec.load(std::memory_order_acquire);
       if (seen == my_lock_word()) return;  // already own it
       if (OrecTable::is_locked(seen) || OrecTable::version_of(seen) > rv_)
         abort_tx(AbortCause::kLockConflict);
+      sched::point(sched::Op::kOrecCas, &orec);
       if (!orec.compare_exchange_strong(seen, my_lock_word(),
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed))
@@ -157,6 +169,7 @@ class TlEager {
 
     void validate_reads() {
       for (std::atomic<std::uint64_t>* orec : reads_) {
+        sched::point(sched::Op::kOrecRead, orec);
         const std::uint64_t seen = orec->load(std::memory_order_acquire);
         if (seen == my_lock_word()) continue;
         if (OrecTable::is_locked(seen) || OrecTable::version_of(seen) > rv_)

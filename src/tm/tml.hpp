@@ -30,7 +30,8 @@ class Tml {
     template <TxWord T>
     T read(const T& loc) {
       const T val = atomic_load(loc);
-      if (!writer_ && !serial_) {
+      if (!writer_ && !serial_ &&
+          !sched::mutate(sched::Mutation::kSkipReadValidation)) {
         std::atomic_thread_fence(std::memory_order_acquire);
         if (seqlock().load_acquire() != snapshot_)
           abort_tx(AbortCause::kReadValidation);

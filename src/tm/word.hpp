@@ -5,6 +5,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "sched/schedpoint.hpp"
+
 namespace hohtm::tm {
 
 /// Transactional locations must be word-sized (or smaller), trivially
@@ -22,11 +24,13 @@ concept TxWord = std::is_trivially_copyable_v<T> && sizeof(T) <= 8 &&
 /// only need to not tear and to not be reordered around the metadata checks.
 template <TxWord T>
 inline T atomic_load(const T& loc) noexcept {
+  sched::point(sched::Op::kTmLoad, &loc);
   return std::atomic_ref<const T>(loc).load(std::memory_order_acquire);
 }
 
 template <TxWord T>
 inline void atomic_store(T& loc, T val) noexcept {
+  sched::point(sched::Op::kTmStore, &loc);
   std::atomic_ref<T>(loc).store(val, std::memory_order_release);
 }
 

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "sched/schedpoint.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -31,6 +33,14 @@ class Backoff {
       : limit_(min_spins), max_(max_spins) {}
 
   void pause() noexcept {
+    if constexpr (sched::kSchedBuild) {
+      // A managed thread must hand control back to the virtual scheduler
+      // instead of burning its (only) virtual timeslice spinning.
+      if (sched::managed()) {
+        sched::point(sched::Op::kBackoff);
+        return;
+      }
+    }
     if (limit_ > max_) {
       std::this_thread::yield();
       return;

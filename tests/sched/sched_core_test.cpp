@@ -1,0 +1,242 @@
+// Unit tests for the virtual scheduler and the exploration drivers
+// themselves. These run in EVERY build: the Scheduler's machinery is not
+// gated on HOHTM_SCHED (only the TM/RR hooks are), and the toy scenarios
+// here create their scheduling points explicitly with Scheduler::yield /
+// Scheduler::block_until.
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/explore.hpp"
+#include "sched/schedpoint.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using hohtm::sched::ExploreResult;
+using hohtm::sched::Scenario;
+using hohtm::sched::Scheduler;
+using hohtm::sched::describe;
+using hohtm::sched::explore_dfs;
+using hohtm::sched::explore_random;
+using hohtm::sched::format_steps;
+using hohtm::sched::replay_choices;
+using hohtm::sched::replay_random;
+
+// Two threads, one explicit yield each: every thread has two segments
+// (entry-park -> yield-park -> done), so the complete interleavings are
+// the ways to merge two 2-segment sequences: C(4,2) = 6.
+TEST(SchedCore, DfsCountsAllInterleavings) {
+  static int completions;
+  Scenario s;
+  s.setup = [] { completions = 0; };
+  auto body = [] {
+    Scheduler::yield();
+    ++completions;
+  };
+  s.bodies = {body, body};
+  s.check = [] {
+    return completions == 2 ? std::string()
+                            : std::string("body did not finish");
+  };
+  const ExploreResult r = explore_dfs(s, 1000, 100);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_TRUE(r.exhausted) << describe(r);
+  EXPECT_EQ(r.schedules, 6u) << describe(r);
+}
+
+// An ordering bug that only some schedules expose: thread B observes
+// whether thread A's second segment already ran. DFS must find a failing
+// schedule, and replaying its recorded choices must reproduce the exact
+// same step sequence and verdict.
+TEST(SchedCore, DfsFindsOrderingBugAndReplayReproducesIt) {
+  static bool a_done;
+  static bool b_saw_a;
+  Scenario s;
+  s.setup = [] {
+    a_done = false;
+    b_saw_a = false;
+  };
+  s.bodies = {
+      [] {
+        Scheduler::yield();
+        a_done = true;
+      },
+      [] { b_saw_a = a_done; },
+  };
+  s.check = [] {
+    return b_saw_a ? std::string("B observed A's unpublished write")
+                   : std::string();
+  };
+  const ExploreResult r = explore_dfs(s, 1000, 100);
+  ASSERT_TRUE(r.failed) << describe(r);
+  ASSERT_FALSE(r.failing_choices.empty());
+
+  const ExploreResult again = replay_choices(s, r.failing_choices, 100);
+  EXPECT_TRUE(again.failed) << describe(again);
+  EXPECT_EQ(again.failure, r.failure);
+  EXPECT_EQ(format_steps(again.failing_steps), format_steps(r.failing_steps));
+}
+
+// Circular block_until dependency: neither predicate can ever become
+// true, so the scheduler must report a deadlock rather than hang. On
+// cancellation block_until returns false and the bodies bail out, which
+// keeps the threads joinable.
+TEST(SchedCore, DeadlockIsDetectedNotHung) {
+  static std::atomic<bool> a{false};
+  static std::atomic<bool> b{false};
+  Scenario s;
+  s.setup = [] {
+    a.store(false);
+    b.store(false);
+  };
+  s.bodies = {
+      [] {
+        if (!Scheduler::block_until([] { return a.load(); })) return;
+        b.store(true);
+      },
+      [] {
+        if (!Scheduler::block_until([] { return b.load(); })) return;
+        a.store(true);
+      },
+  };
+  const ExploreResult r = explore_dfs(s, 10, 100);
+  ASSERT_TRUE(r.failed) << describe(r);
+  EXPECT_NE(r.failure.find("deadlock"), std::string::npos) << r.failure;
+}
+
+// block_until threads whose predicates another thread satisfies are
+// disabled, not deadlocked: the producer must run first even though the
+// picker always prefers the lowest-numbered enabled thread.
+TEST(SchedCore, BlockedThreadIsDisabledUntilPredicateHolds) {
+  static std::atomic<bool> flag{false};
+  static bool consumer_ran_after;
+  Scenario s;
+  s.setup = [] {
+    flag.store(false);
+    consumer_ran_after = false;
+  };
+  s.bodies = {
+      [] {
+        if (!Scheduler::block_until([] { return flag.load(); })) return;
+        consumer_ran_after = flag.load();
+      },
+      [] { flag.store(true); },
+  };
+  s.check = [] {
+    return consumer_ran_after ? std::string()
+                              : std::string("consumer resumed too early");
+  };
+  const ExploreResult r = explore_dfs(s, 1000, 100);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_TRUE(r.exhausted) << describe(r);
+}
+
+// Hitting the step bound truncates the schedule (tallied, not failed).
+TEST(SchedCore, TruncationIsCountedNotFailed) {
+  Scenario s;
+  s.bodies = {
+      [] {
+        for (int i = 0; i < 50; ++i) Scheduler::yield();
+      },
+      [] {},
+  };
+  const ExploreResult r = explore_dfs(s, 3, 10);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_EQ(r.truncated, r.schedules);
+}
+
+// Same seed => byte-identical schedule, for uniform-random and for PCT
+// scheduling; replay_random(seed, depth) reproduces the printed failure.
+TEST(SchedCore, SeededSchedulesAreReproducible) {
+  static int dummy;
+  Scenario s;
+  s.setup = [] { dummy = 0; };
+  auto body = [] {
+    for (int i = 0; i < 4; ++i) {
+      Scheduler::yield();
+      ++dummy;
+    }
+  };
+  s.bodies = {body, body, body};
+  // Always "fail" so the explorer captures the executed steps.
+  s.check = [] { return std::string("recorder"); };
+
+  for (std::size_t depth : {std::size_t{0}, std::size_t{3}}) {
+    const ExploreResult first = explore_random(s, 0xfeedULL, 1, depth, 200);
+    const ExploreResult second = explore_random(s, 0xfeedULL, 1, depth, 200);
+    ASSERT_TRUE(first.failed);
+    EXPECT_EQ(first.failing_seed, 0xfeedULL);
+    EXPECT_EQ(format_steps(first.failing_steps),
+              format_steps(second.failing_steps))
+        << "depth " << depth;
+
+    const ExploreResult replay =
+        replay_random(s, first.failing_seed, depth, 200);
+    ASSERT_TRUE(replay.failed);
+    EXPECT_EQ(format_steps(replay.failing_steps),
+              format_steps(first.failing_steps))
+        << "depth " << depth;
+  }
+}
+
+// A healthy scenario under random exploration runs exactly the requested
+// number of schedules.
+TEST(SchedCore, RandomExplorationRunsAllSchedules) {
+  Scenario s;
+  auto body = [] { Scheduler::yield(); };
+  s.bodies = {body, body};
+  const ExploreResult r = explore_random(s, 7, 50, 2, 100);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_EQ(r.schedules, 50u);
+}
+
+// A scenario whose control flow differs between schedules breaks DFS
+// prefix replay; the explorer must report that, not silently explore a
+// wrong tree.
+TEST(SchedCore, NondeterministicScenarioIsReported) {
+  static int runs;
+  runs = 0;
+  Scenario s;
+  s.setup = [] { ++runs; };
+  s.bodies = {
+      [] {
+        if (runs == 1) Scheduler::yield();
+      },
+      [] { Scheduler::yield(); },
+  };
+  const ExploreResult r = explore_dfs(s, 100, 100);
+  ASSERT_TRUE(r.failed) << describe(r);
+  EXPECT_NE(r.failure.find("nondeterministic"), std::string::npos)
+      << r.failure;
+}
+
+// Outside a scheduler run every hook is inert, in every build.
+TEST(SchedCore, HooksAreNoopsOnUnmanagedThreads) {
+  EXPECT_FALSE(hohtm::sched::managed());
+  Scheduler::yield();  // must not crash or block
+  EXPECT_FALSE(Scheduler::block_until([] { return true; }));
+  EXPECT_FALSE(hohtm::sched::spin_wait(hohtm::sched::Op::kYield,
+                                       [] { return true; }));
+}
+
+// Mutations are settable everywhere but only observable in sched builds,
+// so production binaries carry no injected-bug branches.
+TEST(SchedCore, MutationsAreGatedOnSchedBuilds) {
+  using hohtm::sched::Mutation;
+  hohtm::sched::set_mutation(Mutation::kDropRevoke);
+  EXPECT_EQ(hohtm::sched::mutate(Mutation::kDropRevoke),
+            hohtm::sched::kSchedBuild);
+  EXPECT_FALSE(hohtm::sched::mutate(Mutation::kSkipQuiescenceWait));
+  hohtm::sched::set_mutation(Mutation::kNone);
+  EXPECT_FALSE(hohtm::sched::mutate(Mutation::kDropRevoke));
+}
+
+// HOH_SCHED_DEPTH scales exploration budgets; unset means 1.
+TEST(SchedCore, DepthMultiplierDefaultsToOne) {
+  EXPECT_GE(hohtm::sched::depth_multiplier(), 1u);
+}
+
+}  // namespace

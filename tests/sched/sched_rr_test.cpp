@@ -1,0 +1,159 @@
+// Schedule exploration of the revocable-reservation protocols: a
+// hand-over-hand traverser that reserves a node in one transaction and
+// dereferences it through a later Get, racing a remover that revokes the
+// node, waits on the quiescence fence, and "frees" it (here: stamps a
+// tombstone, so a use-after-free is an assertion instead of UB).
+//
+// Invariant (paper §3): a Get that commits non-nil entitles the holder
+// to dereference the reference in that same transaction. The kDropRevoke
+// mutant disables the revocation write and the explorer must find the
+// resulting stale-dereference within a bounded number of schedules.
+//
+// Backend is TML: its conflict detection is address-independent (one
+// global seqlock), so recycled thread-registry slot numbers can never
+// change control flow between schedules — a determinism requirement of
+// DFS prefix replay (src/sched/scheduler.hpp).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rr_so.hpp"
+#include "core/rr_v.hpp"
+#include "core/rr_xo.hpp"
+#include "sched/explore.hpp"
+#include "sched/schedpoint.hpp"
+#include "tm/config.hpp"
+#include "tm/tml.hpp"
+
+namespace {
+
+using hohtm::sched::ExploreResult;
+using hohtm::sched::Mutation;
+using hohtm::sched::Scenario;
+using hohtm::sched::describe;
+using hohtm::sched::depth_multiplier;
+using hohtm::sched::explore_dfs;
+using hohtm::sched::format_steps;
+using hohtm::sched::replay_choices;
+using hohtm::sched::set_mutation;
+using hohtm::tm::Tml;
+
+#define REQUIRE_SCHED_BUILD()                                       \
+  do {                                                              \
+    if constexpr (!hohtm::sched::kSchedBuild)                       \
+      GTEST_SKIP() << "needs -DHOHTM_SCHED=ON (scripts/check.sh "   \
+                      "--sched)";                                   \
+  } while (0)
+
+struct ScenarioGuard {
+  ScenarioGuard() { hohtm::tm::Config::set_serial_threshold(1000); }
+  ~ScenarioGuard() {
+    set_mutation(Mutation::kNone);
+    hohtm::tm::Config::set_serial_threshold(8);
+  }
+};
+
+template <class R>
+struct RrState {
+  struct Node {
+    long tombstone = 0;
+  };
+  // Static storage: addresses (and thus reservation hash slots) are
+  // identical across schedules. The reservation object is constructed
+  // once; each schedule's own register/reserve/revoke sequence rewrites
+  // every word it later reads, so no per-schedule reset is needed.
+  static inline Node node;
+  static inline R reservations{4};
+  static inline bool stale_deref;
+};
+
+template <class R>
+Scenario rr_scenario() {
+  using S = RrState<R>;
+  Scenario s;
+  s.setup = [] {
+    S::node.tombstone = 0;
+    S::stale_deref = false;
+  };
+  s.bodies = {
+      // Traverser: reserve in one transaction, then (hand-over-hand) a
+      // later transaction re-acquires the reference through Get and
+      // dereferences it. Get == nil means the remover won; back off.
+      [] {
+        Tml::atomically([](auto& tx) {
+          S::reservations.register_thread(tx);
+          S::reservations.reserve(tx, &S::node);
+        });
+        const long saw = Tml::atomically([](auto& tx) -> long {
+          const hohtm::rr::Ref ref = S::reservations.get(tx);
+          if (ref == nullptr) return -1;
+          return tx.read(S::node.tombstone);
+        });
+        if (saw == 1) S::stale_deref = true;
+      },
+      // Remover: revoke, fence, "free".
+      [] {
+        Tml::atomically(
+            [](auto& tx) { S::reservations.revoke(tx, &S::node); });
+        Tml::quiesce_before_free();
+        hohtm::tm::atomic_store(S::node.tombstone, 1L);
+      },
+  };
+  s.check = [] {
+    return S::stale_deref
+               ? std::string("committed Get returned a freed reference")
+               : std::string();
+  };
+  return s;
+}
+
+template <class R>
+void expect_reservation_protects() {
+  ScenarioGuard guard;
+  const ExploreResult r =
+      explore_dfs(rr_scenario<R>(), 8000 * depth_multiplier(), 400);
+  EXPECT_FALSE(r.failed) << R::name() << ": " << describe(r);
+}
+
+template <class R>
+void expect_drop_revoke_caught() {
+  ScenarioGuard guard;
+  const Scenario s = rr_scenario<R>();
+  set_mutation(Mutation::kDropRevoke);
+  const ExploreResult r =
+      explore_dfs(s, 40000 * depth_multiplier(), 400);
+  ASSERT_TRUE(r.failed) << R::name() << ": mutant survived " << describe(r);
+  ASSERT_FALSE(r.failing_choices.empty());
+  const ExploreResult again = replay_choices(s, r.failing_choices, 400);
+  EXPECT_TRUE(again.failed) << R::name() << ": " << describe(again);
+  EXPECT_EQ(format_steps(again.failing_steps), format_steps(r.failing_steps))
+      << R::name() << ": replay diverged";
+}
+
+TEST(SchedRr, RrXoReservationProtectsTraverser) {
+  REQUIRE_SCHED_BUILD();
+  expect_reservation_protects<hohtm::rr::RrXo<Tml>>();
+}
+TEST(SchedRr, RrSoReservationProtectsTraverser) {
+  REQUIRE_SCHED_BUILD();
+  expect_reservation_protects<hohtm::rr::RrSo<Tml>>();
+}
+TEST(SchedRr, RrVReservationProtectsTraverser) {
+  REQUIRE_SCHED_BUILD();
+  expect_reservation_protects<hohtm::rr::RrV<Tml>>();
+}
+
+TEST(SchedRr, RrXoDropRevokeMutantCaught) {
+  REQUIRE_SCHED_BUILD();
+  expect_drop_revoke_caught<hohtm::rr::RrXo<Tml>>();
+}
+TEST(SchedRr, RrSoDropRevokeMutantCaught) {
+  REQUIRE_SCHED_BUILD();
+  expect_drop_revoke_caught<hohtm::rr::RrSo<Tml>>();
+}
+TEST(SchedRr, RrVDropRevokeMutantCaught) {
+  REQUIRE_SCHED_BUILD();
+  expect_drop_revoke_caught<hohtm::rr::RrV<Tml>>();
+}
+
+}  // namespace

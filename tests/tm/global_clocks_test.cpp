@@ -29,11 +29,12 @@ TEST(SeqLock, LockUnlockCycle) {
 TEST(SeqLock, WaitEvenBlocksUntilRelease) {
   SeqLock lock;
   ASSERT_TRUE(lock.try_lock_from(0));
-  std::thread releaser([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    lock.unlock_to(2);
-  });
-  EXPECT_EQ(lock.wait_even(), 2u);  // returns only after the release
+  // Ordering-free assertion (no sleep needed): wait_even can only return
+  // an even value, and the only even transition is the releaser's
+  // unlock_to(2), so the return value proves wait_even observed the
+  // release whether or not it had to spin first.
+  std::thread releaser([&] { lock.unlock_to(2); });
+  EXPECT_EQ(lock.wait_even(), 2u);
   releaser.join();
 }
 

@@ -23,49 +23,48 @@ TEST(Quiescence, PublishedTimestampGates) {
   Quiescence q;
   util::SpinBarrier barrier(2);
   std::atomic<bool> released{false};
-  std::atomic<bool> waiter_done{false};
 
   std::thread reader([&] {
     q.publish(5);
     barrier.arrive_and_wait();
     while (!released.load()) std::this_thread::yield();
     q.publish(10);  // advance past the waiter's bar
-    while (!waiter_done.load()) std::this_thread::yield();
     q.deactivate();
   });
 
   barrier.arrive_and_wait();
-  // Reader is published at 5 < 10: a short poll confirms wait_until(10)
-  // would block (we cannot call it here or we would deadlock the test,
-  // so check the observable precondition instead).
-  std::thread waiter([&] {
-    q.wait_until(10);
-    waiter_done.store(true);
-  });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_FALSE(waiter_done.load()) << "waiter passed a lagging reader";
+  // The reader is published at 5, so the fence's settle predicate (the
+  // exact condition wait_until spins on) must hold at 5 and fail above
+  // it — a deterministic probe of "wait_until(10) would block", with no
+  // timing involved.
+  EXPECT_FALSE(q.settled_at(10)) << "fence would pass a lagging reader";
+  EXPECT_FALSE(q.settled_at(6));
+  EXPECT_TRUE(q.settled_at(5));
+  EXPECT_TRUE(q.settled_at(4));
   released.store(true);
-  waiter.join();
-  EXPECT_TRUE(waiter_done.load());
+  q.wait_until(10);  // returns only once the reader advances to 10
   reader.join();
+  EXPECT_TRUE(q.settled_at(10));
 }
 
 TEST(Quiescence, DeactivateUnblocks) {
   Quiescence q;
   util::SpinBarrier barrier(2);
-  std::atomic<bool> waiter_done{false};
+  std::atomic<bool> release{false};
 
   std::thread reader([&] {
     q.publish(3);
     barrier.arrive_and_wait();
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    while (!release.load()) std::this_thread::yield();
     q.deactivate();
   });
   barrier.arrive_and_wait();
-  q.wait_until(10);  // reader at 3 gates us until it deactivates
-  waiter_done.store(true);
+  EXPECT_FALSE(q.settled_at(10));  // reader at 3 gates the fence
+  release.store(true);
+  q.wait_until(10);  // returns only once the reader deactivates
   reader.join();
-  EXPECT_TRUE(waiter_done.load());
+  EXPECT_TRUE(q.settled_at(10));
+  EXPECT_TRUE(q.all_inactive());
 }
 
 TEST(Quiescence, ActiveFlagTracksPublish) {

@@ -93,20 +93,22 @@ TYPED_TEST(TmSerialTest, UserRetryWaitsForCondition) {
   static long result;
   flag = 0;
   result = 0;
-  util::SpinBarrier barrier(2);
+  // Handshake instead of a sleep: the setter satisfies the condition only
+  // after the waiter has observed flag == 0 and committed to retrying, so
+  // the retry path is exercised deterministically on any scheduler.
+  std::atomic<bool> retried{false};
 
   std::thread waiter([&] {
-    barrier.arrive_and_wait();
     TM::atomically([&](typename TM::Tx& tx) {
-      if (tx.read(flag) == 0) tx.retry();  // spins until flag is set
+      if (tx.read(flag) == 0) {
+        retried.store(true);  // non-transactional: survives the abort
+        tx.retry();           // spins until flag is set
+      }
       tx.write(result, tx.read(flag) * 2);
     });
   });
   std::thread setter([&] {
-    barrier.arrive_and_wait();
-    // Give the waiter time to spin through speculative retries and
-    // (likely) enter the serial fallback before satisfying it.
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    while (!retried.load()) std::this_thread::yield();
     TM::atomically([&](typename TM::Tx& tx) { tx.write(flag, 21L); });
   });
   waiter.join();
