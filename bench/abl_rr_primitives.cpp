@@ -79,7 +79,7 @@ void BM_RevokeWithHolders(benchmark::State& state) {
         res.reserve(tx, &g_targets[t]);
       });
       ready.arrive_and_wait();
-      while (!stop.load(std::memory_order_acquire)) std::this_thread::yield();
+      stop.wait(false, std::memory_order_acquire);
     });
   }
   ready.arrive_and_wait();
@@ -87,7 +87,8 @@ void BM_RevokeWithHolders(benchmark::State& state) {
   for (auto _ : state) {
     TM::atomically([&](Tx& tx) { res.revoke(tx, &g_targets[63]); });
   }
-  stop.store(true);
+  stop.store(true, std::memory_order_release);
+  stop.notify_all();
   for (auto& th : threads) th.join();
 }
 

@@ -16,6 +16,7 @@
 
 #include "ds/bst_external.hpp"
 #include "reclaim/gauge.hpp"
+#include "util/backoff.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -53,7 +54,8 @@ int main() {
       for (;;) {
         const long task = next_ticket.fetch_add(1);
         if (task >= kBound) return;
-        while (!queue.remove(task)) std::this_thread::yield();
+        hohtm::util::Backoff backoff;
+        while (!queue.remove(task)) backoff.pause();
         consumed.fetch_add(1);
       }
     });

@@ -8,6 +8,7 @@
 #include "util/cacheline.hpp"
 #include "util/thread_registry.hpp"
 #include "util/trace.hpp"
+#include "util/tsan.hpp"
 
 namespace hohtm::rr {
 
@@ -58,6 +59,10 @@ concept Reservation =
 /// the TM backends use for abort causes (and the trace events below).
 inline void note_revocation(Ref ref = nullptr) noexcept {
   sched::point(sched::Op::kRrRevoke, ref);
+  // The revoker's unlink of `ref` happens-before the node's free (which
+  // its own commit gates behind quiescence); mirrored per-node for TSan
+  // so a report on freed node memory names the reservation choreography.
+  tsan::release(ref);
   tm::Stats::mine().record(tm::AbortCause::kRrRevocation);
   util::trace_event(util::Ev::kRrRevoke,
                     reinterpret_cast<std::uintptr_t>(ref));
@@ -79,6 +84,7 @@ inline bool mutation_drops_revoke() noexcept {
 /// revocation tally. Compiled out entirely in non-trace builds.
 inline void note_reserve(Ref ref) noexcept {
   sched::point(sched::Op::kRrReserve, ref);
+  tsan::release(ref);  // this thread's accesses to ref, up to the park
   util::trace_event(util::Ev::kRrReserve,
                     reinterpret_cast<std::uintptr_t>(ref));
 }

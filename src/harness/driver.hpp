@@ -1,7 +1,8 @@
 #pragma once
 
-#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -98,25 +99,36 @@ CellResult run_cell(const WorkloadConfig& config, SetFactory&& make_set) {
         barrier.arrive_and_wait();  // line up the finish
       });
     }
-    // Footprint sampler: a side thread polling the live-object gauge on
+    // Footprint sampler: a side thread reading the live-object gauge on
     // a wall-clock cadence while the workers run. Bench-only (enabled by
     // HOH_BENCH_FOOTPRINT_MS); tests keep it off, so no test depends on
-    // sleep timing.
-    std::atomic<bool> stop_sampler{false};
+    // timing. It waits on a condition variable with an absolute deadline
+    // rather than sleeping: shutdown interrupts the wait immediately (no
+    // stale trailing sample, no up-to-one-period join stall), and between
+    // samples the thread is truly blocked instead of burning the single
+    // CPU the workers need.
+    std::mutex sampler_mu;
+    std::condition_variable sampler_cv;
+    bool stop_sampler = false;
     std::vector<FootprintSample> samples;
     std::thread sampler;
     barrier.arrive_and_wait();
     const auto start = std::chrono::steady_clock::now();
     if (config.footprint_ms > 0) {
       sampler = std::thread([&] {
-        while (!stop_sampler.load(std::memory_order_acquire)) {
+        const auto period = std::chrono::milliseconds(config.footprint_ms);
+        auto deadline = start + period;
+        std::unique_lock<std::mutex> lock(sampler_mu);
+        for (;;) {
           const double t_ms = std::chrono::duration<double, std::milli>(
                                   std::chrono::steady_clock::now() - start)
                                   .count();
           samples.push_back(
               FootprintSample{t_ms, reclaim::Gauge::live() - live_baseline});
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(config.footprint_ms));
+          if (sampler_cv.wait_until(lock, deadline,
+                                    [&] { return stop_sampler; }))
+            return;
+          deadline += period;
         }
       });
     }
@@ -124,7 +136,11 @@ CellResult run_cell(const WorkloadConfig& config, SetFactory&& make_set) {
     const auto stop = std::chrono::steady_clock::now();
     for (auto& th : threads) th.join();
     if (sampler.joinable()) {
-      stop_sampler.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(sampler_mu);
+        stop_sampler = true;
+      }
+      sampler_cv.notify_one();
       sampler.join();
     }
 

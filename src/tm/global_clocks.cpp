@@ -16,7 +16,10 @@ std::uint64_t SeqLock::wait_even() const noexcept {
   util::Backoff backoff;
   for (;;) {
     const std::uint64_t v = clock_->load(std::memory_order_acquire);
-    if ((v & 1) == 0) return v;
+    if ((v & 1) == 0) {
+      tsan::acquire(this);  // even clock: the last writer's unlock is seen
+      return v;
+    }
     backoff.pause();
   }
 }

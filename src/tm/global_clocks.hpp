@@ -6,6 +6,7 @@
 
 #include "sched/schedpoint.hpp"
 #include "util/cacheline.hpp"
+#include "util/tsan.hpp"
 
 namespace hohtm::tm {
 
@@ -17,7 +18,13 @@ class SeqLock {
  public:
   std::uint64_t load_acquire() const noexcept {
     sched::point(sched::Op::kClockRead, this);
-    return clock_->load(std::memory_order_acquire);
+    const std::uint64_t v = clock_->load(std::memory_order_acquire);
+    // Happens-before: the last unlock_to's release (or its release
+    // sequence through a writer's CAS) is what this load synchronizes
+    // with; mirrored for TSan because the backends' data accesses order
+    // themselves against this check with fences TSan cannot model.
+    tsan::acquire(this);
+    return v;
   }
 
   /// Spin until the clock is even, return its value.
@@ -26,14 +33,17 @@ class SeqLock {
   /// Try to move even `expected` to odd; true on success.
   bool try_lock_from(std::uint64_t expected) noexcept {
     sched::point(sched::Op::kLockAcquire, this);
-    return clock_->compare_exchange_strong(expected, expected + 1,
-                                           std::memory_order_acquire,
-                                           std::memory_order_relaxed);
+    const bool won = clock_->compare_exchange_strong(
+        expected, expected + 1, std::memory_order_acquire,
+        std::memory_order_relaxed);
+    if (won) tsan::acquire(this);  // synchronizes with the prior unlock_to
+    return won;
   }
 
   /// Release a held (odd) lock, completing one writer generation.
   void unlock_to(std::uint64_t next_even) noexcept {
     sched::point(sched::Op::kLockRelease, this);
+    tsan::release(this);  // publishes this writer generation's write-back
     clock_->store(next_even, std::memory_order_release);
   }
 
@@ -68,12 +78,17 @@ class OrecTable {
 
   std::uint64_t clock() const noexcept {
     sched::point(sched::Op::kClockRead, this);
-    return gvc_->load(std::memory_order_acquire);
+    const std::uint64_t v = gvc_->load(std::memory_order_acquire);
+    tsan::acquire(this);  // synchronizes with the last advance_clock
+    return v;
   }
 
   std::uint64_t advance_clock() noexcept {
     sched::point(sched::Op::kClockAdvance, this);
-    return gvc_->fetch_add(1, std::memory_order_acq_rel) + 1;
+    tsan::release(this);  // acq_rel RMW: both edges, mirrored for TSan
+    const std::uint64_t v = gvc_->fetch_add(1, std::memory_order_acq_rel) + 1;
+    tsan::acquire(this);
+    return v;
   }
 
  private:

@@ -21,7 +21,12 @@ void Quiescence::wait_until(std::uint64_t ts) const noexcept {
     for (;;) {
       const std::uint64_t published =
           slots_[i]->load(std::memory_order_acquire);
-      if (published == 0 || published >= ts + 1) break;
+      if (published == 0 || published >= ts + 1) {
+        // The slot owner's accesses up to its publish/deactivate now
+        // happen-before the deferred frees that follow this fence.
+        tsan::acquire(&*slots_[i]);
+        break;
+      }
       backoff.pause();
     }
   }
@@ -35,6 +40,7 @@ void Quiescence::wait_all_inactive() const noexcept {
   for (std::size_t i = 0; i < n; ++i) {
     util::Backoff backoff;
     while (slots_[i]->load(std::memory_order_acquire) != 0) backoff.pause();
+    tsan::acquire(&*slots_[i]);  // see wait_until
   }
   util::trace_quiesce_exit(stall_start);
 }

@@ -6,6 +6,7 @@
 #include "sched/schedpoint.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_registry.hpp"
+#include "util/tsan.hpp"
 
 namespace hohtm::tm {
 
@@ -32,14 +33,19 @@ class Quiescence {
   /// (Dekker-style publish-then-check / set-then-scan).
   void publish(std::uint64_t ts) noexcept {
     sched::point(sched::Op::kQuiescePublish, this);
-    slots_[util::ThreadRegistry::slot()]->store(ts + 1,
-                                                std::memory_order_seq_cst);
+    auto& slot = *slots_[util::ThreadRegistry::slot()];
+    // Everything this thread read before (re)validating at ts must
+    // happen-before any free gated on wait_until(<= ts) observing it.
+    tsan::release(&slot);
+    slot.store(ts + 1, std::memory_order_seq_cst);
   }
 
   /// Calling thread has no transaction in flight.
   void deactivate() noexcept {
     sched::point(sched::Op::kQuiesceDeactivate, this);
-    slots_[util::ThreadRegistry::slot()]->store(0, std::memory_order_release);
+    auto& slot = *slots_[util::ThreadRegistry::slot()];
+    tsan::release(&slot);  // all of this thread's transactional accesses
+    slot.store(0, std::memory_order_release);
   }
 
   bool active() const noexcept {

@@ -12,6 +12,7 @@
 #include "tm/txsets.hpp"
 #include "tm/word.hpp"
 #include "util/backoff.hpp"
+#include "util/tsan.hpp"
 #include "util/thread_registry.hpp"
 
 namespace hohtm::tm {
@@ -53,6 +54,10 @@ class Tl2 {
       if (!sched::mutate(sched::Mutation::kSkipReadValidation) &&
           orec.load(std::memory_order_acquire) != before)
         abort_tx(AbortCause::kReadValidation);
+      // Re-check passed: the version this read ran at was published by a
+      // committer's release store on this orec (mirrored for TSan; the
+      // data load orders against the re-check via a fence TSan ignores).
+      tsan::acquire(&orec);
       reads_.push_back(&orec);
       return val;
     }
@@ -100,6 +105,7 @@ class Tl2 {
       writes_.write_back();
       for (const LockedOrec& lo : locked_) {
         sched::point(sched::Op::kOrecRelease, lo.orec);
+        tsan::release(lo.orec);  // publishes the write-back at version wv
         lo.orec->store(OrecTable::unlocked(wv), std::memory_order_release);
       }
       locked_.clear();
@@ -165,6 +171,7 @@ class Tl2 {
           if (orec.compare_exchange_weak(seen, mine,
                                          std::memory_order_acq_rel,
                                          std::memory_order_relaxed)) {
+            tsan::acquire(&orec);  // synchronizes with the prior release
             locked_.push_back(LockedOrec{&orec, seen});
             break;
           }

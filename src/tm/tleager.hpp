@@ -12,6 +12,7 @@
 #include "tm/txsets.hpp"
 #include "tm/word.hpp"
 #include "util/backoff.hpp"
+#include "util/tsan.hpp"
 #include "util/thread_registry.hpp"
 
 namespace hohtm::tm {
@@ -59,6 +60,7 @@ class TlEager {
       if (!sched::mutate(sched::Mutation::kSkipReadValidation) &&
           orec.load(std::memory_order_acquire) != before)
         abort_tx(AbortCause::kReadValidation);
+      tsan::acquire(&orec);  // see Tl2::Tx::read
       reads_.push_back(&orec);
       return val;
     }
@@ -107,6 +109,7 @@ class TlEager {
       undo_.clear();  // writes are already in place and now permanent
       for (const LockedOrec& lo : locked_) {
         sched::point(sched::Op::kOrecRelease, lo.orec);
+        tsan::release(lo.orec);  // publishes the in-place writes at wv
         lo.orec->store(OrecTable::unlocked(wv), std::memory_order_release);
       }
       locked_.clear();
@@ -117,6 +120,7 @@ class TlEager {
       undo_.roll_back();  // restore values BEFORE re-exposing old versions
       for (const LockedOrec& lo : locked_) {
         sched::point(sched::Op::kOrecRelease, lo.orec);
+        tsan::release(lo.orec);  // publishes the undo-log restoration
         lo.orec->store(lo.previous, std::memory_order_release);
       }
       locked_.clear();
@@ -164,6 +168,7 @@ class TlEager {
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed))
         abort_tx(AbortCause::kLockConflict);
+      tsan::acquire(&orec);  // synchronizes with the prior release
       locked_.push_back(LockedOrec{&orec, seen});
     }
 

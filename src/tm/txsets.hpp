@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tm/word.hpp"
+#include "util/tsan.hpp"
 
 namespace hohtm::tm {
 
@@ -133,7 +134,12 @@ class LifecycleLog {
   /// Transaction committed: allocations become permanent, deferred frees run.
   void commit() noexcept {
     allocs_.clear();
-    for (const Record& r : frees_) r.destroy(r.ptr);
+    for (const Record& r : frees_) {
+      // Pairs with tsan::release(ref) in rr::note_reserve/note_revocation:
+      // every annotated reservation of this node happens-before its free.
+      tsan::acquire(r.ptr);
+      r.destroy(r.ptr);
+    }
     frees_.clear();
   }
 

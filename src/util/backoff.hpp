@@ -42,7 +42,10 @@ class Backoff {
       }
     }
     if (limit_ > max_) {
-      std::this_thread::yield();
+      // Yielding the timeslice IS this class's park once the spin budget
+      // is spent — there is no predicate to block on at this layer, and
+      // on an oversubscribed (or single-core) box the peer needs the CPU.
+      std::this_thread::yield();  // hohtm-lint: allow(no-sleep-sync)
       return;
     }
     for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();

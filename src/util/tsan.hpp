@@ -1,0 +1,95 @@
+#pragma once
+
+// ThreadSanitizer happens-before annotations (docs/STATIC_ANALYSIS.md).
+//
+// Every shared-memory access in the TM goes through std::atomic /
+// std::atomic_ref, so TSan can in principle derive every synchronizes-with
+// edge itself.  Two things still warrant explicit wiring:
+//
+//  1. The backends order their *data* accesses against the *metadata*
+//     checks with std::atomic_thread_fence (NOrec/TML value-or-clock
+//     re-validation, TL2/TLEager check/load/re-check), and TSan does not
+//     model fences (hence GCC's -Wtsan warning).  The code today pairs
+//     every fence with an acquire load, so no report is produced — but
+//     that cleanliness is incidental.  These wrappers pin the intended
+//     edge to the object that carries it (seqlock, orec, quiescence slot,
+//     reserved reference), so a future relaxation of a data access cannot
+//     silently turn the suite red, and each annotation names the
+//     happens-before argument in the source.
+//
+//  2. `ignore` scopes exist for deliberately unsynchronized diagnostics
+//     reads (none in the library today; the API is here so the next one
+//     is annotated rather than suppressed in a suppression file — the
+//     tsan gate runs with no suppressions at all).
+//
+// Outside TSan builds every function is an empty inline: default builds
+// contain no __tsan_* references, which scripts/check.sh verifies by
+// inspecting the archive's undefined symbols.
+//
+// This header is the only place allowed to name the __tsan_* interface or
+// the HOHTM_TSAN_ENABLED gate (enforced by tools/hohtm_lint.py's
+// gated-hooks rule).
+
+#if defined(__SANITIZE_THREAD__)  // GCC
+#define HOHTM_TSAN_ENABLED 1
+#elif defined(__has_feature)  // Clang
+#if __has_feature(thread_sanitizer)
+#define HOHTM_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifdef HOHTM_TSAN_ENABLED
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+void __tsan_ignore_reads_begin(void);
+void __tsan_ignore_reads_end(void);
+}
+#endif
+
+namespace hohtm::tsan {
+
+#ifdef HOHTM_TSAN_ENABLED
+inline constexpr bool kTsanBuild = true;
+#else
+inline constexpr bool kTsanBuild = false;
+#endif
+
+/// Record an acquire edge on `addr`: everything the matching release-side
+/// thread did before its `release(addr)` happens-before the code after
+/// this call.  Mirrors an edge the protocol already establishes through
+/// its atomics — never annotate an edge the code does not actually have,
+/// or TSan will suppress real races downstream of it.
+inline void acquire([[maybe_unused]] const void* addr) noexcept {
+#ifdef HOHTM_TSAN_ENABLED
+  __tsan_acquire(const_cast<void*>(addr));
+#endif
+}
+
+/// Record the release side of the edge documented at `acquire`.
+inline void release([[maybe_unused]] const void* addr) noexcept {
+#ifdef HOHTM_TSAN_ENABLED
+  __tsan_release(const_cast<void*>(addr));
+#endif
+}
+
+/// RAII scope inside which TSan ignores this thread's *reads*: for
+/// deliberately racy diagnostic loads whose value is never acted upon
+/// (e.g. a monitoring probe of a gauge).  Writes are never ignored.
+class IgnoreReadsScope {
+ public:
+  IgnoreReadsScope() noexcept {
+#ifdef HOHTM_TSAN_ENABLED
+    __tsan_ignore_reads_begin();
+#endif
+  }
+  ~IgnoreReadsScope() {
+#ifdef HOHTM_TSAN_ENABLED
+    __tsan_ignore_reads_end();
+#endif
+  }
+  IgnoreReadsScope(const IgnoreReadsScope&) = delete;
+  IgnoreReadsScope& operator=(const IgnoreReadsScope&) = delete;
+};
+
+}  // namespace hohtm::tsan

@@ -41,7 +41,7 @@ TEST(EpochDomain, StalledReaderBlocksAdvance) {
   std::thread reader([&] {
     EpochDomain::Pin pin(domain);
     barrier.arrive_and_wait();
-    while (!release.load()) std::this_thread::yield();
+    release.wait(false, std::memory_order_acquire);
   });
   barrier.arrive_and_wait();
   domain.retire(new Tracked, &count_delete);
@@ -54,7 +54,8 @@ TEST(EpochDomain, StalledReaderBlocksAdvance) {
   EXPECT_FALSE(domain.try_advance());
   EXPECT_EQ(domain.total_backlog(), 1u);
   EXPECT_EQ(Tracked::destroyed.load(), 0);
-  release.store(true);
+  release.store(true, std::memory_order_release);
+  release.notify_all();
   reader.join();
   EXPECT_TRUE(domain.try_advance());
   EXPECT_TRUE(domain.try_advance());

@@ -62,7 +62,7 @@ TEST(HazardDomain, CrossThreadProtectionHonored) {
   std::thread holder([&] {
     domain.protect(0, shared);
     barrier.arrive_and_wait();  // retirer may proceed
-    while (!release.load()) std::this_thread::yield();
+    release.wait(false, std::memory_order_acquire);
     domain.clear_all();
   });
 
@@ -70,7 +70,8 @@ TEST(HazardDomain, CrossThreadProtectionHonored) {
   domain.retire(shared, &count_delete);
   domain.scan();
   EXPECT_EQ(Tracked::destroyed.load(), 0) << "another thread holds it";
-  release.store(true);
+  release.store(true, std::memory_order_release);
+  release.notify_all();
   holder.join();
   domain.scan();
   EXPECT_EQ(Tracked::destroyed.load(), 1);

@@ -28,6 +28,20 @@ std::uint64_t delta(const StatCounters& before, AbortCause cause) {
 template <class TM>
 class AbortCauseTest : public ::testing::Test {};
 
+// Futex-wait until `phase` reaches `target`: precise wakeups instead of a
+// yield loop, which on the single-core CI box would starve the peer the
+// handshake is waiting on (and trips the hohtm-lint no-sleep-sync rule).
+void await_phase(const std::atomic<int>& phase, int target) {
+  for (int seen = phase.load(std::memory_order_acquire); seen < target;
+       seen = phase.load(std::memory_order_acquire))
+    phase.wait(seen, std::memory_order_acquire);
+}
+
+void advance_phase(std::atomic<int>& phase, int to) {
+  phase.store(to, std::memory_order_release);
+  phase.notify_all();
+}
+
 using ConcurrentBackends = ::testing::Types<Tml, Norec, Tl2, TlEager>;
 TYPED_TEST_SUITE(AbortCauseTest, ConcurrentBackends);
 
@@ -44,9 +58,9 @@ TYPED_TEST(AbortCauseTest, ConcurrentWriteIsReadValidationFailure) {
   long loc = 0;
   std::atomic<int> phase{0};
   std::thread writer([&] {
-    while (phase.load() < 1) std::this_thread::yield();
+    await_phase(phase, 1);
     TM::atomically([&](Tx& tx) { tx.write(loc, 1L); });
-    phase.store(2);
+    advance_phase(phase, 2);
   });
 
   const StatCounters before = snapshot();
@@ -54,8 +68,8 @@ TYPED_TEST(AbortCauseTest, ConcurrentWriteIsReadValidationFailure) {
   TM::atomically([&](Tx& tx) {
     (void)tx.read(loc);
     if (attempts++ == 0) {  // only the first attempt waits for the writer
-      phase.store(1);
-      while (phase.load() < 2) std::this_thread::yield();
+      advance_phase(phase, 1);
+      await_phase(phase, 2);
     }
     (void)tx.read(loc);
   });
@@ -97,9 +111,9 @@ TEST(AbortCauseTml, StaleWriterUpgradeIsLockConflict) {
   long loc = 0;
   std::atomic<int> phase{0};
   std::thread writer([&] {
-    while (phase.load() < 1) std::this_thread::yield();
+    await_phase(phase, 1);
     TM::atomically([&](TM::Tx& tx) { tx.write(loc, 1L); });
-    phase.store(2);
+    advance_phase(phase, 2);
   });
 
   const StatCounters before = snapshot();
@@ -108,8 +122,8 @@ TEST(AbortCauseTml, StaleWriterUpgradeIsLockConflict) {
   TM::atomically([&](TM::Tx& tx) {
     (void)tx.read(unrelated);  // pin the snapshot without touching loc
     if (attempts++ == 0) {
-      phase.store(1);
-      while (phase.load() < 2) std::this_thread::yield();
+      advance_phase(phase, 1);
+      await_phase(phase, 2);
     }
     tx.write(unrelated, 2L);  // upgrade fails: clock moved under us
   });
@@ -131,16 +145,16 @@ TEST(AbortCauseTlEager, LockedOrecIsLockConflict) {
   std::thread holder([&] {
     TM::atomically([&](TM::Tx& tx) {
       tx.write(loc, 1L);  // eager acquire: orec now locked
-      phase.store(1);
-      while (phase.load() < 2) std::this_thread::yield();
+      advance_phase(phase, 1);
+      await_phase(phase, 2);
     });
   });
-  while (phase.load() < 1) std::this_thread::yield();
+  await_phase(phase, 1);
 
   const StatCounters before = snapshot();
   int attempts = 0;
   TM::atomically([&](TM::Tx& tx) {
-    if (attempts++ > 0) phase.store(2);  // first abort releases the holder
+    if (attempts++ > 0) advance_phase(phase, 2);  // first abort releases the holder
     tx.write(loc, 2L);
   });
   holder.join();

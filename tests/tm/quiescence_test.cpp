@@ -27,7 +27,7 @@ TEST(Quiescence, PublishedTimestampGates) {
   std::thread reader([&] {
     q.publish(5);
     barrier.arrive_and_wait();
-    while (!released.load()) std::this_thread::yield();
+    released.wait(false, std::memory_order_acquire);
     q.publish(10);  // advance past the waiter's bar
     q.deactivate();
   });
@@ -41,7 +41,8 @@ TEST(Quiescence, PublishedTimestampGates) {
   EXPECT_FALSE(q.settled_at(6));
   EXPECT_TRUE(q.settled_at(5));
   EXPECT_TRUE(q.settled_at(4));
-  released.store(true);
+  released.store(true, std::memory_order_release);
+  released.notify_all();
   q.wait_until(10);  // returns only once the reader advances to 10
   reader.join();
   EXPECT_TRUE(q.settled_at(10));
@@ -55,12 +56,13 @@ TEST(Quiescence, DeactivateUnblocks) {
   std::thread reader([&] {
     q.publish(3);
     barrier.arrive_and_wait();
-    while (!release.load()) std::this_thread::yield();
+    release.wait(false, std::memory_order_acquire);
     q.deactivate();
   });
   barrier.arrive_and_wait();
   EXPECT_FALSE(q.settled_at(10));  // reader at 3 gates the fence
-  release.store(true);
+  release.store(true, std::memory_order_release);
+  release.notify_all();
   q.wait_until(10);  // returns only once the reader deactivates
   reader.join();
   EXPECT_TRUE(q.settled_at(10));

@@ -101,14 +101,15 @@ TYPED_TEST(TmSerialTest, UserRetryWaitsForCondition) {
   std::thread waiter([&] {
     TM::atomically([&](typename TM::Tx& tx) {
       if (tx.read(flag) == 0) {
-        retried.store(true);  // non-transactional: survives the abort
-        tx.retry();           // spins until flag is set
+        retried.store(true, std::memory_order_release);
+        retried.notify_all();  // non-transactional: survives the abort
+        tx.retry();            // spins until flag is set
       }
       tx.write(result, tx.read(flag) * 2);
     });
   });
   std::thread setter([&] {
-    while (!retried.load()) std::this_thread::yield();
+    retried.wait(false, std::memory_order_acquire);
     TM::atomically([&](typename TM::Tx& tx) { tx.write(flag, 21L); });
   });
   waiter.join();
@@ -127,12 +128,13 @@ TYPED_TEST(TmSerialTest, UserRetryCountsInStats) {
   std::atomic<bool> retried{false};
   const auto before = Stats::total();
   std::thread setter([&] {
-    while (!retried.load()) std::this_thread::yield();
+    retried.wait(false, std::memory_order_acquire);
     TM::atomically([&](typename TM::Tx& tx) { tx.write(flag, 1L); });
   });
   TM::atomically([&](typename TM::Tx& tx) {
     if (tx.read(flag) == 0) {
-      retried.store(true);  // non-transactional: survives the abort
+      retried.store(true, std::memory_order_release);
+      retried.notify_all();  // non-transactional: survives the abort
       tx.retry();
     }
   });
