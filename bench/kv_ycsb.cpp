@@ -1,0 +1,119 @@
+// KV extension — the sharded transactional store under the four core
+// YCSB mixes (A 50/50, B 95/5, C read-only, D read-latest/insert), one
+// panel per mix, with the single-transaction baseline (RrNull, unbounded
+// window) against representative reservation algorithms.
+//
+// Rows use the 24-column KV layout (emit_kv_row): the standard cell
+// columns plus kv_hits,kv_misses,kv_migrations,kv_resizes, so the
+// resize traffic the D mix generates is attributable per series.
+//
+// Doubles as the check.sh smoke stage: --smoke runs a single 1-thread
+// YCSB-C cell and exits nonzero unless throughput is positive and every
+// node the store allocated was freed (reclaim::Gauge back to baseline
+// after the store dies) — the precise-reclamation end-to-end check.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "kv/workload.hpp"
+#include "core/rr.hpp"
+
+namespace {
+
+using hohtm::harness::BenchEnv;
+using hohtm::kv::KvCellResult;
+using hohtm::kv::KvWorkloadConfig;
+using hohtm::kv::Mix;
+using TM = hohtm::tm::Norec;
+namespace kv = hohtm::kv;
+namespace rr = hohtm::rr;
+
+template <class RR>
+std::unique_ptr<kv::Store<TM, RR>> make_store(int window) {
+  typename kv::Store<TM, RR>::Options opt;
+  opt.window = window;
+  return std::make_unique<kv::Store<TM, RR>>(opt);
+}
+
+template <class RR>
+void series(const std::string& panel, const char* name,
+            KvWorkloadConfig config, const BenchEnv& env, int window) {
+  for (int threads : env.thread_counts) {
+    config.threads = threads;
+    config.ops_per_thread = env.ops_per_thread;
+    config.trials = env.trials;
+    config.footprint_ms = env.footprint_ms;
+    const KvCellResult cell = hohtm::kv::run_kv_cell(
+        config, [&] { return make_store<RR>(window); });
+    hohtm::harness::emit_kv_row(
+        "kv", panel, name, threads, cell.base,
+        hohtm::harness::KvRowExtra{cell.hits, cell.misses, cell.migrations,
+                                   cell.resizes});
+  }
+}
+
+void run_panel(const BenchEnv& env, Mix mix) {
+  const std::string panel = kv::mix_name(mix);
+  hohtm::harness::emit_panel_note("kv", panel);
+  KvWorkloadConfig config;
+  config.mix = mix;
+  config.records = 2048;
+
+  // Single-transaction baseline: no reservations, unbounded window.
+  series<rr::RrNull<TM>>(panel, "HTM", config, env,
+                         kv::Store<TM, rr::RrNull<TM>>::kUnbounded);
+  series<rr::RrV<TM>>(panel, "RR-V", config, env, 16);
+  series<rr::RrXo<TM>>(panel, "RR-XO", config, env, 16);
+  series<rr::RrFa<TM>>(panel, "RR-FA", config, env, 16);
+}
+
+/// check.sh smoke: one small single-thread YCSB-C cell; asserts work got
+/// done and that destroying the store returns the gauge to baseline.
+int run_smoke() {
+  const long long baseline = hohtm::reclaim::Gauge::live();
+  KvWorkloadConfig config;
+  config.mix = Mix::kC;
+  config.records = 512;
+  config.threads = 1;
+  config.ops_per_thread = 2000;
+  config.trials = 1;
+  hohtm::harness::emit_kv_header("kv", "smoke: 1-thread YCSB-C, RR-V");
+  const KvCellResult cell = hohtm::kv::run_kv_cell(
+      config, [&] { return make_store<rr::RrV<TM>>(16); });
+  hohtm::harness::emit_kv_row(
+      "kv", "smoke", "RR-V", 1, cell.base,
+      hohtm::harness::KvRowExtra{cell.hits, cell.misses, cell.migrations,
+                                 cell.resizes});
+  const long long leaked = hohtm::reclaim::Gauge::live() - baseline;
+  if (cell.base.mops.mean <= 0.0) {
+    std::fprintf(stderr, "kv smoke: zero throughput\n");
+    return 1;
+  }
+  if (cell.hits == 0) {
+    std::fprintf(stderr, "kv smoke: no read ever hit\n");
+    return 1;
+  }
+  if (leaked != 0) {
+    std::fprintf(stderr, "kv smoke: %lld objects leaked past store teardown\n",
+                 leaked);
+    return 1;
+  }
+  std::printf("# kv smoke ok: %llu hits, %llu buckets migrated, 0 leaks\n",
+              static_cast<unsigned long long>(cell.hits),
+              static_cast<unsigned long long>(cell.migrations));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+  const BenchEnv env = BenchEnv::from_environment();
+  hohtm::harness::emit_kv_header(
+      "kv", "sharded KV store: 2048 records, zipfian(0.99); panels = YCSB "
+            "A/B/C/D mixes");
+  for (Mix mix : {Mix::kA, Mix::kB, Mix::kC, Mix::kD}) run_panel(env, mix);
+  return 0;
+}

@@ -150,6 +150,19 @@ else
   echo "-- fig4_window (smoke) ok"
 fi
 
+echo "== kv smoke (bench/kv_ycsb --smoke)"
+# Tiny single-run pass over the kv store (src/kv/, docs/KV.md): the
+# binary self-asserts consistency, settled migration, and Gauge-precise
+# reclamation, then prints one 24-column row. summarize_bench.py must
+# render the kv workload table from it.
+KV_OUT="$BUILD_DIR/kv_smoke.txt"
+"./$BUILD_DIR/bench/kv_ycsb" --smoke > "$KV_OUT"
+if ! grep -q "kv workload" <(python3 tools/summarize_bench.py "$KV_OUT"); then
+  echo "FAIL: kv smoke produced no kv workload table" >&2
+  exit 1
+fi
+echo "-- kv_ycsb (smoke) ok"
+
 echo "== trace build (observability smoke)"
 # Separate tree with the hot-path instrumentation compiled in
 # (HOHTM_TRACE=ON; see docs/OBSERVABILITY.md). Building just one bench

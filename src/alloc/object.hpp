@@ -22,6 +22,23 @@ T* create(Args&&... args) {
   }
 }
 
+/// `create` with `extra` trailing bytes in the same block, for objects
+/// that carry a variable-length payload after the struct (kv nodes and
+/// bucket-slot tables). The pool's block header records the full size, so
+/// `destroy` / `tx.dealloc` free the whole block with no extra metadata.
+/// T must be trivially destructible or ignore the tail in its destructor;
+/// the tail bytes start at `this + 1` and are uninitialized.
+template <class T, class... Args>
+T* create_flex(std::size_t extra, Args&&... args) {
+  void* mem = allocate(sizeof(T) + extra);
+  try {
+    return new (mem) T(std::forward<Args>(args)...);
+  } catch (...) {
+    deallocate(mem);
+    throw;
+  }
+}
+
 template <class T>
 void destroy(T* p) noexcept {
   if (p == nullptr) return;

@@ -137,6 +137,16 @@ class RrBucketed {
     return std::size_t{1} << log2_buckets_;
   }
 
+  /// Gauge-counted objects this algorithm currently owns (one node per
+  /// slot that ever registered). Quiescent-only: callers must know no
+  /// thread is mid-transaction, exactly as the destructor does.
+  std::size_t gauge_owned() const noexcept {
+    std::size_t count = 0;
+    for (const auto& cell : mine_)
+      if (cell.value != nullptr) ++count;
+    return count;
+  }
+
  private:
   static constexpr std::ptrdiff_t kUnlinked = -1;
 

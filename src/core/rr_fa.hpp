@@ -92,6 +92,16 @@ class RrFa {
     return count;
   }
 
+  /// Gauge-counted objects this algorithm currently owns (one node per
+  /// slot that ever registered). Quiescent-only: callers must know no
+  /// thread is mid-transaction, exactly as the destructor does.
+  std::size_t gauge_owned() const noexcept {
+    std::size_t count = 0;
+    for (const auto& cell : mine_)
+      if (cell.value != nullptr) ++count;
+    return count;
+  }
+
  private:
   /// One list node per thread, padded: the paper notes Reserve/Release/Get
   /// avoid false conflicts "as long as each thread's node is in a separate

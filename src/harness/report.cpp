@@ -16,6 +16,29 @@ std::string cause_columns() {
   return names;
 }
 
+// The shared 20-column cell body (everything but the trailing newline),
+// so the KV variant appends its columns to an identical prefix.
+void print_cell_columns(const std::string& figure, const std::string& panel,
+                        const std::string& series, int threads,
+                        const CellResult& cell) {
+  std::printf("%s,%s,%s,%d,%.4f,%.2f", figure.c_str(), panel.c_str(),
+              series.c_str(), threads, cell.mops.mean,
+              cell.mops.cv_percent());
+  const tm::StatCounters& c = cell.counters;
+  std::printf(",%llu,%llu", static_cast<unsigned long long>(c.commits),
+              static_cast<unsigned long long>(c.aborts));
+  for (std::size_t i = 0; i < tm::kAbortCauseCount; ++i)
+    std::printf(",%llu", static_cast<unsigned long long>(c.by_cause[i]));
+  std::printf(",%llu", static_cast<unsigned long long>(c.reservation_losses));
+  const util::Histogram& commit = cell.latency.commit_ns;
+  std::printf(",%llu,%llu,%llu,%llu",
+              static_cast<unsigned long long>(commit.percentile(0.50)),
+              static_cast<unsigned long long>(commit.percentile(0.95)),
+              static_cast<unsigned long long>(commit.percentile(0.99)),
+              static_cast<unsigned long long>(commit.max()));
+  std::printf(",%lld", cell.live_peak);
+}
+
 }  // namespace
 
 void emit_header(const std::string& figure, const std::string& description) {
@@ -35,22 +58,8 @@ void emit_panel_note(const std::string& figure, const std::string& panel) {
 
 void emit_row(const std::string& figure, const std::string& panel,
               const std::string& series, int threads, const CellResult& cell) {
-  std::printf("%s,%s,%s,%d,%.4f,%.2f", figure.c_str(), panel.c_str(),
-              series.c_str(), threads, cell.mops.mean,
-              cell.mops.cv_percent());
-  const tm::StatCounters& c = cell.counters;
-  std::printf(",%llu,%llu", static_cast<unsigned long long>(c.commits),
-              static_cast<unsigned long long>(c.aborts));
-  for (std::size_t i = 0; i < tm::kAbortCauseCount; ++i)
-    std::printf(",%llu", static_cast<unsigned long long>(c.by_cause[i]));
-  std::printf(",%llu", static_cast<unsigned long long>(c.reservation_losses));
-  const util::Histogram& commit = cell.latency.commit_ns;
-  std::printf(",%llu,%llu,%llu,%llu",
-              static_cast<unsigned long long>(commit.percentile(0.50)),
-              static_cast<unsigned long long>(commit.percentile(0.95)),
-              static_cast<unsigned long long>(commit.percentile(0.99)),
-              static_cast<unsigned long long>(commit.max()));
-  std::printf(",%lld\n", cell.live_peak);
+  print_cell_columns(figure, panel, series, threads, cell);
+  std::printf("\n");
   for (const FootprintSample& s : cell.footprint)
     emit_timeline_row(figure, panel, series, threads, s.t_ms, s.live);
   std::fflush(stdout);
@@ -61,6 +70,31 @@ void emit_timeline_row(const std::string& figure, const std::string& panel,
                        long long live) {
   std::printf("timeline,%s,%s,%s,%d,%.2f,%lld\n", figure.c_str(),
               panel.c_str(), series.c_str(), threads, t, live);
+}
+
+void emit_kv_header(const std::string& figure,
+                    const std::string& description) {
+  std::printf("# %s: %s\n", figure.c_str(), description.c_str());
+  std::printf(
+      "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
+      ",res_lost,commit_p50_ns,commit_p95_ns,commit_p99_ns,commit_max_ns"
+      ",live_peak,kv_hits,kv_misses,kv_migrations,kv_resizes\n",
+      cause_columns().c_str());
+  std::fflush(stdout);
+}
+
+void emit_kv_row(const std::string& figure, const std::string& panel,
+                 const std::string& series, int threads,
+                 const CellResult& cell, const KvRowExtra& kv) {
+  print_cell_columns(figure, panel, series, threads, cell);
+  std::printf(",%llu,%llu,%llu,%llu\n",
+              static_cast<unsigned long long>(kv.hits),
+              static_cast<unsigned long long>(kv.misses),
+              static_cast<unsigned long long>(kv.migrations),
+              static_cast<unsigned long long>(kv.resizes));
+  for (const FootprintSample& s : cell.footprint)
+    emit_timeline_row(figure, panel, series, threads, s.t_ms, s.live);
+  std::fflush(stdout);
 }
 
 }  // namespace hohtm::harness

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "harness/driver.hpp"
@@ -43,5 +44,22 @@ void emit_row(const std::string& figure, const std::string& panel,
 void emit_timeline_row(const std::string& figure, const std::string& panel,
                        const std::string& series, int threads, double t,
                        long long live);
+
+/// KV telemetry appended to a cell row by the kv_ycsb bench (PR 5):
+/// read hits/misses, old-table buckets migrated, and tables installed.
+struct KvRowExtra {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t resizes = 0;
+};
+
+/// 24-column variant of the bench CSV: the 20 emit_row columns plus
+/// kv_hits,kv_misses,kv_migrations,kv_resizes. summarize_bench.py and
+/// trace_report.py accept both layouts (they key on column count).
+void emit_kv_header(const std::string& figure, const std::string& description);
+void emit_kv_row(const std::string& figure, const std::string& panel,
+                 const std::string& series, int threads,
+                 const CellResult& cell, const KvRowExtra& kv);
 
 }  // namespace hohtm::harness

@@ -1,0 +1,324 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "kv/store.hpp"
+
+namespace hohtm::kv {
+
+/// Per-request result code reported through the Completion record.
+enum class ResultCode : std::uint8_t {
+  kOk = 0,      // the op did what it says (get hit, put applied, del hit)
+  kNotFound,    // get/del on an absent key
+  kStopped,     // service shut down before the request ran
+};
+
+/// Completion record a client hands in with its request and blocks on.
+/// The worker fills the outputs, then publishes with one release store +
+/// notify; wait() parks on the atomic (no sleeps, single-core friendly).
+struct Completion {
+  std::atomic<std::uint32_t> state{0};  // 0 = pending, 1 = done
+  ResultCode rc = ResultCode::kStopped;
+  std::string value;        // get: the value on kOk
+  std::size_t scan_count = 0;  // scan: entries visited
+  bool created = false;        // put: true if newly inserted
+
+  void wait() noexcept {
+    while (state.load(std::memory_order_acquire) == 0) state.wait(0);
+  }
+  void signal(ResultCode code) noexcept {
+    rc = code;
+    state.store(1, std::memory_order_release);
+    state.notify_all();
+  }
+  void reset() noexcept {
+    state.store(0, std::memory_order_relaxed);
+    rc = ResultCode::kStopped;
+    value.clear();
+    scan_count = 0;
+    created = false;
+  }
+};
+
+/// One submitted operation. kScan visits up to scan_limit entries
+/// starting at `key`'s position and reports only the count (a serving
+/// layer would stream them; the count keeps the record bounded).
+struct Request {
+  OpCode op = OpCode::kGet;
+  std::string key;
+  std::string value;
+  std::size_t scan_limit = 0;
+  Completion* done = nullptr;
+};
+
+/// Bounded MPMC submission ring (Vyukov per-cell sequence numbers), with
+/// atomic wait/notify instead of spinning when full or empty: producers
+/// park on the cell their ticket maps to until the consumer recycles it,
+/// and vice versa — no sleeps, no condition variables on the hot path.
+class RequestRing {
+ public:
+  explicit RequestRing(std::size_t log2_capacity)
+      : mask_((std::size_t{1} << log2_capacity) - 1),
+        cells_(std::make_unique<Cell[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  void push(Request req) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        // Ring full: this cell still holds an unconsumed request. Park
+        // until the consumer bumps its sequence, then re-read the tail.
+        cell.seq.wait(seq, std::memory_order_acquire);
+        pos = tail_.load(std::memory_order_relaxed);
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    Cell& cell = cells_[pos & mask_];
+    cell.req = std::move(req);
+    cell.seq.store(pos + 1, std::memory_order_release);
+    cell.seq.notify_all();
+  }
+
+  Request pop() {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                               static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        // Ring empty: park until a producer publishes into this cell.
+        cell.seq.wait(seq, std::memory_order_acquire);
+        pos = head_.load(std::memory_order_relaxed);
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    return take(pos);
+  }
+
+  /// Non-blocking pop for shutdown draining; false when the ring is
+  /// empty (or the next cell is still being written by a producer).
+  bool try_pop(Request& out) {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                               static_cast<std::int64_t>(pos + 1);
+      if (dif < 0) return false;
+      if (dif == 0 && head_.compare_exchange_weak(
+                          pos, pos + 1, std::memory_order_relaxed)) {
+        out = take(pos);
+        return true;
+      }
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    Request req;
+  };
+
+  Request take(std::uint64_t pos) {
+    Cell& cell = cells_[pos & mask_];
+    Request req = std::move(cell.req);
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    cell.seq.notify_all();
+    return req;
+  }
+
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(util::kCacheLineSize) std::atomic<std::uint64_t> tail_{0};  // producers
+  alignas(util::kCacheLineSize) std::atomic<std::uint64_t> head_{0};  // consumers
+};
+
+/// Request-serving front-end: clients submit Requests into the MPMC
+/// ring; worker threads pop, run the op against the Store, and signal
+/// the client's Completion. Shutdown drains: stop() enqueues one kStop
+/// sentinel per worker, so every request submitted before stop() is
+/// served, and requests still queued behind the sentinels complete with
+/// kStopped rather than hanging their clients.
+template <class TM, class RR>
+class Service {
+ public:
+  using StoreType = Store<TM, RR>;
+
+  struct Stats {
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t dels = 0;
+    std::uint64_t scans = 0;
+  };
+
+  Service(StoreType& store, std::size_t workers, std::size_t log2_queue = 6)
+      : store_(store), ring_(log2_queue) {
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      workers_.emplace_back([this] { serve(); });
+  }
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  ~Service() { stop(); }
+
+  /// Enqueue a request. `req.done` must outlive the completion signal.
+  /// Blocks while the ring is full; callable from any number of client
+  /// threads.
+  void submit(Request req) { ring_.push(std::move(req)); }
+
+  /// Convenience synchronous client calls (one Completion on the stack).
+  ResultCode get(std::string key, std::string& value_out) {
+    Completion done;
+    submit(Request{OpCode::kGet, std::move(key), {}, 0, &done});
+    done.wait();
+    if (done.rc == ResultCode::kOk) value_out = std::move(done.value);
+    return done.rc;
+  }
+
+  ResultCode put(std::string key, std::string value, bool* created = nullptr) {
+    Completion done;
+    submit(Request{OpCode::kPut, std::move(key), std::move(value), 0, &done});
+    done.wait();
+    if (created != nullptr) *created = done.created;
+    return done.rc;
+  }
+
+  ResultCode del(std::string key) {
+    Completion done;
+    submit(Request{OpCode::kDel, std::move(key), {}, 0, &done});
+    done.wait();
+    return done.rc;
+  }
+
+  ResultCode scan(std::string start_key, std::size_t limit,
+                  std::size_t& count_out) {
+    Completion done;
+    submit(Request{OpCode::kScan, std::move(start_key), {}, limit, &done});
+    done.wait();
+    count_out = done.scan_count;
+    return done.rc;
+  }
+
+  /// Stop and join the workers. Idempotent; implied by the destructor.
+  /// Every request submitted before stop() is served; anything a racing
+  /// client queued behind the sentinels is answered kStopped so no
+  /// waiter hangs. Submitting after stop() returns is unsupported.
+  void stop() {
+    if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      ring_.push(Request{OpCode::kStop, {}, {}, 0, nullptr});
+    for (std::thread& w : workers_) w.join();
+    Request leftover;
+    while (ring_.try_pop(leftover))
+      if (leftover.done != nullptr) leftover.done->signal(ResultCode::kStopped);
+  }
+
+  Stats stats() const noexcept {
+    Stats total;
+    for (const auto& s : worker_stats_) {
+      total.gets += s.value.gets.load(std::memory_order_relaxed);
+      total.puts += s.value.puts.load(std::memory_order_relaxed);
+      total.dels += s.value.dels.load(std::memory_order_relaxed);
+      total.scans += s.value.scans.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct AtomicStats {
+    std::atomic<std::uint64_t> gets{0};
+    std::atomic<std::uint64_t> puts{0};
+    std::atomic<std::uint64_t> dels{0};
+    std::atomic<std::uint64_t> scans{0};
+  };
+
+  void serve() {
+    const std::size_t me =
+        worker_seq_.fetch_add(1, std::memory_order_relaxed) %
+        util::kMaxThreads;
+    AtomicStats& stats = worker_stats_[me].value;
+    for (;;) {
+      Request req = ring_.pop();
+      if (req.op == OpCode::kStop) return;  // one sentinel per worker
+      Completion* done = req.done;
+      switch (req.op) {
+        case OpCode::kGet: {
+          stats.gets.fetch_add(1, std::memory_order_relaxed);
+          std::string value;
+          const bool hit = store_.get(req.key, value);
+          if (done != nullptr) {
+            done->value = std::move(value);
+            done->signal(hit ? ResultCode::kOk : ResultCode::kNotFound);
+          }
+          break;
+        }
+        case OpCode::kPut: {
+          stats.puts.fetch_add(1, std::memory_order_relaxed);
+          const bool created = store_.put(req.key, req.value);
+          if (done != nullptr) {
+            done->created = created;
+            done->signal(ResultCode::kOk);
+          }
+          break;
+        }
+        case OpCode::kDel: {
+          stats.dels.fetch_add(1, std::memory_order_relaxed);
+          const bool hit = store_.del(req.key);
+          if (done != nullptr)
+            done->signal(hit ? ResultCode::kOk : ResultCode::kNotFound);
+          break;
+        }
+        case OpCode::kScan: {
+          stats.scans.fetch_add(1, std::memory_order_relaxed);
+          const std::size_t n = store_.scan_from(
+              req.key, req.scan_limit,
+              [](const std::string&, const std::string&) {});
+          if (done != nullptr) {
+            done->scan_count = n;
+            done->signal(ResultCode::kOk);
+          }
+          break;
+        }
+        case OpCode::kStop:
+          break;  // handled above
+      }
+    }
+  }
+
+  StoreType& store_;
+  RequestRing ring_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::size_t> worker_seq_{0};
+  util::CachePadded<AtomicStats> worker_stats_[util::kMaxThreads];
+};
+
+}  // namespace hohtm::kv

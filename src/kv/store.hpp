@@ -1,0 +1,821 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "alloc/object.hpp"
+#include "core/rr.hpp"
+#include "reclaim/gauge.hpp"
+#include "sched/schedpoint.hpp"
+#include "tm/tm.hpp"
+#include "util/cacheline.hpp"
+#include "util/random.hpp"
+#include "util/thread_registry.hpp"
+#include "util/trace.hpp"
+
+namespace hohtm::kv {
+
+/// Request opcodes shared by Store telemetry, Service, and the trace
+/// taxonomy (util::Ev::kKvOpStart carries the index).
+enum class OpCode : std::uint8_t { kGet = 0, kPut, kDel, kScan, kStop };
+
+namespace detail {
+
+/// Chain node: header plus a tail of key bytes then value bytes in one
+/// pool block (alloc::create_flex). Everything but `next` is immutable
+/// after the node is published by a committed chain-pointer write, so
+/// readers may copy key/value bytes with plain loads: the publishing
+/// commit happens-before any validated read of the pointer, and the
+/// quiescence fence keeps the block alive for every transaction that
+/// could have observed it (docs/KV.md, "why plain payload reads are
+/// safe").
+struct Node {
+  Node* next;
+  std::uint64_t hash;
+  std::uint32_t klen;
+  std::uint32_t vlen;
+
+  Node(Node* n, std::uint64_t h, std::uint32_t kl, std::uint32_t vl) noexcept
+      : next(n), hash(h), klen(kl), vlen(vl) {}
+
+  const char* bytes() const noexcept {
+    return reinterpret_cast<const char*>(this + 1);
+  }
+  char* bytes() noexcept { return reinterpret_cast<char*>(this + 1); }
+  std::string_view key() const noexcept { return {bytes(), klen}; }
+  std::string_view value() const noexcept { return {bytes() + klen, vlen}; }
+};
+
+/// Bucket-slot table: header plus 2^log2 chain-head slots in one pool
+/// block. `log2` is immutable; the slots are transactional words.
+struct Table {
+  std::uint64_t log2;
+  explicit Table(std::uint64_t l) noexcept : log2(l) {}
+  std::size_t buckets() const noexcept { return std::size_t{1} << log2; }
+  Node** slots() noexcept { return reinterpret_cast<Node**>(this + 1); }
+};
+
+/// Tag stamped into a fully migrated old-table slot (never dereferenced;
+/// distinct from nullptr so an *empty but unmigrated* bucket still gets
+/// migrated exactly once and decrements the remaining-bucket count).
+inline Node* moved_tag() noexcept {
+  alignas(16) static char tag;
+  return reinterpret_cast<Node*>(&tag);
+}
+
+/// 64-bit FNV-1a over the key bytes, finalized with splitmix64 so the
+/// top bits (which route shards and buckets) are well mixed.
+inline std::uint64_t hash_bytes(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return util::splitmix64(h);
+}
+
+/// Chain order: by hash, ties broken lexicographically by key. Chains
+/// sorted this way split in place on a grow — an old bucket's chain is
+/// the concatenation of its two child buckets' chains, because the child
+/// index is the next hash bit below the old bucket index.
+inline bool precedes(std::uint64_t ha, std::string_view ka, std::uint64_t hb,
+                     std::string_view kb) noexcept {
+  if (ha != hb) return ha < hb;
+  return ka < kb;
+}
+
+/// Bucket of `h` in a table of 2^log2 buckets, after the top
+/// `log2_shards` bits routed the shard.
+inline std::size_t bucket_index(std::uint64_t h, std::uint64_t log2,
+                                std::size_t log2_shards) noexcept {
+  if (log2 == 0) return 0;
+  return static_cast<std::size_t>((h << log2_shards) >> (64 - log2));
+}
+
+/// Migration-anchor handover (docs/KV.md). At a window boundary the
+/// migrator has just linked `anchor` into the NEW table's chain; parking
+/// hands the reservation from the old-table chain to the new-table one,
+/// so the next window resumes its sorted insertion scan from the anchor
+/// instead of the bucket head. A concurrent delete of the anchor revokes
+/// it, Get returns nil, and the migrator restarts from the head — the
+/// same discipline as the Listing-5 traversal.
+///
+/// The kDropMigrationReserve mutant skips the reserve and resumes
+/// through a raw cached pointer: exactly the stale-resume bug the
+/// reservation prevents. tests/sched/sched_kv_test.cpp proves the
+/// schedule explorer catches it.
+template <class RR, class Tx>
+void park_anchor(RR& rr, Tx& tx, rr::Ref anchor, rr::Ref& raw_cache) {
+  sched::point(sched::Op::kKvMigrate, anchor);
+  rr.release(tx);
+  if (sched::mutate(sched::Mutation::kDropMigrationReserve)) {
+    raw_cache = anchor;  // injected bug: nothing protects the anchor now
+    return;
+  }
+  raw_cache = nullptr;
+  rr.reserve(tx, anchor);
+}
+
+template <class RR, class Tx>
+rr::Ref resume_anchor(RR& rr, Tx& tx, rr::Ref raw_cache) {
+  if (sched::mutate(sched::Mutation::kDropMigrationReserve) &&
+      raw_cache != nullptr)
+    return raw_cache;
+  return rr.get(tx);
+}
+
+}  // namespace detail
+
+/// Sharded, incrementally resizable transactional hash map with
+/// hand-over-hand bucket-chain traversal and precise reclamation.
+///
+///  - The top `log2_shards` hash bits pick a shard; each shard owns a
+///    bucket-slot table (and, mid-resize, the previous one). Chains are
+///    sorted by (hash, key) and traversed with the Listing-5 window
+///    protocol: at most `window` nodes per transaction, the boundary
+///    node parked in the shared reservation, resumed via Get.
+///  - Deletes (and overwrites, which replace the node so values stay
+///    immutable in place) unlink, revoke, and `tx.dealloc` the node in
+///    one transaction: the store's footprint is exactly its occupancy.
+///  - A grow installs a double-size table and keeps the old one; every
+///    operation first migrates its key's old bucket (a window's worth of
+///    nodes per transaction, the insertion anchor handed over through
+///    the reservation), and optionally helps migrate one extra bucket.
+///    The transaction that empties the last old bucket frees the old
+///    table with `tx.dealloc` — precise, no epoch grace period.
+///
+/// Works with every TM backend x RR variant, like the src/ds/
+/// structures; RrNull + kUnbounded window expresses the
+/// one-big-transaction baseline.
+template <class TM, class RR>
+class Store {
+ public:
+  using Tx = typename TM::Tx;
+  static constexpr int kUnbounded = std::numeric_limits<int>::max();
+
+  struct Options {
+    std::size_t log2_shards = 2;        // shard count = 2^n
+    std::size_t log2_buckets = 2;       // initial buckets per shard
+    std::size_t max_log2_buckets = 20;  // per-shard growth cap
+    int window = 16;                    // HOH window, nodes per transaction
+    int grow_chain = 8;                 // insert-observed chain length that
+                                        // triggers a grow
+    bool auto_migrate = true;           // ops help migrate one extra bucket
+  };
+
+  template <class... RrArgs>
+  explicit Store(Options opt = Options{}, RrArgs&&... rr_args)
+      : opt_(opt),
+        shard_count_(std::size_t{1} << opt.log2_shards),
+        shards_(std::make_unique<util::CachePadded<Shard>[]>(shard_count_)),
+        reservation_(std::forward<RrArgs>(rr_args)...) {
+    for (std::size_t s = 0; s < shard_count_; ++s)
+      shards_[s].value.cur = make_table(opt_.log2_buckets);
+  }
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  ~Store() {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      destroy_table(shards_[s].value.old);
+      destroy_table(shards_[s].value.cur);
+    }
+  }
+
+  /// Insert or overwrite; true if the key was newly inserted.
+  bool put(std::string_view key, std::string_view value) {
+    util::trace_event(util::Ev::kKvOpStart,
+                      static_cast<std::uint64_t>(OpCode::kPut));
+    const std::uint64_t h = detail::hash_bytes(key);
+    Shard& sh = shard_of(h);
+    std::size_t chain_len = 0;
+    const bool inserted = with_chain(
+        sh, h, key, chain_len,
+        [&](Tx& tx, detail::Node** link, detail::Node* curr) {
+          // Overwrite replaces the node (values are immutable in place,
+          // so readers copying bytes never race an update) and frees the
+          // old one precisely, revoking any reservation parked on it.
+          detail::Node* fresh =
+              make_node(tx, h, key, value, tx.read(curr->next));
+          tx.write(*link, fresh);
+          reservation_.revoke(tx, curr);
+          tx.dealloc(curr);
+          return false;
+        },
+        [&](Tx& tx, detail::Node** link, detail::Node* curr) {
+          detail::Node* fresh = make_node(tx, h, key, value, curr);
+          tx.write(*link, fresh);
+          return true;
+        });
+    if (inserted && chain_len >= static_cast<std::size_t>(opt_.grow_chain))
+      try_grow(sh);
+    after_op(sh, OpCode::kPut);
+    return inserted;
+  }
+
+  /// Copy the value out; false if the key is absent.
+  bool get(std::string_view key, std::string& value_out) {
+    util::trace_event(util::Ev::kKvOpStart,
+                      static_cast<std::uint64_t>(OpCode::kGet));
+    const std::uint64_t h = detail::hash_bytes(key);
+    Shard& sh = shard_of(h);
+    std::size_t chain_len = 0;
+    const bool found = with_chain(
+        sh, h, key, chain_len,
+        [&](Tx&, detail::Node**, detail::Node* curr) {
+          const std::string_view v = curr->value();
+          value_out.assign(v.data(), v.size());
+          return true;
+        },
+        [](Tx&, detail::Node**, detail::Node*) { return false; });
+    after_op(sh, OpCode::kGet);
+    return found;
+  }
+
+  /// Unlink, revoke, and free the node in one transaction; false if the
+  /// key is absent.
+  bool del(std::string_view key) {
+    util::trace_event(util::Ev::kKvOpStart,
+                      static_cast<std::uint64_t>(OpCode::kDel));
+    const std::uint64_t h = detail::hash_bytes(key);
+    Shard& sh = shard_of(h);
+    std::size_t chain_len = 0;
+    const bool removed = with_chain(
+        sh, h, key, chain_len,
+        [&](Tx& tx, detail::Node** link, detail::Node* curr) {
+          tx.write(*link, tx.read(curr->next));
+          reservation_.revoke(tx, curr);
+          tx.dealloc(curr);
+          return true;
+        },
+        [](Tx&, detail::Node**, detail::Node*) { return false; });
+    after_op(sh, OpCode::kDel);
+    return removed;
+  }
+
+  /// Visit up to `limit` entries in internal (shard, bucket, hash, key)
+  /// order, starting at `start_key`'s position; returns the visit count.
+  /// `fn(key, value)` runs outside any transaction, once per entry.
+  template <class F>
+  std::size_t scan_from(std::string_view start_key, std::size_t limit,
+                        F&& fn) {
+    return scan_impl(false, start_key, limit, std::forward<F>(fn));
+  }
+
+  /// Whole-store scan from the beginning of internal order.
+  template <class F>
+  std::size_t scan(std::size_t limit, F&& fn) {
+    return scan_impl(true, std::string_view{}, limit, std::forward<F>(fn));
+  }
+
+  /// Number of entries; one transaction per shard (diagnostic use).
+  std::size_t size() {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      Shard& sh = shards_[s].value;
+      total += TM::atomically([&](Tx& tx) -> std::size_t {
+        return count_table(tx, tx.read(sh.old)) +
+               count_table(tx, tx.read(sh.cur));
+      });
+    }
+    return total;
+  }
+
+  /// Structural invariants, one transaction per shard: chains strictly
+  /// sorted and correctly homed, each key in exactly one chain, and the
+  /// old table's remaining-bucket count matching its unmigrated slots.
+  bool is_consistent() {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      Shard& sh = shards_[s].value;
+      std::set<std::pair<std::uint64_t, std::string>> seen;
+      const bool ok = TM::atomically([&](Tx& tx) -> bool {
+        seen.clear();
+        detail::Table* cur = tx.read(sh.cur);
+        detail::Table* old = tx.read(sh.old);
+        if (!check_table(tx, cur, s, false, seen)) return false;
+        if (old != nullptr) {
+          if (!check_table(tx, old, s, true, seen)) return false;
+          std::uint64_t unmigrated = 0;
+          for (std::size_t b = 0; b < old->buckets(); ++b)
+            if (tx.read(old->slots()[b]) != detail::moved_tag())
+              ++unmigrated;
+          if (unmigrated != tx.read(sh.old_left)) return false;
+        }
+        return true;
+      });
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  /// Drive every shard's migration to completion (old tables freed).
+  /// Test/bench helper: lets precise-free assertions run without sleeps.
+  void finish_migration() {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      Shard& sh = shards_[s].value;
+      for (;;) {
+        const std::size_t buckets = TM::atomically([&](Tx& tx) -> std::size_t {
+          detail::Table* old = tx.read(sh.old);
+          return old == nullptr ? 0 : old->buckets();
+        });
+        if (buckets == 0) break;
+        for (std::size_t b = 0; b < buckets; ++b) {
+          MigrationCursor cursor;
+          while (!migrate_window(sh, Pick::kByIndex, b, cursor)) {
+          }
+        }
+      }
+    }
+  }
+
+  /// Run exactly one migration window on the shard and bucket owning
+  /// `key` (sched-scenario hook; ops normally migrate implicitly).
+  /// Returns true when that bucket needs no further migration work.
+  bool migrate_bucket_window_for(std::string_view key) {
+    const std::uint64_t h = detail::hash_bytes(key);
+    MigrationCursor cursor;
+    return migrate_window(shard_of(h), Pick::kByHash, h, cursor);
+  }
+
+  /// Total buckets across the shards' current tables.
+  std::size_t bucket_count() {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      Shard& sh = shards_[s].value;
+      total += TM::atomically(
+          [&](Tx& tx) { return tx.read(sh.cur)->buckets(); });
+    }
+    return total;
+  }
+
+  /// True while any shard still holds an old table (mid-resize).
+  bool migrating() {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      Shard& sh = shards_[s].value;
+      if (TM::atomically([&](Tx& tx) { return tx.read(sh.old) != nullptr; }))
+        return true;
+    }
+    return false;
+  }
+
+  std::size_t shard_count() const noexcept { return shard_count_; }
+
+  /// Gauge-counted objects the reservation algorithm owns (e.g. RR-FA and
+  /// RR-DM allocate one per-thread node on first registration, freed only
+  /// when the store dies). Lets tests assert Gauge-exact accounting across
+  /// every RR variant. Quiescent-only, like the destructor.
+  std::size_t reservation_overhead() const noexcept {
+    if constexpr (requires(const RR& r) { r.gauge_owned(); })
+      return reservation_.gauge_owned();
+    else
+      return 0;
+  }
+
+  std::uint64_t migrated_buckets() const noexcept {
+    return migrated_buckets_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tables_swapped() const noexcept {
+    return tables_swapped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tables_retired() const noexcept {
+    return tables_retired_.load(std::memory_order_relaxed);
+  }
+
+  static const char* reservation_name() noexcept { return RR::name(); }
+
+  /// Test-only: invoked inside the mutating transaction right after the
+  /// op's callback ran; throwing from it must roll the whole attempt
+  /// back (exercised by the kv differential script).
+  void set_fail_hook_for_testing(std::function<void()> hook) {
+    fail_hook_ = std::move(hook);
+  }
+
+ private:
+  struct Shard {
+    detail::Table* cur = nullptr;      // transactional word
+    detail::Table* old = nullptr;      // transactional word; null = settled
+    std::uint64_t old_left = 0;        // transactional; unmigrated buckets
+    std::atomic<std::uint64_t> hint{0};  // helper cursor, non-transactional
+  };
+
+  /// Outcome of one traversal window transaction.
+  enum class Step : std::uint8_t { kFalse, kTrue, kHandover, kMigrate };
+
+  /// How migrate_window selects its old-table bucket.
+  enum class Pick : std::uint8_t { kByHash, kByIndex };
+
+  /// Anchor-handover state carried across one bucket's migration windows.
+  struct MigrationCursor {
+    rr::Ref raw_cache = nullptr;   // kDropMigrationReserve mutant only
+    std::uint64_t parked_log2 = 0;  // cur-table generation at the park
+    bool parked = false;
+  };
+
+  std::size_t shard_index(std::uint64_t h) const noexcept {
+    if (opt_.log2_shards == 0) return 0;
+    return static_cast<std::size_t>(h >> (64 - opt_.log2_shards));
+  }
+  Shard& shard_of(std::uint64_t h) noexcept {
+    return shards_[shard_index(h)].value;
+  }
+
+  detail::Table* make_table(std::uint64_t log2) {
+    const std::size_t buckets = std::size_t{1} << log2;
+    detail::Table* t = alloc::create_flex<detail::Table>(
+        buckets * sizeof(detail::Node*), log2);
+    std::memset(static_cast<void*>(t->slots()), 0,
+                buckets * sizeof(detail::Node*));
+    reclaim::Gauge::on_alloc();
+    return t;
+  }
+
+  void destroy_table(detail::Table* t) noexcept {
+    if (t == nullptr) return;
+    for (std::size_t b = 0; b < t->buckets(); ++b) {
+      detail::Node* n = t->slots()[b];
+      if (n == detail::moved_tag()) continue;
+      while (n != nullptr) {
+        detail::Node* next = n->next;
+        alloc::destroy(n);
+        reclaim::Gauge::on_free();
+        n = next;
+      }
+    }
+    alloc::destroy(t);
+    reclaim::Gauge::on_free();
+  }
+
+  detail::Node* make_node(Tx& tx, std::uint64_t h, std::string_view key,
+                          std::string_view value, detail::Node* next) {
+    detail::Node* n = tx.template alloc_flex<detail::Node>(
+        key.size() + value.size(), next, h,
+        static_cast<std::uint32_t>(key.size()),
+        static_cast<std::uint32_t>(value.size()));
+    if (!key.empty()) std::memcpy(n->bytes(), key.data(), key.size());
+    if (!value.empty())
+      std::memcpy(n->bytes() + key.size(), value.data(), value.size());
+    return n;
+  }
+
+  /// The HOH traversal engine shared by get/put/del: migrate the key's
+  /// bucket into the current table, then run Listing-5 windows over its
+  /// chain. `on_found(tx, link, curr)` runs with *link == curr and
+  /// curr matching the key; `on_not_found(tx, link, curr)` with curr the
+  /// first node after the key's position (or null), so an insert links
+  /// through `link`.
+  template <class FFound, class FNotFound>
+  bool with_chain(Shard& sh, std::uint64_t h, std::string_view key,
+                  std::size_t& chain_len, FFound&& on_found,
+                  FNotFound&& on_not_found) {
+    bool handed_over = false;
+    std::uint64_t parked_log2 = 0;
+    for (;;) {
+      migrate_for(sh, h);
+      for (;;) {
+        bool position_lost = false;
+        std::size_t tx_seen = 0;
+        const Step step = TM::atomically([&](Tx& tx) -> Step {
+          tx_seen = 0;
+          reservation_.register_thread(tx);
+          detail::Table* old = tx.read(sh.old);
+          if (old != nullptr &&
+              tx.read(old->slots()[detail::bucket_index(
+                  h, old->log2, opt_.log2_shards)]) != detail::moved_tag()) {
+            // A fresh grow undid our migration: the key's bucket in the
+            // (new) old table has nodes again. Restart the whole op.
+            reservation_.release(tx);
+            return Step::kMigrate;
+          }
+          detail::Table* cur = tx.read(sh.cur);
+          const std::size_t b =
+              detail::bucket_index(h, cur->log2, opt_.log2_shards);
+          detail::Node** link = &cur->slots()[b];
+          int used = 0;
+          if (handed_over) {
+            auto* parked = static_cast<detail::Node*>(
+                const_cast<void*>(reservation_.get(tx)));
+            position_lost = parked == nullptr || cur->log2 != parked_log2;
+            if (!position_lost) link = &parked->next;
+          } else {
+            used = initial_scatter();
+          }
+          detail::Node* curr = tx.read(*link);
+          while (curr != nullptr &&
+                 detail::precedes(curr->hash, curr->key(), h, key) &&
+                 used < opt_.window) {
+            link = &curr->next;
+            curr = tx.read(*link);
+            ++used;
+            ++tx_seen;
+          }
+          if (curr != nullptr && curr->hash == h && curr->key() == key) {
+            const bool result = on_found(tx, link, curr);
+            if (fail_hook_) fail_hook_();
+            reservation_.release(tx);
+            return result ? Step::kTrue : Step::kFalse;
+          }
+          if (curr == nullptr ||
+              !detail::precedes(curr->hash, curr->key(), h, key)) {
+            const bool result = on_not_found(tx, link, curr);
+            if (fail_hook_) fail_hook_();
+            reservation_.release(tx);
+            return result ? Step::kTrue : Step::kFalse;
+          }
+          // Window exhausted short of the key's position: hand over.
+          reservation_.release(tx);
+          reservation_.reserve(tx, curr);
+          parked_log2 = cur->log2;
+          return Step::kHandover;
+        });
+        chain_len += tx_seen;
+        if constexpr (RR::kReal) {
+          if (position_lost) {
+            // The committed window found its parked position gone (node
+            // revoked, or the table swapped underneath): restarted from
+            // the head. Feeds the contention telemetry like sll_hoh.
+            tm::StatCounters& counters = tm::Stats::mine();
+            counters.reservation_losses += 1;
+            counters.record(tm::AbortCause::kHohRetry);
+          }
+        }
+        if (step == Step::kTrue) return true;
+        if (step == Step::kFalse) return false;
+        if (step == Step::kMigrate) {
+          handed_over = false;
+          chain_len = 0;
+          break;
+        }
+        handed_over = true;  // Step::kHandover
+      }
+    }
+  }
+
+  /// Drive migration of the old bucket holding `h` to completion (no-op
+  /// when the shard is settled or the bucket already migrated).
+  void migrate_for(Shard& sh, std::uint64_t h) {
+    MigrationCursor cursor;
+    while (!migrate_window(sh, Pick::kByHash, h, cursor)) {
+    }
+  }
+
+  /// One migration window: pop up to `window` nodes from the front of
+  /// the selected old-table bucket and sorted-insert them into the
+  /// current table, resuming from the reservation-parked anchor. The
+  /// window that empties the bucket stamps the moved tag; the one that
+  /// empties the last bucket frees the old table precisely. Returns true
+  /// when the selected bucket needs no further work.
+  bool migrate_window(Shard& sh, Pick pick, std::uint64_t sel,
+                      MigrationCursor& cursor) {
+    bool bucket_done = false;
+    bool table_freed = false;
+    std::size_t done_bucket = 0;
+    std::size_t freed_buckets = 0;
+    const bool finished = TM::atomically([&](Tx& tx) -> bool {
+      bucket_done = false;
+      table_freed = false;
+      reservation_.register_thread(tx);
+      detail::Table* old = tx.read(sh.old);
+      if (old == nullptr) {
+        reservation_.release(tx);
+        return true;
+      }
+      const std::size_t b =
+          pick == Pick::kByHash
+              ? detail::bucket_index(sel, old->log2, opt_.log2_shards)
+              : static_cast<std::size_t>(sel) & (old->buckets() - 1);
+      detail::Node*& oslot = old->slots()[b];
+      detail::Node* rest = tx.read(oslot);
+      if (rest == detail::moved_tag()) {
+        reservation_.release(tx);
+        return true;
+      }
+      detail::Table* cur = tx.read(sh.cur);
+      detail::Node* anchor = nullptr;
+      if (cursor.parked && cur->log2 == cursor.parked_log2)
+        anchor = static_cast<detail::Node*>(const_cast<void*>(
+            detail::resume_anchor(reservation_, tx, cursor.raw_cache)));
+      int moved = 0;
+      while (rest != nullptr && moved < opt_.window) {
+        detail::Node* node = rest;
+        rest = tx.read(node->next);
+        const std::size_t nb =
+            detail::bucket_index(node->hash, cur->log2, opt_.log2_shards);
+        detail::Node** link;
+        if (anchor != nullptr &&
+            detail::bucket_index(anchor->hash, cur->log2,
+                                 opt_.log2_shards) == nb &&
+            !detail::precedes(node->hash, node->key(), anchor->hash,
+                              anchor->key())) {
+          link = &anchor->next;  // continue past the previous insertion
+        } else {
+          link = &cur->slots()[nb];
+        }
+        detail::Node* pos = tx.read(*link);
+        while (pos != nullptr && detail::precedes(pos->hash, pos->key(),
+                                                  node->hash, node->key())) {
+          link = &pos->next;
+          pos = tx.read(*link);
+        }
+        tx.write(node->next, pos);
+        tx.write(*link, node);
+        anchor = node;
+        ++moved;
+      }
+      if (rest == nullptr) {
+        tx.write(oslot, detail::moved_tag());
+        const std::uint64_t left = tx.read(sh.old_left) - 1;
+        tx.write(sh.old_left, left);
+        bucket_done = true;
+        done_bucket = b;
+        if (left == 0) {
+          // Last bucket: unpublish and free the old table in this same
+          // transaction — the quiescence fence at commit makes the free
+          // precise yet unobservable by in-flight readers.
+          tx.write(sh.old, static_cast<detail::Table*>(nullptr));
+          tx.dealloc(old);
+          table_freed = true;
+          freed_buckets = old->buckets();
+        }
+        reservation_.release(tx);
+        return true;
+      }
+      tx.write(oslot, rest);
+      detail::park_anchor(reservation_, tx, anchor, cursor.raw_cache);
+      cursor.parked_log2 = cur->log2;
+      return false;
+    });
+    cursor.parked = !finished;
+    if (finished) cursor.raw_cache = nullptr;
+    if (bucket_done) {
+      migrated_buckets_.fetch_add(1, std::memory_order_relaxed);
+      util::trace_event(util::Ev::kKvMigrate, done_bucket);
+    }
+    if (table_freed) {
+      tables_retired_.fetch_add(1, std::memory_order_relaxed);
+      util::trace_event(util::Ev::kKvTableFree, freed_buckets);
+    }
+    return finished;
+  }
+
+  /// Install a double-size table if the shard is settled and under the
+  /// cap. The old table stays reachable; migration is incremental.
+  void try_grow(Shard& sh) {
+    bool swapped = false;
+    std::uint64_t new_log2 = 0;
+    TM::atomically([&](Tx& tx) {
+      swapped = false;
+      if (tx.read(sh.old) != nullptr) return;  // already resizing
+      detail::Table* cur = tx.read(sh.cur);
+      if (cur->log2 >= opt_.max_log2_buckets) return;
+      const std::size_t buckets = std::size_t{2} << cur->log2;
+      detail::Table* fresh = tx.template alloc_flex<detail::Table>(
+          buckets * sizeof(detail::Node*), cur->log2 + 1);
+      // Private until this transaction commits (and freed by rollback if
+      // it aborts), so plain stores initialize the slots.
+      std::memset(static_cast<void*>(fresh->slots()), 0,
+                  buckets * sizeof(detail::Node*));
+      tx.write(sh.old, cur);
+      tx.write(sh.cur, fresh);
+      tx.write(sh.old_left, static_cast<std::uint64_t>(cur->buckets()));
+      swapped = true;
+      new_log2 = cur->log2 + 1;
+    });
+    if (swapped) {
+      tables_swapped_.fetch_add(1, std::memory_order_relaxed);
+      util::trace_event(util::Ev::kKvTableSwap, new_log2);
+    }
+  }
+
+  /// Post-op bookkeeping: help migrate one extra bucket (round-robin
+  /// cursor) so resizes finish even when the workload never touches some
+  /// buckets, then trace the op completion.
+  void after_op(Shard& sh, OpCode op) {
+    if (opt_.auto_migrate) {
+      const std::uint64_t idx =
+          sh.hint.fetch_add(1, std::memory_order_relaxed);
+      MigrationCursor cursor;
+      migrate_window(sh, Pick::kByIndex, idx, cursor);
+    }
+    util::trace_event(util::Ev::kKvOpDone, static_cast<std::uint64_t>(op));
+  }
+
+  template <class F>
+  std::size_t scan_impl(bool from_start, std::string_view start_key,
+                        std::size_t limit, F&& fn) {
+    util::trace_event(util::Ev::kKvOpStart,
+                      static_cast<std::uint64_t>(OpCode::kScan));
+    if (limit == 0) return 0;
+    const std::uint64_t h =
+        from_start ? 0 : detail::hash_bytes(start_key);
+    const std::size_t first_shard = from_start ? 0 : shard_index(h);
+    std::size_t visited = 0;
+    std::vector<std::pair<std::string, std::string>> batch;
+    for (std::size_t s = first_shard; s < shard_count_ && visited < limit;
+         ++s) {
+      Shard& sh = shards_[s].value;
+      // Settle the shard first so one table holds every entry and the
+      // bucket walk is in hash order.
+      for (;;) {
+        const std::size_t buckets = TM::atomically([&](Tx& tx) -> std::size_t {
+          detail::Table* old = tx.read(sh.old);
+          return old == nullptr ? 0 : old->buckets();
+        });
+        if (buckets == 0) break;
+        for (std::size_t b = 0; b < buckets; ++b) {
+          MigrationCursor cursor;
+          while (!migrate_window(sh, Pick::kByIndex, b, cursor)) {
+          }
+        }
+      }
+      const std::size_t buckets = TM::atomically(
+          [&](Tx& tx) { return tx.read(sh.cur)->buckets(); });
+      for (std::size_t b = 0; b < buckets && visited < limit; ++b) {
+        TM::atomically([&](Tx& tx) {
+          batch.clear();
+          detail::Table* cur = tx.read(sh.cur);
+          if (cur->buckets() != buckets) return;  // resized: settle again
+          for (detail::Node* n = tx.read(cur->slots()[b]); n != nullptr;
+               n = tx.read(n->next)) {
+            if (!from_start && s == first_shard &&
+                detail::precedes(n->hash, n->key(), h, start_key))
+              continue;
+            if (visited + batch.size() >= limit) break;
+            batch.emplace_back(std::string(n->key()),
+                               std::string(n->value()));
+          }
+        });
+        for (const auto& entry : batch) {
+          fn(entry.first, entry.second);
+          ++visited;
+        }
+      }
+    }
+    util::trace_event(util::Ev::kKvOpDone,
+                      static_cast<std::uint64_t>(OpCode::kScan));
+    return visited;
+  }
+
+  std::size_t count_table(Tx& tx, detail::Table* t) {
+    if (t == nullptr) return 0;
+    std::size_t n = 0;
+    for (std::size_t b = 0; b < t->buckets(); ++b) {
+      detail::Node* head = tx.read(t->slots()[b]);
+      if (head == detail::moved_tag()) continue;
+      for (; head != nullptr; head = tx.read(head->next)) ++n;
+    }
+    return n;
+  }
+
+  bool check_table(Tx& tx, detail::Table* t, std::size_t shard, bool is_old,
+                   std::set<std::pair<std::uint64_t, std::string>>& seen) {
+    for (std::size_t b = 0; b < t->buckets(); ++b) {
+      detail::Node* n = tx.read(t->slots()[b]);
+      if (n == detail::moved_tag()) {
+        if (!is_old) return false;  // the tag belongs to old tables only
+        continue;
+      }
+      const detail::Node* prev = nullptr;
+      for (; n != nullptr; n = tx.read(n->next)) {
+        if (shard_index(n->hash) != shard) return false;
+        if (detail::bucket_index(n->hash, t->log2, opt_.log2_shards) != b)
+          return false;
+        if (prev != nullptr &&
+            !detail::precedes(prev->hash, prev->key(), n->hash, n->key()))
+          return false;
+        if (!seen.emplace(n->hash, std::string(n->key())).second)
+          return false;  // key present in two chains
+        prev = n;
+      }
+    }
+    return true;
+  }
+
+  int initial_scatter() {
+    if (opt_.window <= 1 || opt_.window == kUnbounded) return 0;
+    thread_local util::Xoshiro256 rng(
+        util::ThreadRegistry::generation() * 0x9E3779B97F4A7C15ULL + 17);
+    return static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(opt_.window)));
+  }
+
+  Options opt_;
+  std::size_t shard_count_;
+  std::unique_ptr<util::CachePadded<Shard>[]> shards_;
+  RR reservation_;
+  std::function<void()> fail_hook_;
+  std::atomic<std::uint64_t> migrated_buckets_{0};
+  std::atomic<std::uint64_t> tables_swapped_{0};
+  std::atomic<std::uint64_t> tables_retired_{0};
+};
+
+}  // namespace hohtm::kv

@@ -1,0 +1,232 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/driver.hpp"
+#include "kv/store.hpp"
+#include "util/zipfian.hpp"
+
+namespace hohtm::kv {
+
+/// The four core YCSB mixes (Cooper et al., SoCC '10), over Zipfian key
+/// popularity:
+///   A: 50% read / 50% update     (session store)
+///   B: 95% read /  5% update     (photo tagging)
+///   C: 100% read                 (profile cache)
+///   D: 95% read-latest / 5% insert (status updates)
+/// Updates go through put (replace-node), so A/B exercise the precise
+/// node-swap reclamation; D grows the store, exercising migration.
+enum class Mix : std::uint8_t { kA = 0, kB, kC, kD };
+
+inline const char* mix_name(Mix mix) noexcept {
+  switch (mix) {
+    case Mix::kA: return "ycsb-a";
+    case Mix::kB: return "ycsb-b";
+    case Mix::kC: return "ycsb-c";
+    case Mix::kD: return "ycsb-d";
+  }
+  return "?";
+}
+
+/// One KV bench cell. `records` is both the prefill count and the
+/// Zipfian domain; keys and values get deterministic variable lengths so
+/// the flex-allocation path sees realistic size spread without any RNG
+/// on the verification side.
+struct KvWorkloadConfig {
+  Mix mix = Mix::kC;
+  std::size_t records = 2048;
+  int threads = 2;
+  std::uint64_t ops_per_thread = 20000;
+  double theta = 0.99;
+  int trials = 1;
+  std::uint64_t seed = 42;
+  int footprint_ms = 0;  // live-object sampling cadence; 0 = off
+};
+
+/// Key for popularity rank r: "user" + variable-length hex of the
+/// scrambled rank (8..16 digits, chosen by the scramble itself), so hot
+/// keys scatter over the hash space and key lengths vary
+/// deterministically.
+inline std::string make_key(std::uint64_t rank) {
+  const std::uint64_t scrambled = util::scramble_rank(rank);
+  const int digits = 8 + static_cast<int>(scrambled % 9);
+  char buf[4 + 16 + 1];
+  const int n =
+      std::snprintf(buf, sizeof buf, "user%0*llx", digits,
+                    static_cast<unsigned long long>(scrambled >> (64 - 4 * digits)));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+/// Deterministic value for (rank, version): length 8..127 bytes of a
+/// xoshiro stream seeded by both, so overwrites change the content and
+/// a checker can recompute any expected value from the op history.
+inline std::string make_value(std::uint64_t rank, std::uint64_t version) {
+  util::Xoshiro256 rng(rank * 0x9E3779B97F4A7C15ULL + version);
+  const std::size_t len = 8 + static_cast<std::size_t>(rng.next() % 120);
+  std::string v(len, '\0');
+  for (std::size_t i = 0; i < len; ++i)
+    v[i] = static_cast<char>('a' + (rng.next() % 26));
+  return v;
+}
+
+/// CellResult plus the KV-specific telemetry appended to the CSV row
+/// (columns kv_hits..kv_resizes; see harness::emit_kv_header).
+struct KvCellResult {
+  harness::CellResult base;
+  std::uint64_t hits = 0;        // reads that found their key
+  std::uint64_t misses = 0;      // reads that did not
+  std::uint64_t migrations = 0;  // old-table buckets migrated
+  std::uint64_t resizes = 0;     // tables installed (grow events)
+};
+
+/// KV mirror of harness::run_cell: per trial, build a fresh store via
+/// `make_store()` (a callable returning something with put/get/del and
+/// the migration accessors), prefill `records` keys, settle migration,
+/// then run the mix from `threads` workers lined up on a spin barrier.
+/// Telemetry scoping, the footprint sampler, and live-peak accounting
+/// follow run_cell exactly, so the same CSV/plot tooling applies.
+template <class StoreFactory>
+KvCellResult run_kv_cell(const KvWorkloadConfig& config,
+                         StoreFactory&& make_store) {
+  KvCellResult cell;
+  std::vector<double> mops_samples;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    const long long live_baseline = reclaim::Gauge::live();
+    auto store = make_store();
+    for (std::size_t r = 0; r < config.records; ++r)
+      store->put(make_key(r), make_value(r, 0));
+    store->finish_migration();  // settle prefill grows before timing
+    const std::uint64_t migrate_baseline = store->migrated_buckets();
+    const std::uint64_t resize_baseline = store->tables_swapped();
+    tm::Stats::reset();
+    util::Metrics::reset();
+
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    util::SpinBarrier barrier(static_cast<std::size_t>(config.threads) + 1);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(config.threads));
+    for (int t = 0; t < config.threads; ++t) {
+      threads.emplace_back([&, t, trial] {
+        util::Zipfian zipf(config.records, config.theta,
+                           config.seed + 1000u * (trial + 1) + t);
+        util::Xoshiro256 rng(config.seed + 0x2000u * (trial + 1) + t);
+        std::string value;
+        std::uint64_t my_hits = 0;
+        std::uint64_t my_misses = 0;
+        std::uint64_t inserted = 0;  // Mix D: this thread's new records
+        const std::uint64_t insert_base =
+            config.records + (static_cast<std::uint64_t>(t + 1) << 32);
+        barrier.arrive_and_wait();
+        for (std::uint64_t i = 0; i < config.ops_per_thread; ++i) {
+          const int dice = static_cast<int>(rng.next_below(100));
+          bool do_read = true;
+          switch (config.mix) {
+            case Mix::kA: do_read = dice < 50; break;
+            case Mix::kB: do_read = dice < 95; break;
+            case Mix::kC: do_read = true; break;
+            case Mix::kD: do_read = dice < 95; break;
+          }
+          if (config.mix == Mix::kD) {
+            if (do_read) {
+              // Read-latest: prefer this thread's most recent inserts,
+              // Zipfian-skewed; fall back to the prefill while young.
+              std::uint64_t rank;
+              if (inserted == 0) {
+                rank = zipf.next();
+              } else {
+                const std::uint64_t back = zipf.next() % inserted;
+                rank = insert_base + (inserted - 1 - back);
+              }
+              if (store->get(make_key(rank), value))
+                ++my_hits;
+              else
+                ++my_misses;
+            } else {
+              store->put(make_key(insert_base + inserted),
+                         make_value(insert_base + inserted, 0));
+              ++inserted;
+            }
+          } else if (do_read) {
+            if (store->get(make_key(zipf.next()), value))
+              ++my_hits;
+            else
+              ++my_misses;
+          } else {
+            const std::uint64_t rank = zipf.next();
+            store->put(make_key(rank), make_value(rank, i + 1));
+          }
+        }
+        barrier.arrive_and_wait();
+        hits.fetch_add(my_hits, std::memory_order_relaxed);
+        misses.fetch_add(my_misses, std::memory_order_relaxed);
+      });
+    }
+
+    std::mutex sampler_mu;
+    std::condition_variable sampler_cv;
+    bool stop_sampler = false;
+    std::vector<harness::FootprintSample> samples;
+    std::thread sampler;
+    barrier.arrive_and_wait();
+    const auto start = std::chrono::steady_clock::now();
+    if (config.footprint_ms > 0) {
+      sampler = std::thread([&] {
+        const auto period = std::chrono::milliseconds(config.footprint_ms);
+        auto deadline = start + period;
+        std::unique_lock<std::mutex> lock(sampler_mu);
+        for (;;) {
+          const double t_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+          samples.push_back(harness::FootprintSample{
+              t_ms, reclaim::Gauge::live() - live_baseline});
+          if (sampler_cv.wait_until(lock, deadline,
+                                    [&] { return stop_sampler; }))
+            return;
+          deadline += period;
+        }
+      });
+    }
+    barrier.arrive_and_wait();
+    const auto stop = std::chrono::steady_clock::now();
+    for (auto& th : threads) th.join();
+    if (sampler.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(sampler_mu);
+        stop_sampler = true;
+      }
+      sampler_cv.notify_one();
+      sampler.join();
+    }
+
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    const double total_ops =
+        static_cast<double>(config.ops_per_thread) * config.threads;
+    mops_samples.push_back(total_ops / seconds / 1e6);
+    cell.base.counters.accumulate(tm::Stats::total());
+    cell.base.latency.merge(util::Metrics::total());
+    cell.hits += hits.load(std::memory_order_relaxed);
+    cell.misses += misses.load(std::memory_order_relaxed);
+    cell.migrations += store->migrated_buckets() - migrate_baseline;
+    cell.resizes += store->tables_swapped() - resize_baseline;
+
+    const long long end_live = reclaim::Gauge::live() - live_baseline;
+    if (end_live > cell.base.live_peak) cell.base.live_peak = end_live;
+    for (const harness::FootprintSample& s : samples)
+      if (s.live > cell.base.live_peak) cell.base.live_peak = s.live;
+    if (!samples.empty()) cell.base.footprint = std::move(samples);
+  }
+  cell.base.mops = util::summarize(mops_samples);
+  return cell;
+}
+
+}  // namespace hohtm::kv

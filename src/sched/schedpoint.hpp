@@ -42,8 +42,9 @@ enum class Op : std::uint8_t {
   kRrRevoke,          // reservation Revoke
   kBackoff,           // retry-loop backoff pause
   kUserMark,          // scenario-defined marker
+  kKvMigrate,         // kv store: bucket-migration window boundary
 };
-inline constexpr std::size_t kOpCount = 18;
+inline constexpr std::size_t kOpCount = 19;
 extern const char* const kOpNames[kOpCount];
 
 /// Bug-injection mutants used to validate the explorer itself: each one
@@ -57,6 +58,7 @@ enum class Mutation : unsigned {
   kSkipQuiescenceWait,   // Quiescence::wait_until returns immediately
   kDropRevoke,           // RR Revoke keeps the ownership stamp intact
   kSkipReadValidation,   // TML readers skip the post-read clock check
+  kDropMigrationReserve, // kv migration parks its anchor without reserving
 };
 
 namespace detail {

@@ -32,6 +32,17 @@ class TxLifecycle {
     return p;
   }
 
+  /// `alloc` with `extra` trailing payload bytes in the same block (see
+  /// alloc::create_flex). Same rollback contract: the whole block — struct
+  /// and tail — vanishes if the transaction aborts.
+  template <class T, class... Args>
+  T* alloc_flex(std::size_t extra, Args&&... args) {
+    T* p = hohtm::alloc::create_flex<T>(extra, std::forward<Args>(args)...);
+    reclaim::Gauge::on_alloc();
+    life_.on_abort(p, &destroy_thunk<T>);
+    return p;
+  }
+
   template <class T>
   void dealloc(T* p) {
     if (p != nullptr) life_.on_commit(const_cast<std::remove_const_t<T>*>(p), &destroy_thunk<std::remove_const_t<T>>);

@@ -43,12 +43,19 @@ enum class Ev : std::uint8_t {
   kRetire,         // arg: retired pointer (hazard/epoch deferred free)
   kScan,           // arg: nodes freed by this hazard scan
   kEpochAdvance,   // arg: the new global epoch
+  kKvOpStart,      // arg: kv::OpCode index (get/put/del/scan)
+  kKvOpDone,       // arg: kv::OpCode index; the op's last tx committed
+  kKvMigrate,      // arg: old-table bucket index whose migration finished
+  kKvTableSwap,    // arg: log2 bucket count of the freshly installed table
+  kKvTableFree,    // arg: bucket count of the precisely freed old table
 };
-inline constexpr std::size_t kEvCount = 14;
+inline constexpr std::size_t kEvCount = 19;
 inline constexpr const char* kEvNames[kEvCount] = {
     "tx_begin",      "tx_commit", "tx_abort", "tx_serial",    "rr_reserve",
     "rr_get",        "rr_revoke", "quiesce_enter", "quiesce_exit", "alloc",
-    "free",          "retire",    "scan",     "epoch_advance"};
+    "free",          "retire",    "scan",     "epoch_advance",
+    "kv_op_start",   "kv_op_done", "kv_migrate", "kv_table_swap",
+    "kv_table_free"};
 
 /// One compact trace record. 24 bytes; a thread's ring is a plain array
 /// of these, written only by its owner.

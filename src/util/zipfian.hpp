@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hohtm::util {
+
+/// Zipfian rank generator for YCSB-style skewed key draws (Gray et al.,
+/// "Quickly Generating Billion-Record Synthetic Databases", SIGMOD '94).
+///
+/// Rank i in [0, n) is drawn with probability proportional to
+/// 1 / (i+1)^theta; rank 0 is the hottest. Instead of YCSB's closed-form
+/// approximation this implementation precomputes the full CDF once (n is
+/// bounded by the record count, a few MB of doubles at paper scale) and
+/// answers each draw with one xoshiro256** output and a binary search —
+/// rejection-free and allocation-free on the draw path, so it is safe to
+/// call from benchmark hot loops.
+///
+/// Deterministic: the draw sequence is a pure function of (n, theta,
+/// seed). The unit test pins exact sequences; no statistical assertions.
+class Zipfian {
+ public:
+  explicit Zipfian(std::size_t n, double theta = 0.99,
+                   std::uint64_t seed = 0x5eedULL)
+      : rng_(seed), cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (std::size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  /// Next rank in [0, n); rank 0 is the most popular.
+  std::size_t next() noexcept {
+    // 53-bit mantissa draw in [0, 1): exact, platform-independent.
+    const double u =
+        static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;
+    // First index whose cumulative probability exceeds u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] <= u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  std::size_t n() const noexcept { return cdf_.size(); }
+
+ private:
+  Xoshiro256 rng_;
+  std::vector<double> cdf_;
+};
+
+/// Bijective rank scrambler: maps the popularity rank onto a
+/// pseudo-random key index so hot keys are spread across the key space
+/// (YCSB's fnv-hash step). splitmix64 is invertible, hence collision-free.
+inline std::uint64_t scramble_rank(std::uint64_t rank) noexcept {
+  std::uint64_t s = rank;
+  return splitmix64(s);
+}
+
+}  // namespace hohtm::util

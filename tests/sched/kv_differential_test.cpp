@@ -1,0 +1,233 @@
+// KV differential oracle: one seeded 10k-op script is interpreted
+// against every TM backend's Store and against a plain std::map. Every
+// operation's result is checked against the reference at the moment it
+// executes, the final states are diffed exactly, and the whole observable
+// trace of each backend must equal the GLock store's trace (GLock — one
+// global mutex — is the trivially correct transactional oracle).
+//
+// The script is single-threaded on purpose, like differential_test.cpp:
+// with no concurrency every backend must be *functionally identical*, so
+// the diff is exact (concurrent semantics are covered by the kv tier-1
+// churn test and the schedule-exploration suite). Exercised per op:
+// put/get/del over a small hot key domain, bounded scans, periodic
+// full-dump set comparison, insert bursts that push shards through
+// incremental resize mid-script, and user exceptions (via the store's
+// fail hook) that must roll back the whole mutating attempt. The final
+// Gauge check proves the script's deletes and resizes freed precisely.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rr.hpp"
+#include "kv/store.hpp"
+#include "reclaim/gauge.hpp"
+#include "tm/glock.hpp"
+#include "tm/norec.hpp"
+#include "tm/tl2.hpp"
+#include "tm/tleager.hpp"
+#include "tm/tml.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+constexpr std::size_t kOps = 10000;
+
+struct ScriptedFailure {};
+
+/// Everything observable about one script execution: one encoded result
+/// per op, plus the final sorted dump. Backend-independent by design, so
+/// traces diff exactly across backends.
+struct Trace {
+  std::vector<long> results;
+  std::vector<std::pair<std::string, std::string>> final_dump;
+};
+
+// Out-parameter instead of a return value: the ASSERTs inside require a
+// void-returning function (gtest's fatal-failure contract).
+template <class TM>
+void run_kv_script(std::uint64_t seed, Trace& t) {
+  using Store = hohtm::kv::Store<TM, hohtm::rr::RrV<TM>>;
+  const long long baseline = hohtm::reclaim::Gauge::live();
+  t.results.reserve(kOps);
+  {
+    // Small window and low growth threshold: the script's bursts drive
+    // several table swaps, so resize runs interleaved with the checked
+    // operations rather than in a separate phase.
+    typename Store::Options opt;
+    opt.window = 4;
+    opt.grow_chain = 4;
+    Store store(opt);
+    std::map<std::string, std::string> ref;
+    hohtm::util::Xoshiro256 rng(seed);
+    std::string value;
+
+    bool armed = false;
+    store.set_fail_hook_for_testing([&armed] {
+      if (armed) throw ScriptedFailure{};
+    });
+
+    for (std::size_t op = 0; op < kOps; ++op) {
+      const std::string key = "k" + std::to_string(rng.next_below(192));
+      const int dice = static_cast<int>(rng.next_below(100));
+      long result = 0;
+      if (dice < 30) {
+        const std::string val = "v" + std::to_string(op);
+        const bool created = store.put(key, val);
+        ASSERT_EQ(created, ref.find(key) == ref.end())
+            << TM::name() << " op " << op << " (seed " << seed << ")";
+        ref[key] = val;
+        result = created ? 1 : 0;
+      } else if (dice < 55) {
+        const bool found = store.get(key, value);
+        const auto it = ref.find(key);
+        ASSERT_EQ(found, it != ref.end())
+            << TM::name() << " op " << op << " (seed " << seed << ")";
+        if (found) {
+          ASSERT_EQ(value, it->second)
+              << TM::name() << " op " << op << " (seed " << seed << ")";
+        }
+        result = found ? 2 : -2;
+      } else if (dice < 75) {
+        const bool removed = store.del(key);
+        ASSERT_EQ(removed, ref.erase(key) == 1u)
+            << TM::name() << " op " << op << " (seed " << seed << ")";
+        result = removed ? 3 : -3;
+      } else if (dice < 82) {
+        // Bounded scan from the table head: visits exactly
+        // min(limit, occupancy) entries regardless of layout.
+        const std::size_t limit = rng.next_below(32);
+        const std::size_t count =
+            store.scan(limit, [](const std::string&, const std::string&) {});
+        ASSERT_EQ(count, std::min(limit, ref.size()))
+            << TM::name() << " op " << op << " (seed " << seed << ")";
+        result = static_cast<long>(count);
+      } else if (dice < 90) {
+        // A user exception thrown from inside the mutating transaction:
+        // the whole attempt (node allocation included) must vanish, and
+        // the exception must reach the caller.
+        const bool was_present = ref.find(key) != ref.end();
+        armed = true;
+        bool thrown = false;
+        try {
+          if (dice < 86) {
+            store.put(key, "phantom");
+          } else {
+            store.del(key);
+          }
+        } catch (const ScriptedFailure&) {
+          thrown = true;
+        }
+        armed = false;
+        ASSERT_TRUE(thrown)
+            << TM::name() << " op " << op << " (seed " << seed << ")";
+        ASSERT_EQ(store.get(key, value), was_present)
+            << TM::name() << " rollback leaked at op " << op << " (seed "
+            << seed << ")";
+        if (was_present) {
+          ASSERT_EQ(value, ref[key]);
+        }
+        result = 4;
+      } else {
+        // Insert burst: fresh keys pile into the hot shards until the
+        // observed chains trip another grow, so later ops run against a
+        // store that is mid-migration.
+        for (int i = 0; i < 24; ++i) {
+          const std::string bkey =
+              "b" + std::to_string(op) + "-" + std::to_string(i);
+          ASSERT_TRUE(store.put(bkey, "burst"))
+              << TM::name() << " op " << op << " (seed " << seed << ")";
+          ref[bkey] = "burst";
+        }
+        result = 5;
+      }
+      t.results.push_back(result);
+
+      if (op % 1000 == 999) {
+        // Full-dump checkpoint: the store's contents equal the reference
+        // as a set of pairs (scan order is (bucket, hash, key), so the
+        // comparison sorts).
+        std::set<std::pair<std::string, std::string>> dumped;
+        store.scan(ref.size() + 10, [&dumped](const std::string& k,
+                                              const std::string& v) {
+          dumped.emplace(k, v);
+        });
+        std::set<std::pair<std::string, std::string>> expected(ref.begin(),
+                                                               ref.end());
+        ASSERT_EQ(dumped, expected)
+            << TM::name() << " checkpoint at op " << op << " (seed " << seed
+            << ")";
+      }
+    }
+
+    store.finish_migration();
+    EXPECT_FALSE(store.migrating()) << TM::name();
+    EXPECT_EQ(store.tables_retired(), store.tables_swapped()) << TM::name();
+    EXPECT_GE(store.tables_swapped(), 1u)
+        << TM::name() << ": the bursts never triggered a resize";
+    EXPECT_TRUE(store.is_consistent()) << TM::name();
+    EXPECT_EQ(store.size(), ref.size()) << TM::name();
+    // Settled Gauge-exact accounting: nodes + one table per shard + the
+    // reservation algorithm's per-thread state, nothing else.
+    EXPECT_EQ(hohtm::reclaim::Gauge::live() - baseline,
+              static_cast<long long>(store.size() + store.shard_count() +
+                                     store.reservation_overhead()))
+        << TM::name() << " (seed " << seed << ")";
+    store.scan(ref.size() + 10,
+               [&t](const std::string& k, const std::string& v) {
+                 t.final_dump.emplace_back(k, v);
+               });
+    std::sort(t.final_dump.begin(), t.final_dump.end());
+  }
+  // The store freed every node and table it ever allocated.
+  EXPECT_EQ(hohtm::reclaim::Gauge::live(), baseline)
+      << TM::name() << " (seed " << seed << ")";
+}
+
+template <class TM>
+void diff_against_oracle(std::uint64_t seed) {
+  Trace oracle;
+  ASSERT_NO_FATAL_FAILURE(run_kv_script<hohtm::tm::GLock>(seed, oracle));
+  Trace candidate;
+  ASSERT_NO_FATAL_FAILURE(run_kv_script<TM>(seed, candidate));
+  ASSERT_EQ(candidate.results.size(), oracle.results.size());
+  for (std::size_t op = 0; op < oracle.results.size(); ++op) {
+    ASSERT_EQ(candidate.results[op], oracle.results[op])
+        << TM::name() << " diverged from glock at op " << op << " (seed "
+        << seed << ")";
+  }
+  EXPECT_EQ(candidate.final_dump, oracle.final_dump)
+      << TM::name() << " final contents diverged (seed " << seed << ")";
+}
+
+TEST(KvDifferential, TmlMatchesGlockOracle) {
+  diff_against_oracle<hohtm::tm::Tml>(0x10ad5eedULL);
+}
+
+TEST(KvDifferential, NorecMatchesGlockOracle) {
+  diff_against_oracle<hohtm::tm::Norec>(0x10ad5eedULL);
+}
+
+TEST(KvDifferential, Tl2MatchesGlockOracle) {
+  diff_against_oracle<hohtm::tm::Tl2>(0x10ad5eedULL);
+}
+
+TEST(KvDifferential, TlEagerMatchesGlockOracle) {
+  diff_against_oracle<hohtm::tm::TlEager>(0x10ad5eedULL);
+}
+
+// A second seed per backend guards against a lucky script (same policy
+// as differential_test.cpp).
+TEST(KvDifferential, SecondSeedSweep) {
+  diff_against_oracle<hohtm::tm::Tml>(0xba5eba11ULL);
+  diff_against_oracle<hohtm::tm::Norec>(0xba5eba11ULL);
+  diff_against_oracle<hohtm::tm::Tl2>(0xba5eba11ULL);
+  diff_against_oracle<hohtm::tm::TlEager>(0xba5eba11ULL);
+}
+
+}  // namespace

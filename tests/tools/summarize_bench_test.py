@@ -2,8 +2,9 @@
 """ctest-registered checks for tools/summarize_bench.py and
 tools/trace_report.py: every CSV layout the benches have ever emitted
 must keep loading (legacy 6-column, telemetry 15-column, observability
-20-column), malformed rows must be skipped rather than crash the report,
-and timeline rows must route to trace_report.py only."""
+20-column, kv 24-column), malformed rows must be skipped rather than
+crash the report, and timeline rows must route to trace_report.py
+only."""
 
 import io
 import os
@@ -26,6 +27,10 @@ TELEMETRY_ROW = ("fig2,intset,rr-fa,8,10.5000,0.90,"
                  "1000,50,10,20,5,3,7,4,1")
 OBSERVABILITY_ROW = (TELEMETRY_ROW.replace(",8,", ",16,") +
                      ",2048,8192,16384,30000,512")
+KV_ROW = ("kv,ycsb-b,RR-V,16,10.5000,0.90,"
+          "1000,50,10,20,5,3,7,4,1,"
+          "2048,8192,16384,30000,512,"
+          "3800,200,96,3")
 
 
 def write(rows):
@@ -69,9 +74,27 @@ class LoadTest(unittest.TestCase):
         self.assertEqual(counters["commit_max_ns"], 30000)
         self.assertEqual(counters["live_peak"], 512)
 
+    def test_kv_twenty_four_columns(self):
+        rows = self.load([KV_ROW])
+        counters = rows[0][-1]
+        self.assertEqual(counters["kv_hits"], 3800)
+        self.assertEqual(counters["kv_misses"], 200)
+        self.assertEqual(counters["kv_migrations"], 96)
+        self.assertEqual(counters["kv_resizes"], 3)
+        self.assertEqual(counters["live_peak"], 512)  # earlier tail intact
+
+    def test_malformed_kv_tail_keeps_observability(self):
+        bad = KV_ROW.rsplit(",", 1)[0] + ",oops"
+        rows = self.load([bad])
+        self.assertEqual(len(rows), 1)
+        counters = rows[0][-1]
+        self.assertNotIn("kv_hits", counters)
+        self.assertEqual(counters["live_peak"], 512)
+
     def test_mixed_layouts_coexist(self):
-        rows = self.load([LEGACY_ROW, TELEMETRY_ROW, OBSERVABILITY_ROW])
-        self.assertEqual(len(rows), 3)
+        rows = self.load([LEGACY_ROW, TELEMETRY_ROW, OBSERVABILITY_ROW,
+                          KV_ROW])
+        self.assertEqual(len(rows), 4)
 
     def test_malformed_rows_are_skipped(self):
         rows = self.load([
@@ -116,6 +139,18 @@ class CliTest(unittest.TestCase):
         self.assertIn("fig2 / intset", proc.stdout)
         self.assertIn("rr-fa", proc.stdout)
         self.assertIn("live_peak", proc.stdout)  # observability column shows
+
+    def test_summarize_renders_kv_table(self):
+        proc = self.run_tool("summarize_bench.py", [KV_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("kv workload", proc.stdout)
+        self.assertIn("95.00", proc.stdout)  # 3800 / 4000 keyed ops
+        self.assertIn("96", proc.stdout)     # migrations column
+
+    def test_non_kv_rows_render_no_kv_table(self):
+        proc = self.run_tool("summarize_bench.py", [OBSERVABILITY_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("kv workload", proc.stdout)
 
     def test_summarize_empty_input_fails(self):
         proc = self.run_tool("summarize_bench.py", ["# nothing here"])

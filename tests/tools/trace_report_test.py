@@ -2,8 +2,8 @@
 """ctest-registered checks for tools/trace_report.py: the 20-column
 observability CSV and the `timeline,...` rows must keep parsing, the
 footprint sparklines must stay deterministic, the Chrome trace-event
-summary must render, and the CLI filters (--figure, --width, --trace)
-must behave. Complements tests/tools/summarize_bench_test.py, which
+summary must render (including the kv-activity digest for kv_* events),
+and the CLI filters (--figure, --width, --trace) must behave. Complements tests/tools/summarize_bench_test.py, which
 covers the loaders shared with summarize_bench.py."""
 
 import io
@@ -207,6 +207,48 @@ class RenderTest(unittest.TestCase):
         self.assertIn("2.000 ms", out)  # ts span 0..2000 us
         self.assertIn("commit", out)
         self.assertIn("abort", out)
+
+    def test_trace_summary_kv_activity_section(self):
+        def kv(name, v, ts=0):
+            return {"name": name, "ph": "X", "ts": ts, "dur": 1, "tid": 1,
+                    "args": {"v": v}}
+        events = [
+            kv("kv_op_start", 0), kv("kv_op_start", 1),
+            kv("kv_op_start", 2),
+            kv("kv_op_done", 0),   # get
+            kv("kv_op_done", 1),   # put
+            kv("kv_migrate", 0), kv("kv_migrate", 0),
+            kv("kv_table_swap", 1),
+            kv("kv_table_swap", 2, ts=100),  # second swap, not yet freed
+            kv("kv_table_free", 16),
+        ]
+        handle = tempfile.NamedTemporaryFile("w", suffix=".json",
+                                             delete=False)
+        json.dump(events, handle)
+        handle.close()
+        try:
+            out = self.render(trace_report.emit_trace_summary, handle.name)
+        finally:
+            os.unlink(handle.name)
+        self.assertIn("## kv activity", out)
+        self.assertIn("2 completed of 3 started", out)
+        self.assertIn("get=1 put=1", out)
+        self.assertIn("2 table swaps, 2 bucket migrations, "
+                      "1 old tables freed (16 buckets)", out)
+        self.assertIn("1 swap(s) still mid-migration", out)
+
+    def test_trace_summary_silent_without_kv_events(self):
+        events = [{"name": "commit", "ph": "X", "ts": 0, "dur": 1,
+                   "tid": 1}]
+        handle = tempfile.NamedTemporaryFile("w", suffix=".json",
+                                             delete=False)
+        json.dump(events, handle)
+        handle.close()
+        try:
+            out = self.render(trace_report.emit_trace_summary, handle.name)
+        finally:
+            os.unlink(handle.name)
+        self.assertNotIn("kv activity", out)
 
     def test_trace_summary_empty_file(self):
         handle = tempfile.NamedTemporaryFile("w", suffix=".json",

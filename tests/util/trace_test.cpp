@@ -112,13 +112,15 @@ TEST_F(TraceTest, DrainJsonEmitsChromeTraceEvents) {
 }
 
 TEST_F(TraceTest, EventNamesCoverTheTaxonomy) {
-  ASSERT_EQ(kEvCount, 14u);
+  ASSERT_EQ(kEvCount, 19u);
   for (std::size_t i = 0; i < kEvCount; ++i) {
     ASSERT_NE(kEvNames[i], nullptr);
     EXPECT_GT(std::string(kEvNames[i]).size(), 0u);
   }
   EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kEpochAdvance)],
                "epoch_advance");
+  EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kKvTableFree)],
+               "kv_table_free");
 }
 
 TEST_F(TraceTest, MetricsAggregateAcrossSlots) {

@@ -14,6 +14,9 @@ accepted:
                     hoh_retries,res_lost
   observability (20): the 15 telemetry columns plus commit_p50_ns,
                     commit_p95_ns,commit_p99_ns,commit_max_ns,live_peak
+  kv (24):          the 20 observability columns plus kv_hits,kv_misses,
+                    kv_migrations,kv_resizes (bench/kv_ycsb emits these;
+                    see src/harness/report.hpp emit_kv_row)
 
 `timeline,...` rows (the reclamation-footprint samples) are skipped
 here; tools/trace_report.py renders those, along with the latency
@@ -39,6 +42,9 @@ CAUSE_FIELDS = [
 OBSERVABILITY_FIELDS = [
     "commit_p50_ns", "commit_p95_ns", "commit_p99_ns", "commit_max_ns",
     "live_peak",
+]
+KV_FIELDS = [
+    "kv_hits", "kv_misses", "kv_migrations", "kv_resizes",
 ]
 
 
@@ -74,6 +80,16 @@ def load(path):
                     counters.update(zip(OBSERVABILITY_FIELDS, values))
                 except ValueError:
                     pass  # malformed observability tail: keep the rest
+            if counters is not None and \
+                    len(parts) >= 6 + len(CAUSE_FIELDS) + \
+                    len(OBSERVABILITY_FIELDS) + len(KV_FIELDS):
+                start = 6 + len(CAUSE_FIELDS) + len(OBSERVABILITY_FIELDS)
+                try:
+                    values = [int(v) for v in
+                              parts[start:start + len(KV_FIELDS)]]
+                    counters.update(zip(KV_FIELDS, values))
+                except ValueError:
+                    pass  # malformed kv tail: keep the rest
             rows.append((figure, panel, series, threads, mops, counters))
     return rows
 
@@ -120,6 +136,8 @@ def summarize(rows, only_figure=None, show_causes=False):
             if show_causes:
                 emit_cause_table(figure, panel, series_order[key], top,
                                  counter_cells)
+            emit_kv_table(figure, panel, series_order[key], top,
+                          counter_cells)
 
 
 def emit_cause_table(figure, panel, series_list, threads, counter_cells):
@@ -147,6 +165,29 @@ def emit_cause_table(figure, panel, series_list, threads, counter_cells):
         if show_peak:
             row += f"{c.get('live_peak', 0):11d}"
         print(row)
+
+
+def emit_kv_table(figure, panel, series_list, threads, counter_cells):
+    """KV workload columns at the highest thread count: hit rate over the
+    keyed ops, plus how much resize work (bucket migrations, table swaps)
+    ran inside the measured window."""
+    have = [(s, counter_cells.get((figure, panel, s, threads)))
+            for s in series_list]
+    have = [(s, c) for s, c in have if c and "kv_hits" in c]
+    if not have:
+        return
+    header = (
+        "series".ljust(14) + f"{'hits':>12}" + f"{'misses':>12}" +
+        f"{'hit%':>8}" + f"{'migrations':>12}" + f"{'resizes':>9}")
+    print(f"   kv workload @ {threads} threads")
+    print(header)
+    print("-" * len(header))
+    for series, c in have:
+        keyed = max(c["kv_hits"] + c["kv_misses"], 1)
+        print(series.ljust(14) +
+              f"{c['kv_hits']:12d}" + f"{c['kv_misses']:12d}" +
+              f"{100.0 * c['kv_hits'] / keyed:8.2f}" +
+              f"{c['kv_migrations']:12d}" + f"{c['kv_resizes']:9d}")
 
 
 def main():

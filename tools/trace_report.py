@@ -164,6 +164,51 @@ def emit_trace_summary(path):
     width = max(len(n) for n in by_name)
     for name, count in by_name.most_common():
         print(f"  {name.ljust(width)}  {count}")
+    emit_kv_trace_summary(events)
+
+
+KV_OPCODES = ("get", "put", "del", "scan")
+
+
+def emit_kv_trace_summary(events):
+    """KV-specific digest of a trace: completed ops by opcode (from the
+    kv_op_done args), migration-window and resize activity. Silent when
+    the trace has no kv events (non-KV benches)."""
+    ops = collections.Counter()
+    started = 0
+    migrations = 0
+    swaps = 0
+    frees = 0
+    freed_buckets = 0
+    for e in events:
+        name = e.get("name", "")
+        arg = e.get("args", {}).get("v", 0)
+        if name == "kv_op_start":
+            started += 1
+        elif name == "kv_op_done":
+            code = int(arg)
+            label = (KV_OPCODES[code] if code < len(KV_OPCODES)
+                     else f"op{code}")
+            ops[label] += 1
+        elif name == "kv_migrate":
+            migrations += 1
+        elif name == "kv_table_swap":
+            swaps += 1
+        elif name == "kv_table_free":
+            frees += 1
+            freed_buckets += int(arg)
+    if not (started or ops or migrations or swaps or frees):
+        return
+    print("\n## kv activity")
+    done = sum(ops.values())
+    breakdown = " ".join(f"{label}={ops[label]}" for label in KV_OPCODES
+                         if ops[label])
+    print(f"  ops: {done} completed of {started} started  ({breakdown})")
+    print(f"  resize: {swaps} table swaps, {migrations} bucket migrations, "
+          f"{frees} old tables freed ({freed_buckets} buckets)")
+    if frees < swaps:
+        print(f"  note: {swaps - frees} swap(s) still mid-migration when "
+              "the trace ended")
 
 
 def main():
