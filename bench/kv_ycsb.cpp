@@ -3,14 +3,17 @@
 // panel per mix, with the single-transaction baseline (RrNull, unbounded
 // window) against representative reservation algorithms.
 //
-// Rows use the 24-column KV layout (emit_kv_row): the standard cell
+// Rows use the 26-column KV layout (emit_kv_row): the standard cell
 // columns plus kv_hits,kv_misses,kv_migrations,kv_resizes, so the
 // resize traffic the D mix generates is attributable per series.
 //
 // Doubles as the check.sh smoke stage: --smoke runs a single 1-thread
 // YCSB-C cell and exits nonzero unless throughput is positive and every
 // node the store allocated was freed (reclaim::Gauge back to baseline
-// after the store dies) — the precise-reclamation end-to-end check.
+// after the store dies) — the precise-reclamation end-to-end check —
+// then re-runs the cell unfused vs fused (Options::fusion_cap) and
+// requires fusion to measurably cut commits per op without recording a
+// single extra abort.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -31,22 +34,25 @@ namespace kv = hohtm::kv;
 namespace rr = hohtm::rr;
 
 template <class RR>
-std::unique_ptr<kv::Store<TM, RR>> make_store(int window) {
+std::unique_ptr<kv::Store<TM, RR>> make_store(int window,
+                                              int fusion_cap = 0) {
   typename kv::Store<TM, RR>::Options opt;
   opt.window = window;
+  opt.fusion_cap = fusion_cap;
   return std::make_unique<kv::Store<TM, RR>>(opt);
 }
 
 template <class RR>
 void series(const std::string& panel, const char* name,
-            KvWorkloadConfig config, const BenchEnv& env, int window) {
+            KvWorkloadConfig config, const BenchEnv& env, int window,
+            int fusion_cap = 0) {
   for (int threads : env.thread_counts) {
     config.threads = threads;
     config.ops_per_thread = env.ops_per_thread;
     config.trials = env.trials;
     config.footprint_ms = env.footprint_ms;
     const KvCellResult cell = hohtm::kv::run_kv_cell(
-        config, [&] { return make_store<RR>(window); });
+        config, [&] { return make_store<RR>(window, fusion_cap); });
     hohtm::harness::emit_kv_row(
         "kv", panel, name, threads, cell.base,
         hohtm::harness::KvRowExtra{cell.hits, cell.misses, cell.migrations,
@@ -65,8 +71,78 @@ void run_panel(const BenchEnv& env, Mix mix) {
   series<rr::RrNull<TM>>(panel, "HTM", config, env,
                          kv::Store<TM, rr::RrNull<TM>>::kUnbounded);
   series<rr::RrV<TM>>(panel, "RR-V", config, env, 16);
+  // Same algorithm with the contention-gated fusion budget: quiet
+  // threads merge adjacent windows (fused_windows column), contended
+  // ones fall back to the small-window protocol (fusion_fallbacks).
+  series<rr::RrV<TM>>(panel, "RR-V+fuse", config, env, 16,
+                      /*fusion_cap=*/16);
   series<rr::RrXo<TM>>(panel, "RR-XO", config, env, 16);
   series<rr::RrFa<TM>>(panel, "RR-FA", config, env, 16);
+}
+
+/// Window-fusion smoke (PR 6 acceptance): the same low-contention
+/// YCSB-C cell run unfused and then with a fusion budget. The table is
+/// frozen at its initial size so chains are long enough that the
+/// 4-node window actually hands over; fusion must then measurably cut
+/// commits per op (boundary transactions elided), record fused windows
+/// in tm::Stats, and add zero aborts (single-threaded: any abort would
+/// be fusion's own fault).
+int run_fusion_smoke() {
+  KvWorkloadConfig config;
+  config.mix = Mix::kC;
+  config.records = 512;
+  config.threads = 1;
+  config.ops_per_thread = 2000;
+  config.trials = 1;
+  auto frozen_store = [&](int fusion_cap) {
+    kv::Store<TM, rr::RrV<TM>>::Options opt;
+    opt.window = 4;
+    opt.max_log2_buckets = opt.log2_buckets;  // no growth: long chains
+    opt.fusion_cap = fusion_cap;
+    return std::make_unique<kv::Store<TM, rr::RrV<TM>>>(opt);
+  };
+  const KvCellResult unfused = hohtm::kv::run_kv_cell(
+      config, [&] { return frozen_store(0); });
+  hohtm::harness::emit_kv_row(
+      "kv", "fusion-smoke", "RR-V", 1, unfused.base,
+      hohtm::harness::KvRowExtra{unfused.hits, unfused.misses,
+                                 unfused.migrations, unfused.resizes});
+  const KvCellResult fused = hohtm::kv::run_kv_cell(
+      config, [&] { return frozen_store(16); });
+  hohtm::harness::emit_kv_row(
+      "kv", "fusion-smoke", "RR-V+fuse", 1, fused.base,
+      hohtm::harness::KvRowExtra{fused.hits, fused.misses, fused.migrations,
+                                 fused.resizes});
+  const auto& uc = unfused.base.counters;
+  const auto& fc = fused.base.counters;
+  if (fc.commits >= uc.commits) {
+    std::fprintf(stderr,
+                 "kv fusion smoke: fused run committed %llu txs vs %llu "
+                 "unfused — fusion elided nothing\n",
+                 static_cast<unsigned long long>(fc.commits),
+                 static_cast<unsigned long long>(uc.commits));
+    return 1;
+  }
+  if (fc.fused_windows == 0) {
+    std::fprintf(stderr, "kv fusion smoke: no fused windows recorded\n");
+    return 1;
+  }
+  if (fc.aborts > uc.aborts) {
+    std::fprintf(stderr,
+                 "kv fusion smoke: fusion added aborts (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(fc.aborts),
+                 static_cast<unsigned long long>(uc.aborts));
+    return 1;
+  }
+  std::printf(
+      "# kv fusion smoke ok: %llu commits fused vs %llu unfused, "
+      "%llu boundaries elided, aborts %llu vs %llu\n",
+      static_cast<unsigned long long>(fc.commits),
+      static_cast<unsigned long long>(uc.commits),
+      static_cast<unsigned long long>(fc.fused_windows),
+      static_cast<unsigned long long>(fc.aborts),
+      static_cast<unsigned long long>(uc.aborts));
+  return 0;
 }
 
 /// check.sh smoke: one small single-thread YCSB-C cell; asserts work got
@@ -103,7 +179,7 @@ int run_smoke() {
   std::printf("# kv smoke ok: %llu hits, %llu buckets migrated, 0 leaks\n",
               static_cast<unsigned long long>(cell.hits),
               static_cast<unsigned long long>(cell.migrations));
-  return 0;
+  return run_fusion_smoke();
 }
 
 }  // namespace

@@ -103,9 +103,19 @@ if [ "$ASAN" -eq 1 ]; then
 fi
 
 if [ "$SCHED" -eq 1 ]; then
-  echo "== tests (schedule exploration + differential oracle)"
+  echo "== tests (window-fusion exploration)"
   echo "   HOH_SCHED_DEPTH=${HOH_SCHED_DEPTH:-1}"
-  if ! ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'sched|differential'; then
+  # Fusion first, as its own stage: the fused-traversal-vs-revoke race,
+  # the fallback bookkeeping invariant (fused_aborts ==
+  # fusion_fallbacks), and the kFusionNeverFallback mutant with its
+  # byte-identical replay (tests/sched/sched_fusion_test.cpp). A fusion
+  # regression should name itself, not hide inside the generic sweep.
+  if ! ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'SchedFusion'; then
+    echo "FAIL: window-fusion schedule-exploration tests" >&2
+    exit 1
+  fi
+  echo "== tests (schedule exploration + differential oracle)"
+  if ! ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'sched|differential' -E 'SchedFusion'; then
     echo "FAIL: schedule-exploration tests" >&2
     exit 1
   fi
@@ -153,8 +163,10 @@ fi
 echo "== kv smoke (bench/kv_ycsb --smoke)"
 # Tiny single-run pass over the kv store (src/kv/, docs/KV.md): the
 # binary self-asserts consistency, settled migration, and Gauge-precise
-# reclamation, then prints one 24-column row. summarize_bench.py must
-# render the kv workload table from it.
+# reclamation, then re-runs the cell unfused vs fused and requires
+# window fusion to cut commits per op with zero added aborts (PR 6),
+# printing 26-column rows. summarize_bench.py must render the kv
+# workload table from them.
 KV_OUT="$BUILD_DIR/kv_smoke.txt"
 "./$BUILD_DIR/bench/kv_ycsb" --smoke > "$KV_OUT"
 if ! grep -q "kv workload" <(python3 tools/summarize_bench.py "$KV_OUT"); then

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "alloc/object.hpp"
+#include "ds/window_policy.hpp"
 #include "reclaim/gauge.hpp"
 #include "reclaim/hazard_pointers.hpp"
 #include "tm/tm.hpp"
@@ -98,6 +99,12 @@ class BstExternalTmhp {
   static constexpr const char* name() noexcept { return "TMHP"; }
   int window() const noexcept { return window_; }
 
+  /// Allow traversals to elide up to `budget` window boundaries per
+  /// operation (see FusionState; RR-agnostic, so the hazard-pointer
+  /// series fuses exactly like the reservation ones). Call before
+  /// sharing across threads.
+  void enable_fusion(int budget) { fusion_cap_ = budget; }
+
  private:
   struct Node {
     Key key;
@@ -122,6 +129,7 @@ class BstExternalTmhp {
 
   template <bool kNeedsGparent, class FFound, class FNotFound>
   bool apply(Key key, FFound&& on_found, FNotFound&& on_not_found) {
+    FusionState fusion(fusion_cap_);
     Node* resume = nullptr;
     for (;;) {
       retired_a_ = retired_b_ = nullptr;
@@ -130,6 +138,7 @@ class BstExternalTmhp {
         Node* next_resume = nullptr;
       };
       const Step step = TM::atomically([&](Tx& tx) -> Step {
+        fusion.on_attempt_start();
         retired_a_ = retired_b_ = nullptr;
         Node* parent = resume;
         int used = 0;
@@ -143,7 +152,11 @@ class BstExternalTmhp {
         }
         Node* curr = key < tx.read(parent->key) ? tx.read(parent->left)
                                                 : tx.read(parent->right);
-        while (tx.read(curr->left) != nullptr && used < window_) {
+        while (tx.read(curr->left) != nullptr) {
+          if (used >= window_) {
+            if (!fusion.try_fuse()) break;
+            used = 0;  // boundary elided: a fresh window, same tx
+          }
           gparent = parent;
           parent = curr;
           curr = key < tx.read(curr->key) ? tx.read(curr->left)
@@ -161,6 +174,7 @@ class BstExternalTmhp {
           return Step{on_found(tx, gparent, parent, curr), nullptr};
         return Step{on_not_found(tx, gparent, parent, curr), nullptr};
       });
+      fusion.on_commit();
       if (retired_a_ != nullptr) {
         hazards_.retire(retired_a_, &delete_node);
         hazards_.retire(retired_b_, &delete_node);
@@ -224,6 +238,7 @@ class BstExternalTmhp {
   int window_;
   bool scatter_;
   Node* root_;
+  int fusion_cap_ = 0;
   reclaim::HazardDomain hazards_;
   static inline thread_local Node* retired_a_ = nullptr;
   static inline thread_local Node* retired_b_ = nullptr;

@@ -6,6 +6,7 @@
 
 #include "alloc/object.hpp"
 #include "core/rr.hpp"
+#include "ds/window_policy.hpp"
 #include "tm/tm.hpp"
 #include "util/random.hpp"
 #include "util/thread_registry.hpp"
@@ -86,8 +87,7 @@ class DllHoh {
             } else {
               // Two-phase removal: hold the victim via the reservation
               // and finish in a dedicated small transaction.
-              reservation_.release(tx);
-              reservation_.reserve(tx, curr);
+              boundary_.park(tx, curr);
               return FindOutcome::two_phase();
             }
           },
@@ -99,7 +99,7 @@ class DllHoh {
           TM::atomically([&](Tx& tx) -> std::optional<bool> {
             reservation_.register_thread(tx);
             Node* victim = static_cast<Node*>(
-                const_cast<void*>(reservation_.get(tx)));
+                const_cast<void*>(boundary_.resume(tx)));
             victim_lost = victim == nullptr;
             if (victim == nullptr) {
               reservation_.release(tx);
@@ -158,6 +158,10 @@ class DllHoh {
   int window() const noexcept { return window_; }
   static const char* reservation_name() noexcept { return RR::name(); }
 
+  /// Allow traversals to elide up to `budget` window boundaries per
+  /// operation (see FusionState). Call before sharing across threads.
+  void enable_fusion(int budget) { fusion_cap_ = budget; }
+
  private:
   struct Node {
     Key key;
@@ -185,14 +189,16 @@ class DllHoh {
 
   template <class FFound, class FNotFound>
   FindOutcome apply(Key key, FFound&& on_found, FNotFound&& on_not_found) {
+    FusionState fusion(fusion_cap_);
     bool handed_over = false;
     for (;;) {
       bool position_lost = false;
       const std::optional<FindOutcome> outcome =
           TM::atomically([&](Tx& tx) -> std::optional<FindOutcome> {
+            fusion.on_attempt_start();
             reservation_.register_thread(tx);
             Node* prev = static_cast<Node*>(
-                const_cast<void*>(reservation_.get(tx)));
+                const_cast<void*>(boundary_.resume(tx)));
             position_lost = handed_over && prev == nullptr;
             int used = 0;
             if (prev == nullptr) {
@@ -200,8 +206,11 @@ class DllHoh {
               used = initial_scatter();
             }
             Node* curr = tx.read(prev->next);
-            while (curr != nullptr && tx.read(curr->key) < key &&
-                   used < window_) {
+            while (curr != nullptr && tx.read(curr->key) < key) {
+              if (used >= window_) {
+                if (!fusion.try_fuse()) break;
+                used = 0;  // boundary elided: a fresh window, same tx
+              }
               prev = curr;
               curr = tx.read(curr->next);
               ++used;
@@ -216,19 +225,11 @@ class DllHoh {
               reservation_.release(tx);
               return result;
             }
-            reservation_.release(tx);
-            reservation_.reserve(tx, curr);
+            boundary_.park(tx, curr);
             return std::nullopt;
           });
-      if constexpr (RR::kReal) {
-        if (position_lost) {
-          // Reservation revoked by a concurrent remover: the committed
-          // attempt restarted its traversal from the head.
-          tm::StatCounters& counters = tm::Stats::mine();
-          counters.reservation_losses += 1;
-          counters.record(tm::AbortCause::kHohRetry);
-        }
-      }
+      fusion.on_commit();
+      if (position_lost) WindowBoundary<RR>::note_position_lost();
       if (outcome.has_value()) return *outcome;
       handed_over = true;
     }
@@ -245,6 +246,8 @@ class DllHoh {
   bool scatter_;
   Node* head_;
   RR reservation_;
+  WindowBoundary<RR> boundary_{reservation_};
+  int fusion_cap_ = 0;
 };
 
 }  // namespace hohtm::ds

@@ -6,6 +6,7 @@
 
 #include "alloc/object.hpp"
 #include "core/rr.hpp"
+#include "ds/window_policy.hpp"
 #include "tm/tm.hpp"
 #include "util/random.hpp"
 #include "util/thread_registry.hpp"
@@ -56,6 +57,7 @@ class SkipList {
   }
 
   bool contains(Key key) {
+    FusionState fusion(fusion_cap_);
     for (;;) {
       struct Step {
         std::optional<bool> result;
@@ -65,11 +67,12 @@ class SkipList {
       Node* resume_node = resume_node_;
       const int resume_level = resume_level_;
       const Step step = TM::atomically([&](Tx& tx) -> Step {
+        fusion.on_attempt_start();
         reservation_.register_thread(tx);
         Node* node = nullptr;
         int level = kMaxHeight - 1;
         if (resume_node != nullptr &&
-            reservation_.get(tx) == resume_node) {
+            boundary_.resume(tx) == resume_node) {
           node = resume_node;
           level = resume_level;
         } else {
@@ -81,8 +84,11 @@ class SkipList {
           if (next != nullptr && tx.read(next->key) < key) {
             node = next;
             if (++hops >= window_) {
-              reservation_.release(tx);
-              reservation_.reserve(tx, node);
+              if (fusion.try_fuse()) {
+                hops = 0;  // boundary elided: a fresh window, same tx
+                continue;
+              }
+              boundary_.park(tx, node);
               return Step{std::nullopt, node, level};
             }
             continue;
@@ -98,6 +104,7 @@ class SkipList {
           --level;
         }
       });
+      fusion.on_commit();
       if (step.result.has_value()) {
         resume_node_ = nullptr;
         return *step.result;
@@ -184,6 +191,10 @@ class SkipList {
   int window() const noexcept { return window_; }
   static const char* reservation_name() noexcept { return RR::name(); }
 
+  /// Allow lookups to elide up to `budget` window boundaries per
+  /// operation (see FusionState). Call before sharing across threads.
+  void enable_fusion(int budget) { fusion_cap_ = budget; }
+
  private:
   struct Node {
     Key key;
@@ -220,6 +231,8 @@ class SkipList {
   int window_;
   Node* head_;
   RR reservation_;
+  WindowBoundary<RR> boundary_{reservation_};
+  int fusion_cap_ = 0;
   static inline thread_local Node* resume_node_ = nullptr;
   static inline thread_local int resume_level_ = 0;
 };

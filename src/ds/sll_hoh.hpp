@@ -8,6 +8,7 @@
 
 #include "alloc/object.hpp"
 #include "core/rr.hpp"
+#include "ds/window_policy.hpp"
 #include "ds/window_tuner.hpp"
 #include "tm/tm.hpp"
 #include "util/random.hpp"
@@ -120,7 +121,18 @@ class SllHoh {
   /// Switch the list to contention-driven per-thread window tuning
   /// (see WindowTuner). Call before sharing the list across threads.
   void enable_adaptive_window(int min_window, int max_window) {
-    tuner_ = std::make_unique<WindowTuner>(min_window, max_window);
+    tuner_ = std::make_unique<WindowTuner>(min_window, max_window,
+                                           fusion_cap_);
+  }
+
+  /// Allow traversals to elide up to `budget` window boundaries per
+  /// operation (see FusionState). With adaptive tuning on, the budget
+  /// sits behind the tuner's clean-streak contention gate; without a
+  /// tuner it is granted unconditionally (tests, known-quiet loads).
+  /// Call before sharing the list across threads.
+  void enable_fusion(int budget) {
+    fusion_cap_ = budget;
+    if (tuner_) tuner_->set_fusion_cap(budget);
   }
 
   /// The calling thread's current adaptive window (diagnostics); the
@@ -152,7 +164,9 @@ class SllHoh {
   /// can link between prev and curr.
   template <class FFound, class FNotFound>
   bool apply(Key key, FFound&& on_found, FNotFound&& on_not_found) {
-    const int window = tuner_ ? tuner_->begin_op() : window_;
+    const WindowPlan plan =
+        tuner_ ? tuner_->plan_op() : WindowPlan{window_, fusion_cap_};
+    FusionState fusion(plan.fusion_budget);
     struct Feedback {
       WindowTuner* tuner;
       ~Feedback() {
@@ -164,6 +178,7 @@ class SllHoh {
       bool position_lost = false;
       const std::optional<bool> outcome =
           TM::atomically([&](Tx& tx) -> std::optional<bool> {
+            fusion.on_attempt_start();
             reservation_.register_thread(tx);
             // Initialize: resume from the reservation, or start at head.
             Node* prev = resume_point(tx);
@@ -171,12 +186,15 @@ class SllHoh {
             int used = 0;
             if (prev == nullptr) {
               prev = head_;
-              used = initial_scatter(window);
+              used = initial_scatter(plan.window);
             }
             Node* curr = tx.read(prev->next);
-            // Traverse up to the window boundary.
-            while (curr != nullptr && tx.read(curr->key) < key &&
-                   used < window) {
+            // Traverse, fusing past window boundaries while budget lasts.
+            while (curr != nullptr && tx.read(curr->key) < key) {
+              if (used >= plan.window) {
+                if (!fusion.try_fuse()) break;
+                used = 0;  // boundary elided: a fresh window, same tx
+              }
               prev = curr;
               curr = tx.read(curr->next);
               ++used;
@@ -194,21 +212,11 @@ class SllHoh {
               return result;
             }
             // Window exhausted: hand over to the next transaction.
-            reservation_.release(tx);
-            reservation_.reserve(tx, curr);
+            boundary_.park(tx, curr);
             return std::nullopt;
           });
-      if constexpr (RR::kReal) {
-        if (position_lost) {
-          // The committed attempt found its reservation gone: a concurrent
-          // remover revoked (and freed) the node we parked on, and the
-          // traversal restarted from the head. Both facts feed the
-          // adaptive-window contention signal.
-          tm::StatCounters& counters = tm::Stats::mine();
-          counters.reservation_losses += 1;
-          counters.record(tm::AbortCause::kHohRetry);
-        }
-      }
+      fusion.on_commit();
+      if (position_lost) WindowBoundary<RR>::note_position_lost();
       if (outcome.has_value()) return *outcome;
       handed_over = true;
       if (handover_hook_) handover_hook_();
@@ -216,7 +224,7 @@ class SllHoh {
   }
 
   Node* resume_point(Tx& tx) {
-    return static_cast<Node*>(const_cast<void*>(reservation_.get(tx)));
+    return static_cast<Node*>(const_cast<void*>(boundary_.resume(tx)));
   }
 
   int initial_scatter(int window) {
@@ -230,6 +238,8 @@ class SllHoh {
   bool scatter_;
   Node* head_;
   RR reservation_;
+  WindowBoundary<RR> boundary_{reservation_};
+  int fusion_cap_ = 0;
   std::unique_ptr<WindowTuner> tuner_;
   std::function<void()> handover_hook_;
 };

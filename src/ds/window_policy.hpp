@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/rr_common.hpp"
+#include "sched/schedpoint.hpp"
+#include "tm/config.hpp"
+#include "util/trace.hpp"
+
+namespace hohtm::ds {
+
+/// What one hand-over-hand operation is allowed to do: traverse up to
+/// `window` nodes per transaction, and elide up to `fusion_budget`
+/// window boundaries by fusing adjacent windows into one transaction
+/// (see FusionState). Produced per operation by WindowTuner::plan_op()
+/// or assembled from a structure's static configuration.
+struct WindowPlan {
+  int window = 16;
+  int fusion_budget = 0;
+};
+
+/// The window-boundary protocol of paper Listing 5, extracted into one
+/// policy object so every hand-over-hand traversal (src/ds/ lists, the
+/// skip list, kv::Store chain walks) and the kv resize anchor handover
+/// speak the identical reserve/park/resume discipline instead of
+/// duplicating it.
+///
+///  - park: the transaction at a window boundary releases the previous
+///    reservation and reserves the boundary node, so the next
+///    transaction of the same operation can continue from it.
+///  - resume: the next transaction asks the reservation where to
+///    continue; nil means a concurrent remover revoked (and precisely
+///    freed) the parked node and the traversal must restart.
+///  - note_position_lost: operation-level contention telemetry for that
+///    nil — a restart in which every transaction *committed*, invisible
+///    to abort counters but load-bearing for contention_signal().
+template <class RR>
+class WindowBoundary {
+ public:
+  explicit WindowBoundary(RR& rr) noexcept : rr_(rr) {}
+
+  /// Window-boundary handoff (Listing 5 lines 17-18): hand the
+  /// reservation from the previous boundary to `ref` and let the
+  /// caller's transaction commit.
+  template <class Tx>
+  void park(Tx& tx, rr::Ref ref) {
+    rr_.release(tx);
+    rr_.reserve(tx, ref);
+  }
+
+  /// Where the previous window parked; nil = revoked, restart.
+  template <class Tx>
+  rr::Ref resume(Tx& tx) {
+    return rr_.get(tx);
+  }
+
+  /// Migration-anchor variant of park (docs/KV.md): same release +
+  /// reserve, plus the sched point that lets the explorer interleave a
+  /// deleter at the boundary, and the kDropMigrationReserve mutant that
+  /// parks a raw cached pointer instead — exactly the stale-resume bug
+  /// the reservation prevents (tests/sched/sched_kv_test.cpp).
+  template <class Tx>
+  void park_anchor(Tx& tx, rr::Ref anchor, rr::Ref& raw_cache) {
+    sched::point(sched::Op::kKvMigrate, anchor);
+    rr_.release(tx);
+    if (sched::mutate(sched::Mutation::kDropMigrationReserve)) {
+      raw_cache = anchor;  // injected bug: nothing protects the anchor now
+      return;
+    }
+    raw_cache = nullptr;
+    rr_.reserve(tx, anchor);
+  }
+
+  template <class Tx>
+  rr::Ref resume_anchor(Tx& tx, rr::Ref raw_cache) {
+    if (sched::mutate(sched::Mutation::kDropMigrationReserve) &&
+        raw_cache != nullptr)
+      return raw_cache;
+    return rr_.get(tx);
+  }
+
+  /// A committed window found its parked position gone: a concurrent
+  /// remover revoked (and freed) the node, and the traversal restarts
+  /// from the head. Both counters feed contention_signal(). No-op for
+  /// pseudo reservations (RrNull), where nil is the steady state.
+  static void note_position_lost() noexcept {
+    if constexpr (RR::kReal) {
+      tm::StatCounters& counters = tm::Stats::mine();
+      counters.reservation_losses += 1;
+      counters.record(tm::AbortCause::kHohRetry);
+    }
+  }
+
+ private:
+  RR& rr_;
+};
+
+/// Window fusion: teleportation-style commit elision across HOH windows
+/// (ROADMAP item 5; the STM analog of SNIPPETS.md Snippet 1's fused
+/// hazard-guard handoffs).
+///
+/// When the contention gate grants a budget, a traversal that reaches a
+/// window boundary may *keep going in the same transaction* instead of
+/// parking and committing: try_fuse() consumes one budget unit and the
+/// walk continues as if a fresh window had started. The elided boundary
+/// skips the release/reserve writes AND the commit/begin pair — on a
+/// quiet path that is the entire boundary cost.
+///
+/// Safety does not depend on the reservation: every node the fused
+/// transaction traversed is in its read set, so a concurrent remove
+/// (unlink + revoke + precise free) conflicts with it through the TM and
+/// one of the two aborts; the quiescence fence keeps any freed node
+/// unreclaimed until in-flight readers are done. Precise reclamation is
+/// therefore preserved across a fused boundary — the remover still frees
+/// in its own commit, and the fused reader either validated before the
+/// free or aborted (docs/ALGORITHMS.md, "Window fusion").
+///
+/// The fallback: fusing enlarges the read set, so under contention a
+/// fused attempt is *more* likely to abort. The attempt prologue
+/// (on_attempt_start) detects "the previous attempt of this operation
+/// speculated and then aborted", drops the remaining budget, and tags
+/// the retreat with AbortCause::kFusionFallback — the op re-runs under
+/// the plain small-window protocol. One operation therefore pays at
+/// most one speculative abort before behaving exactly like an unfused
+/// one. The kFusionNeverFallback mutant disables the retreat;
+/// tests/sched/sched_fusion_test.cpp proves the explorer catches it via
+/// the fused_aborts == fusion_fallbacks telemetry invariant.
+class FusionState {
+ public:
+  explicit FusionState(int budget) noexcept : budget_(budget) {}
+
+  /// Call first inside the transaction body (it re-runs on every retry
+  /// of TM::atomically). Detects a fused attempt that aborted and falls
+  /// back to the small-window protocol.
+  void on_attempt_start() noexcept {
+    if (speculating_) {
+      tm::Stats::mine().fused_aborts += 1;
+      if (!sched::mutate(sched::Mutation::kFusionNeverFallback)) {
+        budget_ = 0;
+        tm::Stats::mine().record(tm::AbortCause::kFusionFallback);
+        util::trace_event(util::Ev::kFusionFallback);
+      }
+    }
+    speculating_ = false;
+    fused_this_attempt_ = 0;
+  }
+
+  /// At a window boundary: true = boundary elided, keep traversing in
+  /// this transaction; false = park and commit as usual.
+  bool try_fuse() noexcept {
+    if (budget_ <= 0) return false;
+    budget_ -= 1;
+    speculating_ = true;
+    fused_this_attempt_ += 1;
+    return true;
+  }
+
+  /// Call right after TM::atomically returns (i.e. the last attempt
+  /// committed): credits the elided boundaries to the telemetry. Only
+  /// committed fusions count — an aborted speculative attempt's elisions
+  /// are discarded with the attempt.
+  void on_commit() noexcept {
+    if (fused_this_attempt_ > 0) {
+      tm::Stats::mine().fused_windows +=
+          static_cast<std::uint64_t>(fused_this_attempt_);
+      util::trace_event(util::Ev::kFusedWindow,
+                        static_cast<std::uint64_t>(fused_this_attempt_));
+    }
+    speculating_ = false;
+    fused_this_attempt_ = 0;
+  }
+
+  int budget() const noexcept { return budget_; }
+
+ private:
+  int budget_;
+  int fused_this_attempt_ = 0;
+  bool speculating_ = false;
+};
+
+}  // namespace hohtm::ds

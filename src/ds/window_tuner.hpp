@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "ds/window_policy.hpp"
 #include "tm/config.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_registry.hpp"
@@ -29,32 +30,70 @@ namespace hohtm::ds {
 ///  - `kGrowStreak` consecutive contention-free operations double it
 ///    (ceiling max_window): quiet periods favour fewer transaction
 ///    boundaries.
+///
+/// With a nonzero `fusion_cap` the tuner additionally governs window
+/// fusion (ds::FusionState): a thread whose clean streak has reached
+/// `kFuseStreak` gets a per-operation budget of boundary elisions, and
+/// any contention event revokes it along with halving the window. The
+/// gate rides the same clean streak because fusion is a strictly more
+/// aggressive bet than a bigger window — it enlarges a single
+/// transaction's read set — so it should only be granted on evidence
+/// quieter than "has not aborted just now".
 class WindowTuner {
  public:
-  WindowTuner(int min_window, int max_window) noexcept
-      : min_window_(min_window), max_window_(max_window) {}
+  explicit WindowTuner(int min_window, int max_window,
+                       int fusion_cap = 0) noexcept
+      : min_window_(min_window),
+        max_window_(max_window),
+        fusion_cap_(fusion_cap) {}
 
-  /// Call at operation start; returns the window to use and remembers
-  /// the contention counters to diff against in `observe`.
-  int begin_op() noexcept {
+  /// Call at operation start; returns the window to use plus the fusion
+  /// budget this thread has earned, and remembers the contention
+  /// counters to diff against in `observe`.
+  WindowPlan plan_op() noexcept {
     State& s = mine();
     if (s.window == 0) s.window = initial_window();
     s.signal_at_start = tm::Stats::mine().contention_signal();
-    return s.window;
+    WindowPlan plan;
+    plan.window = s.window;
+    plan.fusion_budget =
+        (fusion_cap_ > 0 && s.clean_streak >= kFuseStreak) ? fusion_cap_ : 0;
+    return plan;
   }
+
+  /// Window-only variant of plan_op (pre-fusion callers, diagnostics).
+  int begin_op() noexcept { return plan_op().window; }
+
+  /// Grant fusion budgets once a thread's clean streak reaches
+  /// kFuseStreak (0 disables). Install before sharing across threads.
+  void set_fusion_cap(int cap) noexcept { fusion_cap_ = cap; }
 
   /// Call when the operation completes; adapts the thread's window.
   void observe() noexcept {
     State& s = mine();
     const std::uint64_t signal = tm::Stats::mine().contention_signal();
-    if (signal != s.signal_at_start) {
+    if (signal < s.signal_at_start) {
+      // The counters moved *backwards*: they were reset mid-stream (the
+      // harness calls tm::Stats::reset() between trials), not contended.
+      // Re-arm the baseline; halving here would spuriously shrink every
+      // thread's window on the first post-reset operation.
+      s.signal_at_start = signal;
+      return;
+    }
+    if (signal > s.signal_at_start) {
       s.window = s.window / 2 < min_window_ ? min_window_ : s.window / 2;
       s.clean_streak = 0;
       return;
     }
     if (++s.clean_streak >= kGrowStreak) {
-      s.clean_streak = 0;
-      s.window = s.window * 2 > max_window_ ? max_window_ : s.window * 2;
+      if (s.window * 2 <= max_window_) {
+        s.window *= 2;
+        s.clean_streak = 0;
+      } else {
+        // At the ceiling: saturate instead of wrapping, so the fusion
+        // gate (clean_streak >= kFuseStreak) stays open at steady state.
+        s.clean_streak = kGrowStreak;
+      }
     }
   }
 
@@ -64,8 +103,10 @@ class WindowTuner {
     return s.window == 0 ? initial_window() : s.window;
   }
 
- private:
   static constexpr int kGrowStreak = 32;
+  static constexpr int kFuseStreak = 8;
+
+ private:
 
   struct State {
     std::uint64_t generation = 0;  // owning thread's lifetime stamp
@@ -98,6 +139,7 @@ class WindowTuner {
 
   const int min_window_;
   const int max_window_;
+  int fusion_cap_;
   util::CachePadded<State> states_[util::kMaxThreads];
 };
 

@@ -16,7 +16,7 @@ std::string cause_columns() {
   return names;
 }
 
-// The shared 20-column cell body (everything but the trailing newline),
+// The shared 22-column cell body (everything but the trailing newline),
 // so the KV variant appends its columns to an identical prefix.
 void print_cell_columns(const std::string& figure, const std::string& panel,
                         const std::string& series, int threads,
@@ -30,6 +30,7 @@ void print_cell_columns(const std::string& figure, const std::string& panel,
   for (std::size_t i = 0; i < tm::kAbortCauseCount; ++i)
     std::printf(",%llu", static_cast<unsigned long long>(c.by_cause[i]));
   std::printf(",%llu", static_cast<unsigned long long>(c.reservation_losses));
+  std::printf(",%llu", static_cast<unsigned long long>(c.fused_windows));
   const util::Histogram& commit = cell.latency.commit_ns;
   std::printf(",%llu,%llu,%llu,%llu",
               static_cast<unsigned long long>(commit.percentile(0.50)),
@@ -45,8 +46,8 @@ void emit_header(const std::string& figure, const std::string& description) {
   std::printf("# %s: %s\n", figure.c_str(), description.c_str());
   std::printf(
       "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
-      ",res_lost,commit_p50_ns,commit_p95_ns,commit_p99_ns,commit_max_ns"
-      ",live_peak\n",
+      ",res_lost,fused_windows,commit_p50_ns,commit_p95_ns,commit_p99_ns"
+      ",commit_max_ns,live_peak\n",
       cause_columns().c_str());
   std::fflush(stdout);
 }
@@ -77,8 +78,8 @@ void emit_kv_header(const std::string& figure,
   std::printf("# %s: %s\n", figure.c_str(), description.c_str());
   std::printf(
       "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
-      ",res_lost,commit_p50_ns,commit_p95_ns,commit_p99_ns,commit_max_ns"
-      ",live_peak,kv_hits,kv_misses,kv_migrations,kv_resizes\n",
+      ",res_lost,fused_windows,commit_p50_ns,commit_p95_ns,commit_p99_ns"
+      ",commit_max_ns,live_peak,kv_hits,kv_misses,kv_migrations,kv_resizes\n",
       cause_columns().c_str());
   std::fflush(stdout);
 }

@@ -17,14 +17,16 @@ namespace hohtm::harness {
 /// cv%) regenerate the paper's throughput-vs-threads curves. Then the
 /// abort-cause telemetry summed over the cell's timed trials: commits,
 /// aborts, one column per tm::AbortCause (validation, lock, user,
-/// serial_esc, revocations, hoh_retries), then res_lost (reservations
-/// observed revoked by their holder). PR 2 appends the latency and
-/// footprint columns: commit_p50_ns, commit_p95_ns, commit_p99_ns,
-/// commit_max_ns (commit-latency percentiles from the merged
-/// util::Metrics histograms — zero unless built with HOHTM_TRACE=ON)
-/// and live_peak (max live-object count observed during the cell).
+/// serial_esc, revocations, hoh_retries, fusion_fallbacks), then
+/// res_lost (reservations observed revoked by their holder) and
+/// fused_windows (window boundaries elided by committed fused
+/// traversals, PR 6). PR 2 appends the latency and footprint columns:
+/// commit_p50_ns, commit_p95_ns, commit_p99_ns, commit_max_ns
+/// (commit-latency percentiles from the merged util::Metrics
+/// histograms — zero unless built with HOHTM_TRACE=ON) and live_peak
+/// (max live-object count observed during the cell).
 /// tools/summarize_bench.py understands the legacy 6-column, 15-column,
-/// and this 20-column layout.
+/// 20-column, and this 22-column layout.
 ///
 /// When footprint sampling is on (HOH_BENCH_FOOTPRINT_MS), each cell is
 /// followed by its reclamation-footprint timeline, one sample per row:
@@ -54,7 +56,7 @@ struct KvRowExtra {
   std::uint64_t resizes = 0;
 };
 
-/// 24-column variant of the bench CSV: the 20 emit_row columns plus
+/// 26-column variant of the bench CSV: the 22 emit_row columns plus
 /// kv_hits,kv_misses,kv_migrations,kv_resizes. summarize_bench.py and
 /// trace_report.py accept both layouts (they key on column count).
 void emit_kv_header(const std::string& figure, const std::string& description);

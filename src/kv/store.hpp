@@ -14,6 +14,8 @@
 
 #include "alloc/object.hpp"
 #include "core/rr.hpp"
+#include "ds/window_policy.hpp"
+#include "ds/window_tuner.hpp"
 #include "reclaim/gauge.hpp"
 #include "sched/schedpoint.hpp"
 #include "tm/tm.hpp"
@@ -113,24 +115,18 @@ inline std::size_t bucket_index(std::uint64_t h, std::uint64_t log2,
 /// through a raw cached pointer: exactly the stale-resume bug the
 /// reservation prevents. tests/sched/sched_kv_test.cpp proves the
 /// schedule explorer catches it.
+///
+/// Thin wrappers over ds::WindowBoundary (the one policy object every
+/// HOH boundary speaks), kept so sched scenarios can mirror the store's
+/// calls verbatim.
 template <class RR, class Tx>
 void park_anchor(RR& rr, Tx& tx, rr::Ref anchor, rr::Ref& raw_cache) {
-  sched::point(sched::Op::kKvMigrate, anchor);
-  rr.release(tx);
-  if (sched::mutate(sched::Mutation::kDropMigrationReserve)) {
-    raw_cache = anchor;  // injected bug: nothing protects the anchor now
-    return;
-  }
-  raw_cache = nullptr;
-  rr.reserve(tx, anchor);
+  ds::WindowBoundary<RR>(rr).park_anchor(tx, anchor, raw_cache);
 }
 
 template <class RR, class Tx>
 rr::Ref resume_anchor(RR& rr, Tx& tx, rr::Ref raw_cache) {
-  if (sched::mutate(sched::Mutation::kDropMigrationReserve) &&
-      raw_cache != nullptr)
-    return raw_cache;
-  return rr.get(tx);
+  return ds::WindowBoundary<RR>(rr).resume_anchor(tx, raw_cache);
 }
 
 }  // namespace detail
@@ -170,6 +166,8 @@ class Store {
     int grow_chain = 8;                 // insert-observed chain length that
                                         // triggers a grow
     bool auto_migrate = true;           // ops help migrate one extra bucket
+    int fusion_cap = 0;                 // per-op window-fusion budget behind
+                                        // the tuner's contention gate; 0 = off
   };
 
   template <class... RrArgs>
@@ -180,6 +178,11 @@ class Store {
         reservation_(std::forward<RrArgs>(rr_args)...) {
     for (std::size_t s = 0; s < shard_count_; ++s)
       shards_[s].value.cur = make_table(opt_.log2_buckets);
+    // Fixed window, so the tuner acts purely as the per-thread fusion
+    // governor: quiet threads earn a budget, contended ones lose it.
+    if (opt_.fusion_cap > 0)
+      fusion_gate_ = std::make_unique<ds::WindowTuner>(
+          opt_.window, opt_.window, opt_.fusion_cap);
   }
 
   Store(const Store&) = delete;
@@ -477,6 +480,16 @@ class Store {
   bool with_chain(Shard& sh, std::uint64_t h, std::string_view key,
                   std::size_t& chain_len, FFound&& on_found,
                   FNotFound&& on_not_found) {
+    const ds::WindowPlan plan = fusion_gate_
+                                    ? fusion_gate_->plan_op()
+                                    : ds::WindowPlan{opt_.window, 0};
+    ds::FusionState fusion(plan.fusion_budget);
+    struct Feedback {
+      ds::WindowTuner* gate;
+      ~Feedback() {
+        if (gate != nullptr) gate->observe();
+      }
+    } feedback{fusion_gate_.get()};
     bool handed_over = false;
     std::uint64_t parked_log2 = 0;
     for (;;) {
@@ -485,6 +498,7 @@ class Store {
         bool position_lost = false;
         std::size_t tx_seen = 0;
         const Step step = TM::atomically([&](Tx& tx) -> Step {
+          fusion.on_attempt_start();
           tx_seen = 0;
           reservation_.register_thread(tx);
           detail::Table* old = tx.read(sh.old);
@@ -503,7 +517,7 @@ class Store {
           int used = 0;
           if (handed_over) {
             auto* parked = static_cast<detail::Node*>(
-                const_cast<void*>(reservation_.get(tx)));
+                const_cast<void*>(boundary_.resume(tx)));
             position_lost = parked == nullptr || cur->log2 != parked_log2;
             if (!position_lost) link = &parked->next;
           } else {
@@ -511,8 +525,11 @@ class Store {
           }
           detail::Node* curr = tx.read(*link);
           while (curr != nullptr &&
-                 detail::precedes(curr->hash, curr->key(), h, key) &&
-                 used < opt_.window) {
+                 detail::precedes(curr->hash, curr->key(), h, key)) {
+            if (used >= plan.window) {
+              if (!fusion.try_fuse()) break;
+              used = 0;  // boundary elided: a fresh window, same tx
+            }
             link = &curr->next;
             curr = tx.read(*link);
             ++used;
@@ -532,22 +549,13 @@ class Store {
             return result ? Step::kTrue : Step::kFalse;
           }
           // Window exhausted short of the key's position: hand over.
-          reservation_.release(tx);
-          reservation_.reserve(tx, curr);
+          boundary_.park(tx, curr);
           parked_log2 = cur->log2;
           return Step::kHandover;
         });
+        fusion.on_commit();
         chain_len += tx_seen;
-        if constexpr (RR::kReal) {
-          if (position_lost) {
-            // The committed window found its parked position gone (node
-            // revoked, or the table swapped underneath): restarted from
-            // the head. Feeds the contention telemetry like sll_hoh.
-            tm::StatCounters& counters = tm::Stats::mine();
-            counters.reservation_losses += 1;
-            counters.record(tm::AbortCause::kHohRetry);
-          }
-        }
+        if (position_lost) ds::WindowBoundary<RR>::note_position_lost();
         if (step == Step::kTrue) return true;
         if (step == Step::kFalse) return false;
         if (step == Step::kMigrate) {
@@ -812,6 +820,8 @@ class Store {
   std::size_t shard_count_;
   std::unique_ptr<util::CachePadded<Shard>[]> shards_;
   RR reservation_;
+  ds::WindowBoundary<RR> boundary_{reservation_};
+  std::unique_ptr<ds::WindowTuner> fusion_gate_;
   std::function<void()> fail_hook_;
   std::atomic<std::uint64_t> migrated_buckets_{0};
   std::atomic<std::uint64_t> tables_swapped_{0};

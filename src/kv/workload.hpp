@@ -52,16 +52,20 @@ struct KvWorkloadConfig {
 };
 
 /// Key for popularity rank r: "user" + variable-length hex of the
-/// scrambled rank (8..16 digits, chosen by the scramble itself), so hot
-/// keys scatter over the hash space and key lengths vary
-/// deterministically.
+/// scrambled rank (16..24 digits — always the full 64-bit value, plus
+/// 0..8 leading zeros chosen by the scramble itself), so hot keys
+/// scatter over the hash space and key lengths vary deterministically.
+/// Emitting all 16 hex digits is what makes the scramble's
+/// invertibility carry over to the keys: truncating to a prefix would
+/// let distinct ranks collide and silently shrink the prefilled key
+/// population (tests/kv/kv_workload_test.cpp pins uniqueness).
 inline std::string make_key(std::uint64_t rank) {
   const std::uint64_t scrambled = util::scramble_rank(rank);
-  const int digits = 8 + static_cast<int>(scrambled % 9);
-  char buf[4 + 16 + 1];
+  const int digits = 16 + static_cast<int>(scrambled % 9);
+  char buf[4 + 24 + 1];
   const int n =
       std::snprintf(buf, sizeof buf, "user%0*llx", digits,
-                    static_cast<unsigned long long>(scrambled >> (64 - 4 * digits)));
+                    static_cast<unsigned long long>(scrambled));
   return std::string(buf, static_cast<std::size_t>(n));
 }
 

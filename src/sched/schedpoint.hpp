@@ -59,6 +59,7 @@ enum class Mutation : unsigned {
   kDropRevoke,           // RR Revoke keeps the ownership stamp intact
   kSkipReadValidation,   // TML readers skip the post-read clock check
   kDropMigrationReserve, // kv migration parks its anchor without reserving
+  kFusionNeverFallback,  // fused traversal keeps speculating after an abort
 };
 
 namespace detail {

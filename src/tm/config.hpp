@@ -40,13 +40,16 @@ enum class AbortCause : unsigned {
   kSerialEscalation,     // retry budget exhausted; fell back to serial mode
   kRrRevocation,         // a Revoke(ref) was issued by this thread
   kHohRetry,             // a HOH op abandoned its position and restarted
+  kFusionFallback,       // a fused (window-merged) attempt aborted and the
+                         // op retreated to the small-window protocol
 };
-inline constexpr std::size_t kAbortCauseCount = 6;
+inline constexpr std::size_t kAbortCauseCount = 7;
 
 /// Short stable identifiers, indexable by AbortCause; used verbatim as
 /// bench CSV column names (see harness/report.cpp).
 inline constexpr const char* kAbortCauseNames[kAbortCauseCount] = {
-    "validation", "lock", "user", "serial_esc", "revocations", "hoh_retries"};
+    "validation",  "lock",        "user", "serial_esc", "revocations",
+    "hoh_retries", "fusion_fallbacks"};
 
 /// Per-thread transaction counters, padded to avoid false sharing; each
 /// slot is written only by its owning thread, so plain relaxed loads
@@ -61,6 +64,14 @@ struct StatCounters {
   /// flip side of by_cause[kRrRevocation], which counts revocations this
   /// thread *performed*.
   std::uint64_t reservation_losses = 0;
+  /// Window boundaries elided by committed fused transactions (see
+  /// ds::FusionState): each one is a release/reserve/commit/begin
+  /// sequence that never ran. Only committed fusions count.
+  std::uint64_t fused_windows = 0;
+  /// Aborts suffered by attempts that were speculating past a window
+  /// boundary. Under correct fallback behaviour this equals
+  /// by_cause[kFusionFallback]; the sched mutant tests lean on that.
+  std::uint64_t fused_aborts = 0;
   std::uint64_t by_cause[kAbortCauseCount] = {};
 
   void record(AbortCause cause) noexcept {
@@ -88,6 +99,8 @@ struct StatCounters {
     serial_commits += other.serial_commits;
     user_retries += other.user_retries;
     reservation_losses += other.reservation_losses;
+    fused_windows += other.fused_windows;
+    fused_aborts += other.fused_aborts;
     for (std::size_t i = 0; i < kAbortCauseCount; ++i)
       by_cause[i] += other.by_cause[i];
   }

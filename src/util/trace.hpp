@@ -48,14 +48,16 @@ enum class Ev : std::uint8_t {
   kKvMigrate,      // arg: old-table bucket index whose migration finished
   kKvTableSwap,    // arg: log2 bucket count of the freshly installed table
   kKvTableFree,    // arg: bucket count of the precisely freed old table
+  kFusedWindow,    // arg: window boundaries elided by the committed tx
+  kFusionFallback, // a fused attempt aborted; op retreats to small windows
 };
-inline constexpr std::size_t kEvCount = 19;
+inline constexpr std::size_t kEvCount = 21;
 inline constexpr const char* kEvNames[kEvCount] = {
     "tx_begin",      "tx_commit", "tx_abort", "tx_serial",    "rr_reserve",
     "rr_get",        "rr_revoke", "quiesce_enter", "quiesce_exit", "alloc",
     "free",          "retire",    "scan",     "epoch_advance",
     "kv_op_start",   "kv_op_done", "kv_migrate", "kv_table_swap",
-    "kv_table_free"};
+    "kv_table_free", "fused_window", "fusion_fallback"};
 
 /// One compact trace record. 24 bytes; a thread's ring is a plain array
 /// of these, written only by its owner.

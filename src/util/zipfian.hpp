@@ -24,15 +24,18 @@ namespace hohtm::util {
 /// seed). The unit test pins exact sequences; no statistical assertions.
 class Zipfian {
  public:
+  /// n == 0 is clamped to a single-rank domain: next() computes
+  /// `cdf_.size() - 1`, which would underflow on an empty CDF and walk
+  /// the binary search off the map.
   explicit Zipfian(std::size_t n, double theta = 0.99,
                    std::uint64_t seed = 0x5eedULL)
-      : rng_(seed), cdf_(n) {
+      : rng_(seed), cdf_(n == 0 ? 1 : n) {
     double sum = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
       sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
       cdf_[i] = sum;
     }
-    for (std::size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+    for (std::size_t i = 0; i < cdf_.size(); ++i) cdf_[i] /= sum;
   }
 
   /// Next rank in [0, n); rank 0 is the most popular.

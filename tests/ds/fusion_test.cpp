@@ -1,0 +1,164 @@
+// Window fusion (ROADMAP item 5): commit elision across hand-over-hand
+// windows. FusionState's protocol is pinned directly (budget consumption,
+// the fall-back-on-aborted-speculation rule, commit-time crediting), then
+// end-to-end through SllHoh: a fused traversal must complete the same
+// operations in measurably fewer transactions, with zero added aborts,
+// and the contention gate in WindowTuner must keep the budget at zero
+// until a clean streak earns it.
+#include <gtest/gtest.h>
+
+#include "ds/sll_hoh.hpp"
+#include "ds/window_policy.hpp"
+#include "ds/window_tuner.hpp"
+#include "tm/tm.hpp"
+
+namespace hohtm::ds {
+namespace {
+
+using TM = tm::Norec;
+
+TEST(FusionState, ConsumesBudgetPerElision) {
+  FusionState fusion(2);
+  fusion.on_attempt_start();
+  EXPECT_TRUE(fusion.try_fuse());
+  EXPECT_TRUE(fusion.try_fuse());
+  EXPECT_FALSE(fusion.try_fuse());  // budget exhausted: park as usual
+  EXPECT_EQ(fusion.budget(), 0);
+}
+
+TEST(FusionState, ZeroBudgetNeverFuses) {
+  FusionState fusion(0);
+  fusion.on_attempt_start();
+  EXPECT_FALSE(fusion.try_fuse());
+}
+
+TEST(FusionState, CommitCreditsElidedBoundaries) {
+  const std::uint64_t before = tm::Stats::mine().fused_windows;
+  FusionState fusion(3);
+  fusion.on_attempt_start();
+  EXPECT_TRUE(fusion.try_fuse());
+  EXPECT_TRUE(fusion.try_fuse());
+  fusion.on_commit();
+  EXPECT_EQ(tm::Stats::mine().fused_windows, before + 2);
+  // A second commit with no elisions credits nothing.
+  fusion.on_attempt_start();
+  fusion.on_commit();
+  EXPECT_EQ(tm::Stats::mine().fused_windows, before + 2);
+}
+
+TEST(FusionState, AbortedSpeculationFallsBack) {
+  tm::StatCounters& c = tm::Stats::mine();
+  const std::uint64_t aborts_before = c.fused_aborts;
+  const std::uint64_t fallbacks_before =
+      c.cause(tm::AbortCause::kFusionFallback);
+  FusionState fusion(4);
+  fusion.on_attempt_start();
+  EXPECT_TRUE(fusion.try_fuse());
+  // The attempt aborts: TM::atomically re-runs the body, so the next
+  // on_attempt_start sees the speculation that did not commit. It must
+  // drop the budget and tag the retreat, exactly once each.
+  fusion.on_attempt_start();
+  EXPECT_EQ(c.fused_aborts, aborts_before + 1);
+  EXPECT_EQ(c.cause(tm::AbortCause::kFusionFallback), fallbacks_before + 1);
+  EXPECT_EQ(fusion.budget(), 0);
+  EXPECT_FALSE(fusion.try_fuse());  // op re-runs under the plain protocol
+  fusion.on_commit();
+  // Nothing speculative committed, so nothing is credited.
+  EXPECT_EQ(c.fused_aborts, aborts_before + 1);
+}
+
+TEST(FusionState, FallbackAccountingBalances) {
+  // The telemetry invariant the sched mutant test leans on: under correct
+  // code every fused abort is answered by exactly one fallback record.
+  tm::StatCounters& c = tm::Stats::mine();
+  const std::uint64_t aborts_before = c.fused_aborts;
+  const std::uint64_t fallbacks_before =
+      c.cause(tm::AbortCause::kFusionFallback);
+  for (int i = 0; i < 3; ++i) {
+    FusionState fusion(2);
+    fusion.on_attempt_start();
+    ASSERT_TRUE(fusion.try_fuse());
+    fusion.on_attempt_start();  // abort + fallback
+    fusion.on_commit();
+  }
+  EXPECT_EQ(c.fused_aborts - aborts_before,
+            c.cause(tm::AbortCause::kFusionFallback) - fallbacks_before);
+}
+
+TEST(FusedList, FewerCommitsSameAnswers) {
+  // Two identical read-only passes over a 64-key list with W = 4; the
+  // fused pass gets enough budget to elide every interior boundary.
+  SllHoh<TM, rr::RrV<TM>> list(/*window=*/4, /*scatter=*/false);
+  for (long k = 0; k < 64; ++k) ASSERT_TRUE(list.insert(k));
+
+  tm::StatCounters& c = tm::Stats::mine();
+  const std::uint64_t commits_a = c.commits;
+  for (long k = 0; k < 64; ++k) ASSERT_TRUE(list.contains(k));
+  const std::uint64_t unfused_commits = c.commits - commits_a;
+
+  list.enable_fusion(/*budget=*/64);
+  const std::uint64_t commits_b = c.commits;
+  const std::uint64_t aborts_b = c.aborts;
+  const std::uint64_t fused_b = c.fused_windows;
+  for (long k = 0; k < 64; ++k) ASSERT_TRUE(list.contains(k));
+  const std::uint64_t fused_commits = c.commits - commits_b;
+
+  EXPECT_LT(fused_commits, unfused_commits);
+  EXPECT_GT(c.fused_windows, fused_b);           // boundaries were elided
+  EXPECT_EQ(c.aborts, aborts_b);                 // single-threaded: none
+  EXPECT_FALSE(list.contains(64));               // answers unchanged
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(FusedList, MutatorsCorrectUnderFusion) {
+  SllHoh<TM, rr::RrV<TM>> list(/*window=*/2, /*scatter=*/false);
+  list.enable_fusion(/*budget=*/8);
+  for (long k = 0; k < 32; ++k) ASSERT_TRUE(list.insert(k));
+  for (long k = 0; k < 32; k += 2) ASSERT_TRUE(list.remove(k));
+  for (long k = 0; k < 32; ++k)
+    EXPECT_EQ(list.contains(k), (k & 1) == 1) << k;
+  EXPECT_EQ(list.size(), 16u);
+  EXPECT_TRUE(list.is_sorted());
+}
+
+TEST(WindowTuner, FusionBudgetGatedOnCleanStreak) {
+  WindowTuner tuner(4, 4, /*fusion_cap=*/8);
+  // A fresh thread has no streak: the plan grants window only.
+  EXPECT_EQ(tuner.plan_op().fusion_budget, 0);
+  tuner.observe();
+  for (int i = 1; i < 8; ++i) {  // seven more clean ops: still gated
+    EXPECT_EQ(tuner.plan_op().fusion_budget, 0) << i;
+    tuner.observe();
+  }
+  // kFuseStreak clean ops: the gate opens at the configured cap.
+  EXPECT_EQ(tuner.plan_op().fusion_budget, 8);
+  EXPECT_EQ(tuner.plan_op().window, 4);
+  // One contended op slams it shut again.
+  tm::Stats::mine().aborts += 1;
+  tuner.observe();
+  EXPECT_EQ(tuner.plan_op().fusion_budget, 0);
+}
+
+TEST(WindowTuner, FusionGateStaysOpenAtMaxWindow) {
+  // At the window ceiling the clean streak must saturate, not wrap to
+  // zero on the (impossible) doubling — otherwise the fusion gate would
+  // close every kGrowStreak ops at steady state.
+  WindowTuner tuner(4, 4, /*fusion_cap=*/2);
+  for (int i = 0; i < 40; ++i) {  // past kGrowStreak
+    tuner.plan_op();
+    tuner.observe();
+  }
+  EXPECT_EQ(tuner.plan_op().fusion_budget, 2);
+}
+
+TEST(WindowTuner, NoCapMeansNoBudget) {
+  WindowTuner tuner(2, 32);
+  for (int i = 0; i < 16; ++i) {
+    tuner.plan_op();
+    tuner.observe();
+  }
+  EXPECT_EQ(tuner.plan_op().fusion_budget, 0);
+}
+
+}  // namespace
+}  // namespace hohtm::ds

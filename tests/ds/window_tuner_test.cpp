@@ -58,6 +58,27 @@ TEST(WindowTuner, PerformedRevocationsDoNotShrink) {
   EXPECT_EQ(tuner.current(), before);
 }
 
+// Regression: tm::Stats::reset() between begin_op() and observe() (the
+// harness wipes counters between trials) makes the contention signal
+// move *backwards*. The tuner used to fall into the "signal changed"
+// path and halve a perfectly healthy window; it must instead re-arm its
+// baseline at the new, lower reading and leave the window alone — while
+// still reacting to genuine contention measured against that re-armed
+// baseline.
+TEST(WindowTuner, CounterResetMidOpReArmsInsteadOfShrinking) {
+  WindowTuner tuner(2, 32);
+  tm::Stats::mine().aborts += 5;  // pre-existing signal from earlier work
+  const int before = tuner.begin_op();
+  tm::Stats::reset();  // trial boundary: every counter wiped
+  tuner.observe();
+  EXPECT_EQ(tuner.current(), before);  // no shrink on the backwards jump
+  // The re-armed baseline still catches real contention afterwards.
+  tuner.begin_op();
+  tm::Stats::mine().aborts += 1;
+  tuner.observe();
+  EXPECT_EQ(tuner.current(), before / 2);
+}
+
 TEST(WindowTuner, FloorsAtMinimum) {
   WindowTuner tuner(2, 32);
   for (int i = 0; i < 10; ++i) {

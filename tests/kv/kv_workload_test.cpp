@@ -1,0 +1,68 @@
+// KV workload generator: key construction must be collision-free.
+//
+// make_key documents that the splitmix64 scramble is invertible, hence
+// collision-free — but that only holds if the key embeds the *entire*
+// scrambled rank. A truncated hex emission (the bug this pins) keeps
+// only the top 4*digits bits, so distinct ranks can silently collide
+// and shrink the prefilled key population under the workload's feet.
+#include "kv/workload.hpp"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/zipfian.hpp"
+
+namespace hohtm::kv {
+namespace {
+
+TEST(KvWorkloadKey, ShapeAndDeterminism) {
+  const std::string k = make_key(0);
+  EXPECT_EQ(k.substr(0, 4), "user");
+  // 16 hex digits always present (full 64-bit scramble), up to 8 more
+  // of deterministic leading-zero padding for length variety.
+  EXPECT_GE(k.size(), 4u + 16u);
+  EXPECT_LE(k.size(), 4u + 24u);
+  EXPECT_EQ(make_key(12345), make_key(12345));
+}
+
+TEST(KvWorkloadKey, EmbedsTheFullScrambledRank) {
+  // Invertibility of the scramble transfers to the key only because the
+  // key carries all 64 bits: parse the hex tail back and compare.
+  for (std::uint64_t rank : {0ull, 1ull, 12345ull, 0xffffffffull,
+                             (2048ull + (1ull << 32))}) {
+    const std::string k = make_key(rank);
+    const std::uint64_t parsed = std::stoull(k.substr(4), nullptr, 16);
+    EXPECT_EQ(parsed, util::scramble_rank(rank)) << k;
+  }
+}
+
+TEST(KvWorkloadKey, LengthsVaryDeterministically) {
+  std::set<std::size_t> lengths;
+  for (std::uint64_t r = 0; r < 64; ++r) lengths.insert(make_key(r).size());
+  EXPECT_GT(lengths.size(), 1u);  // the flex-alloc path sees size spread
+}
+
+TEST(KvWorkloadKey, UniqueOverLargeRankRange) {
+  // The regression: with truncated emission, ranks whose scrambles share
+  // a top-bit prefix (but differ below it) mapped to the same key. Cover
+  // a dense prefill-sized range plus the sparse per-thread insert bases
+  // Mix D uses (records + (t+1) << 32).
+  std::unordered_set<std::string> seen;
+  seen.reserve(220000);
+  for (std::uint64_t r = 0; r < 200000; ++r)
+    ASSERT_TRUE(seen.insert(make_key(r)).second)
+        << "rank " << r << " collided: " << make_key(r);
+  for (std::uint64_t t = 1; t <= 8; ++t)
+    for (std::uint64_t i = 0; i < 2048; ++i) {
+      const std::uint64_t rank = 2048 + (t << 32) + i;
+      ASSERT_TRUE(seen.insert(make_key(rank)).second)
+          << "rank " << rank << " collided: " << make_key(rank);
+    }
+}
+
+}  // namespace
+}  // namespace hohtm::kv

@@ -1,0 +1,269 @@
+// Schedule exploration of window fusion (ds/window_policy.hpp): the
+// correctness edge of commit elision is the fallback under contention.
+//
+// Three scenarios:
+//
+//  1. A fused list traversal racing a remove that revokes and precisely
+//     frees a node mid-walk. Every interleaving must keep the list
+//     consistent, answer correctly, and — the fusion contract — balance
+//     the books: each aborted speculative attempt is answered by exactly
+//     one kFusionFallback record (the op retreats to the small-window
+//     protocol), so per schedule fused_aborts == fusion_fallbacks.
+//
+//  2. The same invariant on a distilled two-node read, static state so a
+//     failing schedule replays byte-identically. The
+//     kFusionNeverFallback mutant keeps speculating after an abort —
+//     fused_aborts advances without a matching fallback — and the
+//     explorer must catch it within a bounded budget.
+//
+//  3. The contention gate: with fusion behind WindowTuner's clean-streak
+//     gate, a contended schedule never earns a budget, so fusion
+//     contributes zero speculative aborts — the abort-telemetry side of
+//     the acceptance criterion.
+//
+// Backend is TML throughout: address-independent conflict detection is
+// the determinism requirement of DFS prefix replay.
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rr_v.hpp"
+#include "ds/sll_hoh.hpp"
+#include "ds/window_policy.hpp"
+#include "sched/explore.hpp"
+#include "sched/schedpoint.hpp"
+#include "tm/config.hpp"
+#include "tm/tml.hpp"
+
+namespace {
+
+using hohtm::sched::ExploreResult;
+using hohtm::sched::Mutation;
+using hohtm::sched::Scenario;
+using hohtm::sched::describe;
+using hohtm::sched::depth_multiplier;
+using hohtm::sched::explore_dfs;
+using hohtm::sched::format_steps;
+using hohtm::sched::replay_choices;
+using hohtm::sched::set_mutation;
+using hohtm::tm::Tml;
+
+#define REQUIRE_SCHED_BUILD()                                       \
+  do {                                                              \
+    if constexpr (!hohtm::sched::kSchedBuild)                       \
+      GTEST_SKIP() << "needs -DHOHTM_SCHED=ON (scripts/check.sh "   \
+                      "--sched)";                                   \
+  } while (0)
+
+struct ScenarioGuard {
+  ScenarioGuard() { hohtm::tm::Config::set_serial_threshold(1000); }
+  ~ScenarioGuard() {
+    set_mutation(Mutation::kNone);
+    hohtm::tm::Config::set_serial_threshold(8);
+  }
+};
+
+std::uint64_t fallbacks(const hohtm::tm::StatCounters& c) {
+  return c.cause(hohtm::tm::AbortCause::kFusionFallback);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: fused traversal vs. a revoking remove, on the real list.
+
+using FusedList = hohtm::ds::SllHoh<Tml, hohtm::rr::RrV<Tml>>;
+
+struct ListState {
+  static inline std::optional<FusedList> list;
+  // Per-schedule telemetry baselines: Stats accumulate across schedules,
+  // so the check diffs against what setup saw.
+  static inline std::uint64_t base_fused_aborts;
+  static inline std::uint64_t base_fallbacks;
+  static inline std::uint64_t base_fused_windows;
+};
+
+void snapshot_baselines() {
+  const hohtm::tm::StatCounters t = hohtm::tm::Stats::total();
+  ListState::base_fused_aborts = t.fused_aborts;
+  ListState::base_fallbacks = fallbacks(t);
+  ListState::base_fused_windows = t.fused_windows;
+}
+
+std::string check_fusion_books() {
+  const hohtm::tm::StatCounters t = hohtm::tm::Stats::total();
+  const std::uint64_t fused_aborts =
+      t.fused_aborts - ListState::base_fused_aborts;
+  const std::uint64_t fell_back = fallbacks(t) - ListState::base_fallbacks;
+  if (fused_aborts != fell_back)
+    return "fused abort books unbalanced: " + std::to_string(fused_aborts) +
+           " speculative aborts vs " + std::to_string(fell_back) +
+           " fallbacks";
+  return std::string();
+}
+
+Scenario fused_vs_revoke_scenario() {
+  Scenario s;
+  s.setup = [] {
+    ListState::list.reset();
+    // window = 1, no scatter: every schedule issues identical
+    // transactions; budget 2 makes each traversal speculate.
+    ListState::list.emplace(/*window=*/1, /*scatter=*/false);
+    FusedList& l = *ListState::list;
+    for (long k = 0; k < 5; ++k) l.insert(k);
+    l.enable_fusion(/*budget=*/2);
+    snapshot_baselines();
+  };
+  s.bodies = {
+      // Traverser: a fused walk to the tail, crossing the remover's
+      // victim. May retreat (fallback) or restart (revoked parking
+      // node); either way it must find the still-present key.
+      [] {
+        if (!ListState::list->contains(4)) ListState::list.emplace();  // mark
+      },
+      // Remover: unlink + revoke + precise free of a mid-list node, the
+      // write every fused read set crosses.
+      [] { ListState::list->remove(2); },
+  };
+  s.check = [] {
+    if (!ListState::list.has_value())
+      return std::string("fused traversal lost a present key");
+    FusedList& l = *ListState::list;
+    if (l.contains(2)) return std::string("removed key survived");
+    if (!l.is_sorted()) return std::string("list order broken");
+    if (l.size() != 4) return std::string("wrong size after remove");
+    const std::string books = check_fusion_books();
+    if (!books.empty()) return books;
+    // The scenario must genuinely speculate: the traverser either
+    // committed elided boundaries or paid a speculative abort.
+    const hohtm::tm::StatCounters t = hohtm::tm::Stats::total();
+    if (t.fused_windows == ListState::base_fused_windows &&
+        t.fused_aborts == ListState::base_fused_aborts)
+      return std::string("no schedule exercised fusion");
+    return std::string();
+  };
+  return s;
+}
+
+TEST(SchedFusion, FusedTraversalVsRevoke) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const ExploreResult r =
+      explore_dfs(fused_vs_revoke_scenario(), 4000 * depth_multiplier(), 400);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_GT(r.schedules, 1u) << describe(r);
+  std::cout << "   [exploration] " << describe(r) << "\n";
+  ListState::list.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: the fallback books on static state, so the mutant's
+// failing schedule replays byte-identically from recorded choices.
+
+struct TwoCell {
+  static inline long a = 0;
+  static inline long b = 0;
+};
+
+Scenario fallback_books_scenario() {
+  Scenario s;
+  s.setup = [] {
+    TwoCell::a = 0;
+    TwoCell::b = 0;
+    snapshot_baselines();
+  };
+  s.bodies = {
+      // Reader: one planned window reads `a`; the fusion budget lets it
+      // keep going and read `b` in the same transaction. An abort lands
+      // on on_attempt_start, which must retreat (or, mutated, doesn't).
+      [] {
+        hohtm::ds::FusionState fusion(1);
+        Tml::atomically([&](auto& tx) -> long {
+          fusion.on_attempt_start();
+          long sum = tx.read(TwoCell::a);
+          if (fusion.try_fuse()) sum += tx.read(TwoCell::b);
+          return sum;
+        });
+        fusion.on_commit();
+      },
+      // Writer: a conflicting commit that aborts any in-flight reader.
+      [] {
+        Tml::atomically([](auto& tx) {
+          tx.write(TwoCell::a, tx.read(TwoCell::a) + 10);
+          tx.write(TwoCell::b, tx.read(TwoCell::b) + 1);
+        });
+      },
+  };
+  s.check = [] { return check_fusion_books(); };
+  return s;
+}
+
+TEST(SchedFusion, FallbackBalancesTheBooks) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const ExploreResult r =
+      explore_dfs(fallback_books_scenario(), 8000 * depth_multiplier(), 400);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_GT(r.schedules, 1u) << describe(r);
+}
+
+TEST(SchedFusion, NeverFallbackMutantCaught) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const Scenario s = fallback_books_scenario();
+  set_mutation(Mutation::kFusionNeverFallback);
+  const ExploreResult r = explore_dfs(s, 40000 * depth_multiplier(), 400);
+  ASSERT_TRUE(r.failed) << "mutant survived " << describe(r);
+  ASSERT_FALSE(r.failing_choices.empty());
+  const ExploreResult again = replay_choices(s, r.failing_choices, 400);
+  EXPECT_TRUE(again.failed) << describe(again);
+  EXPECT_EQ(format_steps(again.failing_steps), format_steps(r.failing_steps))
+      << "replay diverged";
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: behind the tuner's contention gate, contended schedules
+// never earn a budget — fusion adds zero speculative aborts.
+
+Scenario gated_contention_scenario() {
+  Scenario s;
+  s.setup = [] {
+    ListState::list.reset();
+    ListState::list.emplace(/*window=*/1, /*scatter=*/false);
+    FusedList& l = *ListState::list;
+    for (long k = 0; k < 5; ++k) l.insert(k);
+    // Gated: the budget exists but sits behind WindowTuner's clean
+    // streak, which a fresh thread cannot have built.
+    l.enable_adaptive_window(1, 8);
+    l.enable_fusion(/*budget=*/4);
+    snapshot_baselines();
+  };
+  s.bodies = {
+      [] { ListState::list->contains(4); },
+      [] { ListState::list->remove(2); },
+  };
+  s.check = [] {
+    FusedList& l = *ListState::list;
+    if (l.contains(2)) return std::string("removed key survived");
+    if (!l.is_sorted()) return std::string("list order broken");
+    const hohtm::tm::StatCounters t = hohtm::tm::Stats::total();
+    if (t.fused_aborts != ListState::base_fused_aborts)
+      return std::string("gated fusion paid a speculative abort");
+    if (t.fused_windows != ListState::base_fused_windows)
+      return std::string("gated fusion elided a boundary under contention");
+    return std::string();
+  };
+  return s;
+}
+
+TEST(SchedFusion, ContentionGateAddsZeroAborts) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const ExploreResult r =
+      explore_dfs(gated_contention_scenario(), 4000 * depth_multiplier(), 400);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_GT(r.schedules, 1u) << describe(r);
+  ListState::list.reset();
+}
+
+}  // namespace

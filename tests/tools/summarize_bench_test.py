@@ -2,9 +2,9 @@
 """ctest-registered checks for tools/summarize_bench.py and
 tools/trace_report.py: every CSV layout the benches have ever emitted
 must keep loading (legacy 6-column, telemetry 15-column, observability
-20-column, kv 24-column), malformed rows must be skipped rather than
-crash the report, and timeline rows must route to trace_report.py
-only."""
+20-column, kv 24-column, and their fusion-era 17/22/26-column
+successors), malformed rows must be skipped rather than crash the
+report, and timeline rows must route to trace_report.py only."""
 
 import io
 import os
@@ -31,6 +31,16 @@ KV_ROW = ("kv,ycsb-b,RR-V,16,10.5000,0.90,"
           "1000,50,10,20,5,3,7,4,1,"
           "2048,8192,16384,30000,512,"
           "3800,200,96,3")
+# Fusion-era layouts (PR 6): fusion_fallbacks joins the cause block and
+# fused_windows follows res_lost (17/22/26 columns).
+FUSION_TELEMETRY_ROW = ("fig2,intset,rr-fa,8,10.5000,0.90,"
+                        "1000,50,10,20,5,3,7,4,2,1,64")
+FUSION_OBSERVABILITY_ROW = (FUSION_TELEMETRY_ROW.replace(",8,", ",16,") +
+                            ",2048,8192,16384,30000,512")
+FUSION_KV_ROW = ("kv,ycsb-c,RR-V+fuse,16,10.5000,0.90,"
+                 "1000,50,10,20,5,3,7,4,2,1,64,"
+                 "2048,8192,16384,30000,512,"
+                 "3800,200,96,3")
 
 
 def write(rows):
@@ -83,6 +93,32 @@ class LoadTest(unittest.TestCase):
         self.assertEqual(counters["kv_resizes"], 3)
         self.assertEqual(counters["live_peak"], 512)  # earlier tail intact
 
+    def test_fusion_seventeen_columns(self):
+        rows = self.load([FUSION_TELEMETRY_ROW])
+        self.assertEqual(len(rows), 1)
+        counters = rows[0][-1]
+        self.assertEqual(counters["fusion_fallbacks"], 2)
+        self.assertEqual(counters["res_lost"], 1)
+        self.assertEqual(counters["fused_windows"], 64)
+        self.assertNotIn("live_peak", counters)
+
+    def test_fusion_twenty_two_columns(self):
+        rows = self.load([FUSION_OBSERVABILITY_ROW])
+        counters = rows[0][-1]
+        self.assertEqual(counters["fused_windows"], 64)
+        self.assertEqual(counters["commit_p50_ns"], 2048)
+        self.assertEqual(counters["live_peak"], 512)
+        self.assertNotIn("kv_hits", counters)
+
+    def test_fusion_twenty_six_columns(self):
+        rows = self.load([FUSION_KV_ROW])
+        counters = rows[0][-1]
+        self.assertEqual(counters["fusion_fallbacks"], 2)
+        self.assertEqual(counters["fused_windows"], 64)
+        self.assertEqual(counters["live_peak"], 512)
+        self.assertEqual(counters["kv_hits"], 3800)
+        self.assertEqual(counters["kv_resizes"], 3)
+
     def test_malformed_kv_tail_keeps_observability(self):
         bad = KV_ROW.rsplit(",", 1)[0] + ",oops"
         rows = self.load([bad])
@@ -93,8 +129,9 @@ class LoadTest(unittest.TestCase):
 
     def test_mixed_layouts_coexist(self):
         rows = self.load([LEGACY_ROW, TELEMETRY_ROW, OBSERVABILITY_ROW,
-                          KV_ROW])
-        self.assertEqual(len(rows), 4)
+                          KV_ROW, FUSION_TELEMETRY_ROW,
+                          FUSION_OBSERVABILITY_ROW, FUSION_KV_ROW])
+        self.assertEqual(len(rows), 7)
 
     def test_malformed_rows_are_skipped(self):
         rows = self.load([
@@ -146,6 +183,19 @@ class CliTest(unittest.TestCase):
         self.assertIn("kv workload", proc.stdout)
         self.assertIn("95.00", proc.stdout)  # 3800 / 4000 keyed ops
         self.assertIn("96", proc.stdout)     # migrations column
+
+    def test_summarize_renders_fusion_columns(self):
+        proc = self.run_tool("summarize_bench.py",
+                             [FUSION_OBSERVABILITY_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("fusion_fb", proc.stdout)
+        self.assertIn("fused_win", proc.stdout)
+        self.assertIn("64.00", proc.stdout)  # 64 fused per 1k commits
+
+    def test_pre_fusion_rows_render_no_fusion_columns(self):
+        proc = self.run_tool("summarize_bench.py", [OBSERVABILITY_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("fused_win", proc.stdout)
 
     def test_non_kv_rows_render_no_kv_table(self):
         proc = self.run_tool("summarize_bench.py", [OBSERVABILITY_ROW])

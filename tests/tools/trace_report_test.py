@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """ctest-registered checks for tools/trace_report.py: the 20-column
-observability CSV and the `timeline,...` rows must keep parsing, the
-footprint sparklines must stay deterministic, the Chrome trace-event
-summary must render (including the kv-activity digest for kv_* events),
-and the CLI filters (--figure, --width, --trace) must behave. Complements tests/tools/summarize_bench_test.py, which
-covers the loaders shared with summarize_bench.py."""
+observability CSV (and its fusion-era 22/26-column successors) and the
+`timeline,...` rows must keep parsing, the footprint sparklines must
+stay deterministic, the Chrome trace-event summary must render
+(including the kv-activity and window-fusion digests), and the CLI
+filters (--figure, --width, --trace) must behave. Complements
+tests/tools/summarize_bench_test.py, which covers the loaders shared
+with summarize_bench.py."""
 
 import io
 import json
@@ -28,6 +30,17 @@ def obs_row(figure="fig2", panel="intset", series="rr-fa", threads=16,
             p50=2048, p95=8192, p99=16384, pmax=30000, live_peak=512):
     return (f"{figure},{panel},{series},{threads},10.5000,0.90,"
             f"1000,50,10,20,5,3,7,4,1,"
+            f"{p50},{p95},{p99},{pmax},{live_peak}")
+
+
+# Fusion-era 22-column row (PR 6): 11 telemetry counters
+# (fusion_fallbacks in the cause block, fused_windows after res_lost)
+# ahead of the same latency block.
+def fusion_obs_row(figure="fig2", panel="intset", series="rr-fa",
+                   threads=16, p50=2048, p95=8192, p99=16384, pmax=30000,
+                   live_peak=512):
+    return (f"{figure},{panel},{series},{threads},10.5000,0.90,"
+            f"1000,50,10,20,5,3,7,4,2,1,64,"
             f"{p50},{p95},{p99},{pmax},{live_peak}")
 
 
@@ -61,6 +74,22 @@ class LoadTest(unittest.TestCase):
         self.assertEqual(values["commit_p95_ns"], 8192)
         self.assertEqual(values["commit_p99_ns"], 16384)
         self.assertEqual(values["commit_max_ns"], 30000)
+        self.assertEqual(values["live_peak"], 512)
+
+    def test_fusion_twenty_two_column_row_parses(self):
+        latency_rows, _ = self.load([fusion_obs_row()])
+        self.assertEqual(len(latency_rows), 1)
+        values = latency_rows[0][4]
+        self.assertEqual(values["commit_p50_ns"], 2048)
+        self.assertEqual(values["commit_max_ns"], 30000)
+        self.assertEqual(values["live_peak"], 512)
+
+    def test_fusion_twenty_six_column_row_parses(self):
+        kv_row = fusion_obs_row() + ",3800,200,96,3"
+        latency_rows, _ = self.load([kv_row])
+        self.assertEqual(len(latency_rows), 1)
+        values = latency_rows[0][4]
+        self.assertEqual(values["commit_p99_ns"], 16384)
         self.assertEqual(values["live_peak"], 512)
 
     def test_short_rows_are_skipped(self):
@@ -249,6 +278,27 @@ class RenderTest(unittest.TestCase):
         finally:
             os.unlink(handle.name)
         self.assertNotIn("kv activity", out)
+        self.assertNotIn("window fusion", out)
+
+    def test_trace_summary_fusion_section(self):
+        def ev(name, v, ts=0):
+            return {"name": name, "ph": "X", "ts": ts, "dur": 1, "tid": 1,
+                    "args": {"v": v}}
+        events = [
+            ev("fused_window", 3), ev("fused_window", 2, ts=50),
+            ev("fusion_fallback", 0, ts=100),
+        ]
+        handle = tempfile.NamedTemporaryFile("w", suffix=".json",
+                                             delete=False)
+        json.dump(events, handle)
+        handle.close()
+        try:
+            out = self.render(trace_report.emit_trace_summary, handle.name)
+        finally:
+            os.unlink(handle.name)
+        self.assertIn("## window fusion", out)
+        self.assertIn("2 fused commits elided 5 window boundaries", out)
+        self.assertIn("1 fallbacks", out)
 
     def test_trace_summary_empty_file(self):
         handle = tempfile.NamedTemporaryFile("w", suffix=".json",

@@ -112,7 +112,7 @@ TEST_F(TraceTest, DrainJsonEmitsChromeTraceEvents) {
 }
 
 TEST_F(TraceTest, EventNamesCoverTheTaxonomy) {
-  ASSERT_EQ(kEvCount, 19u);
+  ASSERT_EQ(kEvCount, 21u);
   for (std::size_t i = 0; i < kEvCount; ++i) {
     ASSERT_NE(kEvNames[i], nullptr);
     EXPECT_GT(std::string(kEvNames[i]).size(), 0u);
@@ -121,6 +121,10 @@ TEST_F(TraceTest, EventNamesCoverTheTaxonomy) {
                "epoch_advance");
   EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kKvTableFree)],
                "kv_table_free");
+  EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kFusedWindow)],
+               "fused_window");
+  EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kFusionFallback)],
+               "fusion_fallback");
 }
 
 TEST_F(TraceTest, MetricsAggregateAcrossSlots) {

@@ -61,6 +61,15 @@ TEST(Zipfian, SingleElementDomainAlwaysZero) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(), 0u);
 }
 
+// Regression: n == 0 used to build an empty CDF, and next()'s
+// `cdf_.size() - 1` underflowed to SIZE_MAX, walking the binary search
+// off the vector. The constructor now clamps to a single-rank domain.
+TEST(Zipfian, ZeroDomainClampsToSingleRank) {
+  Zipfian z(0, 0.99, 3);
+  EXPECT_EQ(z.n(), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(), 0u);
+}
+
 TEST(ScrambleRank, GoldenValuesAndBijectivity) {
   EXPECT_EQ(scramble_rank(0), 16294208416658607535ULL);
   EXPECT_EQ(scramble_rank(1), 10451216379200822465ULL);

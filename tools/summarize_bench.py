@@ -5,8 +5,8 @@ Usage:
     python3 tools/summarize_bench.py bench_output.txt [--figure fig2]
                                      [--causes]
 
-Reads the CSV rows emitted by the bench binaries. Three layouts are
-accepted:
+Reads the CSV rows emitted by the bench binaries. Layouts are detected
+by column count:
 
   legacy (6 cols):  figure,panel,series,threads,mops,cv_pct
   telemetry (15):   figure,panel,series,threads,mops,cv_pct,commits,
@@ -17,6 +17,11 @@ accepted:
   kv (24):          the 20 observability columns plus kv_hits,kv_misses,
                     kv_migrations,kv_resizes (bench/kv_ycsb emits these;
                     see src/harness/report.hpp emit_kv_row)
+  fusion (17/22/26): the same three telemetry layouts after window
+                    fusion (PR 6) widened the cause block with
+                    fusion_fallbacks and appended fused_windows after
+                    res_lost; the two column-count families are
+                    disjoint, so both generations of output load.
 
 `timeline,...` rows (the reclamation-footprint samples) are skipped
 here; tools/trace_report.py renders those, along with the latency
@@ -38,6 +43,13 @@ import sys
 CAUSE_FIELDS = [
     "commits", "aborts", "validation", "lock", "user", "serial_esc",
     "revocations", "hoh_retries", "res_lost",
+]
+# Post-fusion telemetry block (PR 6): fusion_fallbacks joins the abort
+# causes and fused_windows follows res_lost.
+CAUSE_FIELDS_V2 = [
+    "commits", "aborts", "validation", "lock", "user", "serial_esc",
+    "revocations", "hoh_retries", "fusion_fallbacks", "res_lost",
+    "fused_windows",
 ]
 OBSERVABILITY_FIELDS = [
     "commit_p50_ns", "commit_p95_ns", "commit_p99_ns", "commit_max_ns",
@@ -64,16 +76,21 @@ def load(path):
                 mops = float(mops)
             except ValueError:
                 continue
+            # The fusion-era column counts {17, 22, 26} are disjoint
+            # from the pre-fusion {15, 20, 24}, so the count picks the
+            # cause-block width unambiguously.
+            cause_fields = (CAUSE_FIELDS_V2 if len(parts) in (17, 22, 26)
+                            else CAUSE_FIELDS)
             counters = None
-            if len(parts) >= 6 + len(CAUSE_FIELDS):
+            if len(parts) >= 6 + len(cause_fields):
                 try:
-                    values = [int(v) for v in parts[6:6 + len(CAUSE_FIELDS)]]
-                    counters = dict(zip(CAUSE_FIELDS, values))
+                    values = [int(v) for v in parts[6:6 + len(cause_fields)]]
+                    counters = dict(zip(cause_fields, values))
                 except ValueError:
                     pass  # malformed telemetry: keep the throughput columns
             if counters is not None and \
-                    len(parts) >= 6 + len(CAUSE_FIELDS) + len(OBSERVABILITY_FIELDS):
-                start = 6 + len(CAUSE_FIELDS)
+                    len(parts) >= 6 + len(cause_fields) + len(OBSERVABILITY_FIELDS):
+                start = 6 + len(cause_fields)
                 try:
                     values = [int(v) for v in
                               parts[start:start + len(OBSERVABILITY_FIELDS)]]
@@ -81,9 +98,9 @@ def load(path):
                 except ValueError:
                     pass  # malformed observability tail: keep the rest
             if counters is not None and \
-                    len(parts) >= 6 + len(CAUSE_FIELDS) + \
+                    len(parts) >= 6 + len(cause_fields) + \
                     len(OBSERVABILITY_FIELDS) + len(KV_FIELDS):
-                start = 6 + len(CAUSE_FIELDS) + len(OBSERVABILITY_FIELDS)
+                start = 6 + len(cause_fields) + len(OBSERVABILITY_FIELDS)
                 try:
                     values = [int(v) for v in
                               parts[start:start + len(KV_FIELDS)]]
@@ -148,11 +165,17 @@ def emit_cause_table(figure, panel, series_list, threads, counter_cells):
     have = [(s, c) for s, c in have if c]
     if not have:
         return
-    causes = ["validation", "lock", "user", "serial_esc", "revocations",
-              "hoh_retries", "res_lost"]
+    causes = [("validation", "validation"), ("lock", "lock"),
+              ("user", "user"), ("serial_esc", "serial_esc"),
+              ("revocations", "revocations"), ("hoh_retries", "hoh_retries"),
+              ("res_lost", "res_lost")]
+    # Fusion columns (PR 6 layouts) only when any series carries them.
+    if any("fused_windows" in c for _, c in have):
+        causes += [("fusion_fallbacks", "fusion_fb"),
+                   ("fused_windows", "fused_win")]
     show_peak = any("live_peak" in c for _, c in have)
     header = ("series".ljust(14) + f"{'aborts/1k':>11}" +
-              "".join(f"{c:>12}" for c in causes) +
+              "".join(f"{label:>12}" for _, label in causes) +
               (f"{'live_peak':>11}" if show_peak else ""))
     print(f"   abort attribution @ {threads} threads (per 1k commits)")
     print(header)
@@ -160,8 +183,8 @@ def emit_cause_table(figure, panel, series_list, threads, counter_cells):
     for series, c in have:
         commits = max(c["commits"], 1)
         row = series.ljust(14) + f"{1000.0 * c['aborts'] / commits:11.2f}"
-        for cause in causes:
-            row += f"{1000.0 * c[cause] / commits:12.2f}"
+        for cause, _ in causes:
+            row += f"{1000.0 * c.get(cause, 0) / commits:12.2f}"
         if show_peak:
             row += f"{c.get('live_peak', 0):11d}"
         print(row)

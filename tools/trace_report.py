@@ -12,7 +12,9 @@ Reads the same CSV the bench binaries print and renders:
   * one commit-latency table per figure/panel (p50/p95/p99/max in
     microseconds, per series and thread count) from the observability
     columns (commit_p50_ns..commit_max_ns, present since the 20-column
-    schema; all-zero unless the bench was built with HOHTM_TRACE=ON);
+    schema; the fusion-era 22/26-column layouts shift them right by the
+    fusion_fallbacks and fused_windows columns; all-zero unless the
+    bench was built with HOHTM_TRACE=ON);
 
   * one footprint chart per figure/panel from the `timeline,...` rows
     (emitted under HOH_BENCH_FOOTPRINT_MS, or always by the
@@ -59,13 +61,22 @@ def load(path):
                 except ValueError:
                     continue
                 continue
-            if len(parts) < 20:
+            # Layout by column count: the fusion-era 22/26-column rows
+            # carry two extra telemetry columns ahead of the latency
+            # block (see summarize_bench.py CAUSE_FIELDS_V2).
+            if len(parts) in (22, 26):
+                lat_start = 17
+            elif len(parts) in (20, 24):
+                lat_start = 15
+            else:
                 continue
             figure, panel, series, threads = parts[:4]
             try:
                 threads = int(threads)
-                values = dict(zip(LATENCY_COLS, (int(v) for v in parts[15:19])))
-                live_peak = int(parts[19])
+                values = dict(zip(LATENCY_COLS,
+                                  (int(v) for v in
+                                   parts[lat_start:lat_start + 4])))
+                live_peak = int(parts[lat_start + 4])
             except ValueError:
                 continue
             values["live_peak"] = live_peak
@@ -165,6 +176,7 @@ def emit_trace_summary(path):
     for name, count in by_name.most_common():
         print(f"  {name.ljust(width)}  {count}")
     emit_kv_trace_summary(events)
+    emit_fusion_trace_summary(events)
 
 
 KV_OPCODES = ("get", "put", "del", "scan")
@@ -211,6 +223,29 @@ def emit_kv_trace_summary(events):
               "the trace ended")
 
 
+def emit_fusion_trace_summary(events):
+    """Window-fusion digest: committed fused traversals (with the total
+    boundaries they elided, from the fused_window args) versus fallbacks
+    to the small-window protocol. Silent when the trace predates fusion
+    or no traversal fused."""
+    fused_txs = 0
+    elided = 0
+    fallbacks = 0
+    for e in events:
+        name = e.get("name", "")
+        if name == "fused_window":
+            fused_txs += 1
+            elided += int(e.get("args", {}).get("v", 0))
+        elif name == "fusion_fallback":
+            fallbacks += 1
+    if not (fused_txs or fallbacks):
+        return
+    print("\n## window fusion")
+    print(f"  {fused_txs} fused commits elided {elided} window "
+          f"boundaries; {fallbacks} fallbacks to the small-window "
+          "protocol")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path", help="bench output (CSV rows on stdout)")
@@ -222,7 +257,7 @@ def main():
     args = parser.parse_args()
     latency_rows, timelines = load(args.path)
     if not latency_rows and not timelines and not args.trace:
-        print("no observability rows found (need the 20-column schema "
+        print("no observability rows found (need the 20/22-column schema "
               "or timeline rows)", file=sys.stderr)
         return 1
     emit_latency_tables(latency_rows, args.figure)
