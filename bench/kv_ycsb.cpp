@@ -14,14 +14,18 @@
 // then re-runs the cell unfused vs fused (Options::fusion_cap) and
 // requires fusion to measurably cut commits per op without recording a
 // single extra abort.
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "bench_common.hpp"
+#include "kv/contention.hpp"
 #include "kv/workload.hpp"
 #include "core/rr.hpp"
+#include "reclaim/watchdog.hpp"
 
 namespace {
 
@@ -145,6 +149,111 @@ int run_fusion_smoke() {
   return 0;
 }
 
+/// Attribution smoke (PR 7 acceptance): a contended zipfian YCSB-A cell
+/// whose updates overwrite (and therefore revoke) hot keys out from
+/// under concurrent hand-over-hand readers. Asserts the causal-
+/// attribution invariant — every reservation loss lands in exactly one
+/// aborter bucket and one site bucket, so the buckets sum to res_lost
+/// *exactly* — and that the contention heatmap names a hot cell.
+int run_attribution_smoke() {
+  hohtm::kv::ContentionMap::reset();
+  KvWorkloadConfig config;
+  config.mix = Mix::kA;
+  config.records = 256;
+  config.threads = 4;
+  config.ops_per_thread = 4000;
+  config.trials = 1;
+  // Window of 4 on a frozen single-shard, single-bucket table: every op
+  // traverses one long chain through many handovers, so overwrites
+  // actually revoke parked positions.
+  auto contended_store = [&] {
+    kv::Store<TM, rr::RrV<TM>>::Options opt;
+    opt.log2_shards = 0;
+    opt.log2_buckets = 0;
+    opt.max_log2_buckets = opt.log2_buckets;
+    opt.window = 4;
+    return std::make_unique<kv::Store<TM, rr::RrV<TM>>>(opt);
+  };
+  const KvCellResult cell = hohtm::kv::run_kv_cell(config, contended_store);
+  hohtm::harness::emit_kv_row(
+      "kv", "attr-smoke", "RR-V", config.threads, cell.base,
+      hohtm::harness::KvRowExtra{cell.hits, cell.misses, cell.migrations,
+                                 cell.resizes});
+  const auto& c = cell.base.counters;
+  const unsigned long long losses = c.reservation_losses;
+  const unsigned long long attributed = c.attributed_losses();
+  const unsigned long long unknown = c.unknown_losses();
+  if (attributed + unknown != losses) {
+    std::fprintf(stderr,
+                 "kv attribution smoke: aborter buckets sum to %llu but "
+                 "res_lost is %llu\n",
+                 attributed + unknown, losses);
+    return 1;
+  }
+  unsigned long long site_sum = 0;
+  for (std::size_t i = 0; i < hohtm::tm::kRevokeSiteCount; ++i)
+    site_sum += c.loss_by_site[i];
+  if (site_sum != losses) {
+    std::fprintf(stderr,
+                 "kv attribution smoke: site buckets sum to %llu but "
+                 "res_lost is %llu\n",
+                 site_sum, losses);
+    return 1;
+  }
+  const auto hot = hohtm::kv::ContentionMap::top(1);
+  if (hot.empty() || hot[0].weight == 0) {
+    std::fprintf(stderr, "kv attribution smoke: heatmap is empty\n");
+    return 1;
+  }
+  std::printf(
+      "# kv attribution smoke ok: %llu losses (%llu attributed, %llu "
+      "unknown), hottest cell shard=%u cell=%u weight=%llu\n",
+      losses, attributed, unknown, hot[0].shard, hot[0].cell,
+      static_cast<unsigned long long>(hot[0].weight));
+  return 0;
+}
+
+/// Watchdog smoke (PR 7 acceptance): park a thread *inside* a published
+/// transaction window and drive Watchdog::check with explicit
+/// timestamps — the second check must report the stall deterministically
+/// (no sleeps, no wall-clock dependence).
+int run_watchdog_smoke() {
+  using hohtm::reclaim::Watchdog;
+  Watchdog::reset_for_testing();
+  std::atomic<int> entered{0};
+  std::atomic<int> release{0};
+  std::thread parked([&] {
+    TM::atomically([&](auto&) {
+      // begin() already published this thread's quiescence slot; block
+      // mid-window until the checks below have run.
+      entered.store(1, std::memory_order_release);
+      entered.notify_all();
+      release.wait(0);
+    });
+  });
+  while (entered.load(std::memory_order_acquire) == 0) entered.wait(0);
+  const std::uint64_t t0 = 1;  // explicit clock: deterministic detection
+  Watchdog::check(t0);         // arm baselines
+  const Watchdog::Report report =
+      Watchdog::check(t0 + Watchdog::threshold_ns() + 1);
+  release.store(1, std::memory_order_release);
+  release.notify_all();
+  parked.join();
+  if (report.stalled_threads < 1 || Watchdog::stall_events() == 0) {
+    std::fprintf(stderr,
+                 "kv watchdog smoke: parked thread not reported (active=%d "
+                 "stalled=%d events=%llu)\n",
+                 report.active_threads, report.stalled_threads,
+                 static_cast<unsigned long long>(Watchdog::stall_events()));
+    return 1;
+  }
+  std::printf(
+      "# kv watchdog smoke ok: %d active, %d stalled, %llu stall events\n",
+      report.active_threads, report.stalled_threads,
+      static_cast<unsigned long long>(Watchdog::stall_events()));
+  return 0;
+}
+
 /// check.sh smoke: one small single-thread YCSB-C cell; asserts work got
 /// done and that destroying the store returns the gauge to baseline.
 int run_smoke() {
@@ -179,7 +288,9 @@ int run_smoke() {
   std::printf("# kv smoke ok: %llu hits, %llu buckets migrated, 0 leaks\n",
               static_cast<unsigned long long>(cell.hits),
               static_cast<unsigned long long>(cell.migrations));
-  return run_fusion_smoke();
+  if (int rc = run_fusion_smoke(); rc != 0) return rc;
+  if (int rc = run_attribution_smoke(); rc != 0) return rc;
+  return run_watchdog_smoke();
 }
 
 }  // namespace

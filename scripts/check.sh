@@ -2,7 +2,8 @@
 # One-command verification: configure, build, test, smoke the examples,
 # and run a fast benchmark pass. Mirrors what a CI pipeline would do.
 #
-# Usage: scripts/check.sh [--lint] [--tsan] [--asan] [--sched] [--full-bench]
+# Usage: scripts/check.sh [--lint] [--tsan] [--asan] [--sched] [--metrics]
+#                         [--full-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +13,7 @@ TSAN=0
 ASAN=0
 SCHED=0
 LINT=0
+METRICS=0
 FULL_BENCH=0
 for arg in "$@"; do
   case "$arg" in
@@ -45,6 +47,14 @@ for arg in "$@"; do
       BUILD_DIR=build-sched
       SANITIZE="-DHOHTM_SCHED=ON"
       SCHED=1
+      ;;
+    --metrics)
+      # Metrics-plane stage (docs/OBSERVABILITY.md): the `metrics`-labeled
+      # unit tests, a kv_ycsb --smoke run with $HOHTM_METRICS_FILE set,
+      # the attribution-invariant check over the resulting snapshot, and
+      # the perf-smoke artifact gate (tools/bench_compare.py against
+      # bench/baselines/BENCH_7.baseline.json — seeds it when absent).
+      METRICS=1
       ;;
     --full-bench) FULL_BENCH=1 ;;
     *)
@@ -120,6 +130,27 @@ if [ "$SCHED" -eq 1 ]; then
     exit 1
   fi
   echo "SCHED CHECKS PASSED"
+  exit 0
+fi
+
+if [ "$METRICS" -eq 1 ]; then
+  echo "== tests (metrics plane: ctest -L metrics)"
+  if ! ctest --test-dir "$BUILD_DIR" --output-on-failure -L metrics; then
+    echo "FAIL: metrics-plane tests" >&2
+    exit 1
+  fi
+  echo "== kv smoke with metrics snapshot"
+  KV_OUT="$BUILD_DIR/kv_smoke.txt"
+  METRICS_OUT="$BUILD_DIR/metrics.json"
+  HOHTM_METRICS_FILE="$METRICS_OUT" \
+    "./$BUILD_DIR/bench/kv_ycsb" --smoke > "$KV_OUT"
+  echo "== attribution invariants (tools/metrics_report.py --check)"
+  python3 tools/metrics_report.py "$METRICS_OUT" --check
+  echo "== perf-smoke gate (tools/bench_compare.py)"
+  python3 tools/bench_compare.py emit "$KV_OUT" "$METRICS_OUT" \
+    -o "$BUILD_DIR/BENCH_7.json"
+  python3 tools/bench_compare.py check "$BUILD_DIR/BENCH_7.json"
+  echo "METRICS CHECKS PASSED"
   exit 0
 fi
 

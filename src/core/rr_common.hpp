@@ -52,17 +52,116 @@ concept Reservation =
       { R::name() } -> std::convertible_to<const char*>;
     };
 
+/// The calling thread's current revocation site, maintained by SiteScope
+/// RAII guards around each revoking operation (kv put/del/migration,
+/// list removes). Read by note_revocation when it stamps the board.
+inline tm::RevokeSite& current_revoke_site() noexcept {
+  thread_local tm::RevokeSite site = tm::RevokeSite::kUnknown;
+  return site;
+}
+
+/// Scoped revocation-site marker: `SiteScope scope(RevokeSite::kKvDelete)`
+/// makes every revocation issued on this thread within the scope carry
+/// that site in its attribution record. Nesting restores the outer site.
+class SiteScope {
+ public:
+  explicit SiteScope(tm::RevokeSite site) noexcept
+      : previous_(current_revoke_site()) {
+    current_revoke_site() = site;
+  }
+  ~SiteScope() { current_revoke_site() = previous_; }
+  SiteScope(const SiteScope&) = delete;
+  SiteScope& operator=(const SiteScope&) = delete;
+
+ private:
+  tm::RevokeSite previous_;
+};
+
+/// What a victim learns about the revocation that cost it its parked
+/// reference: the revoker's thread-registry slot and site, or
+/// `known == false` when no (matching) record exists — e.g. the loss came
+/// from a table growth changing hash widths, or the record was already
+/// overwritten by a later revocation hashing to the same board entry.
+struct Attribution {
+  int slot = -1;
+  unsigned site = 0;  // indexes tm::RevokeSite
+  bool known = false;
+};
+
+/// RevocationBoard: the aborter→victim identity channel behind causal
+/// abort attribution ("who aborted whom", docs/OBSERVABILITY.md).
+///
+/// A fixed hash-indexed array of single-word records. A revoker *publishes*
+/// (fingerprint of the revoked ref, its own slot, its SiteScope site) with
+/// one release store in `note_revocation`; a victim that later observes its
+/// reservation gone *attributes* the loss with one acquire load, accepting
+/// the record only when the fingerprint matches its parked ref. Records
+/// are never cleared in production: a later revocation of a colliding ref
+/// simply overwrites, and a stale same-ref record yields (rare, harmless)
+/// misattribution — the per-aborter buckets stay exact in *sum* because
+/// every loss increments exactly one bucket (see tm::StatCounters).
+class RevocationBoard {
+ public:
+  static constexpr std::size_t kLog2Entries = 8;
+
+  static void publish(Ref ref, unsigned site) noexcept {
+    if (ref == nullptr) return;
+    entries_[hash_ref(ref, kLog2Entries)].value.store(
+        pack(ref, site, util::ThreadRegistry::slot()),
+        std::memory_order_release);
+  }
+
+  static Attribution attribute(Ref ref) noexcept {
+    if (ref == nullptr) return {};
+    const std::uint64_t record =
+        entries_[hash_ref(ref, kLog2Entries)].value.load(
+            std::memory_order_acquire);
+    if (record == 0 || (record >> 16) != fingerprint(ref)) return {};
+    return Attribution{static_cast<int>((record & 0xFF) - 1),
+                       static_cast<unsigned>((record >> 8) & 0xFF), true};
+  }
+
+  /// Quiescent-only (sched scenarios, tests): forget all records so a
+  /// fresh schedule cannot inherit a previous schedule's attributions.
+  static void reset_for_testing() noexcept {
+    for (auto& entry : entries_)
+      entry.value.store(0, std::memory_order_release);
+  }
+
+ private:
+  // Record layout: [63:16] ref fingerprint, [15:8] site, [7:0] slot + 1
+  // (so an all-zero word is unambiguously "empty").
+  static std::uint64_t fingerprint(Ref ref) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(ref) >> 4) & 0xFFFFFFFFFFFFULL;
+  }
+  static std::uint64_t pack(Ref ref, unsigned site,
+                            std::size_t slot) noexcept {
+    return (fingerprint(ref) << 16) |
+           (static_cast<std::uint64_t>(site & 0xFF) << 8) |
+           ((slot + 1) & 0xFF);
+  }
+
+  static inline util::CachePadded<std::atomic<std::uint64_t>>
+      entries_[std::size_t{1} << kLog2Entries] = {};
+};
+
 /// Tally one performed revocation on the calling thread's telemetry
 /// (tm::Stats abort-cause taxonomy). Every Revoke implementation calls
 /// this. Counted at the call, not at commit, so an aborted transaction
 /// that re-executes its Revoke counts each attempt — the same convention
 /// the TM backends use for abort causes (and the trace events below).
+/// Also publishes the revoker's identity to the RevocationBoard (skipped
+/// under the kDropAborterId mutant, which the sched attribution tests
+/// must catch via the victim-side invariant).
 inline void note_revocation(Ref ref = nullptr) noexcept {
   sched::point(sched::Op::kRrRevoke, ref);
   // The revoker's unlink of `ref` happens-before the node's free (which
   // its own commit gates behind quiescence); mirrored per-node for TSan
   // so a report on freed node memory names the reservation choreography.
   tsan::release(ref);
+  if (!sched::mutate(sched::Mutation::kDropAborterId))
+    RevocationBoard::publish(
+        ref, static_cast<unsigned>(current_revoke_site()));
   tm::Stats::mine().record(tm::AbortCause::kRrRevocation);
   util::trace_event(util::Ev::kRrRevoke,
                     reinterpret_cast<std::uintptr_t>(ref));

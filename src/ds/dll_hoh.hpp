@@ -120,10 +120,10 @@ class DllHoh {
       if constexpr (RR::kReal) {
         if (victim_lost) {
           // Our reserved victim was revoked out from under us; relaxed
-          // algorithms must additionally rerun the whole find.
-          tm::StatCounters& counters = tm::Stats::mine();
-          counters.reservation_losses += 1;
-          if (!unlinked.has_value()) counters.record(tm::AbortCause::kHohRetry);
+          // algorithms must additionally rerun the whole find. Attribute
+          // the loss to the competing remover via the RevocationBoard.
+          WindowBoundary<RR>::note_position_lost(
+              found.parked_ref, /*hoh_retry=*/!unlinked.has_value());
         }
       }
       if (unlinked.has_value()) return *unlinked;
@@ -171,15 +171,19 @@ class DllHoh {
   };
 
   /// Outcome of the find phase: a final value, or "go run phase two".
+  /// `parked_ref` carries the reserved victim out of the find phase so a
+  /// lost reservation in phase two can be attributed (RevocationBoard).
   struct FindOutcome {
     bool value = false;
     bool needs_second_phase = false;
+    rr::Ref parked_ref = nullptr;
     static FindOutcome done(bool v) { return {v, false}; }
     static FindOutcome two_phase() { return {false, true}; }
     static FindOutcome found_no_change() { return {false, false}; }
   };
 
   void unlink_revoke_free(Tx& tx, Node* prev, Node* curr) {
+    rr::SiteScope site(tm::RevokeSite::kListRemove);
     Node* next = tx.read(curr->next);
     tx.write(prev->next, next);
     if (next != nullptr) tx.write(next->prev, prev);
@@ -191,8 +195,10 @@ class DllHoh {
   FindOutcome apply(Key key, FFound&& on_found, FNotFound&& on_not_found) {
     FusionState fusion(fusion_cap_);
     bool handed_over = false;
+    rr::Ref parked = nullptr;  // what the previous window reserved
     for (;;) {
       bool position_lost = false;
+      rr::Ref lost = nullptr;
       const std::optional<FindOutcome> outcome =
           TM::atomically([&](Tx& tx) -> std::optional<FindOutcome> {
             fusion.on_attempt_start();
@@ -200,6 +206,7 @@ class DllHoh {
             Node* prev = static_cast<Node*>(
                 const_cast<void*>(boundary_.resume(tx)));
             position_lost = handed_over && prev == nullptr;
+            if (position_lost) lost = parked;
             int used = 0;
             if (prev == nullptr) {
               prev = head_;
@@ -218,6 +225,7 @@ class DllHoh {
             if (curr != nullptr && tx.read(curr->key) == key) {
               const FindOutcome result = on_found(tx, prev, curr);
               if (!result.needs_second_phase) reservation_.release(tx);
+              if (result.needs_second_phase) parked = curr;
               return result;
             }
             if (curr == nullptr || tx.read(curr->key) > key) {
@@ -226,11 +234,16 @@ class DllHoh {
               return result;
             }
             boundary_.park(tx, curr);
+            parked = curr;
             return std::nullopt;
           });
       fusion.on_commit();
-      if (position_lost) WindowBoundary<RR>::note_position_lost();
-      if (outcome.has_value()) return *outcome;
+      if (position_lost) WindowBoundary<RR>::note_position_lost(lost);
+      if (outcome.has_value()) {
+        FindOutcome result = *outcome;
+        if (result.needs_second_phase) result.parked_ref = parked;
+        return result;
+      }
       handed_over = true;
     }
   }

@@ -76,6 +76,7 @@ class SllHoh {
     return apply(
         key,
         [&](Tx& tx, Node* prev, Node* curr) {
+          rr::SiteScope site(tm::RevokeSite::kListRemove);
           tx.write(prev->next, tx.read(curr->next));
           reservation_.revoke(tx, curr);
           tx.dealloc(curr);
@@ -174,8 +175,10 @@ class SllHoh {
       }
     } feedback{tuner_.get()};
     bool handed_over = false;
+    rr::Ref parked = nullptr;  // what the previous window reserved
     for (;;) {
       bool position_lost = false;
+      rr::Ref lost = nullptr;
       const std::optional<bool> outcome =
           TM::atomically([&](Tx& tx) -> std::optional<bool> {
             fusion.on_attempt_start();
@@ -183,6 +186,7 @@ class SllHoh {
             // Initialize: resume from the reservation, or start at head.
             Node* prev = resume_point(tx);
             position_lost = handed_over && prev == nullptr;
+            if (position_lost) lost = parked;
             int used = 0;
             if (prev == nullptr) {
               prev = head_;
@@ -213,10 +217,11 @@ class SllHoh {
             }
             // Window exhausted: hand over to the next transaction.
             boundary_.park(tx, curr);
+            parked = curr;
             return std::nullopt;
           });
       fusion.on_commit();
-      if (position_lost) WindowBoundary<RR>::note_position_lost();
+      if (position_lost) WindowBoundary<RR>::note_position_lost(lost);
       if (outcome.has_value()) return *outcome;
       handed_over = true;
       if (handover_hook_) handover_hook_();

@@ -4,6 +4,7 @@
 
 #include "core/rr_common.hpp"
 #include "sched/schedpoint.hpp"
+#include "tm/abort.hpp"
 #include "tm/config.hpp"
 #include "util/trace.hpp"
 
@@ -83,11 +84,28 @@ class WindowBoundary {
   /// remover revoked (and freed) the node, and the traversal restarts
   /// from the head. Both counters feed contention_signal(). No-op for
   /// pseudo reservations (RrNull), where nil is the steady state.
-  static void note_position_lost() noexcept {
+  ///
+  /// `lost` is the reference the operation had parked; the loss is
+  /// *attributed* by looking it up on the rr::RevocationBoard, so the
+  /// per-aborter/per-site buckets answer "who aborted whom". Losses with
+  /// no matching record (table growth, overwritten records) land in the
+  /// unknown bucket — every loss increments exactly one bucket, so the
+  /// buckets always sum to reservation_losses. `hoh_retry` is false for
+  /// losses that do not force a restart (the strict doubly-linked-list
+  /// remove, where nil is a definitive answer).
+  static void note_position_lost(rr::Ref lost,
+                                 bool hoh_retry = true) noexcept {
     if constexpr (RR::kReal) {
       tm::StatCounters& counters = tm::Stats::mine();
       counters.reservation_losses += 1;
-      counters.record(tm::AbortCause::kHohRetry);
+      if (hoh_retry) counters.record(tm::AbortCause::kHohRetry);
+      const rr::Attribution who = rr::RevocationBoard::attribute(lost);
+      counters.note_loss_attribution(who.known ? who.slot : -1, who.site);
+      util::trace_event(
+          util::Ev::kRrLossAttr,
+          static_cast<std::uint64_t>(who.known ? who.slot : 0xFF) |
+              (static_cast<std::uint64_t>(who.site) << 8) |
+              (static_cast<std::uint64_t>(who.known ? 1 : 0) << 16));
     }
   }
 
@@ -137,7 +155,15 @@ class FusionState {
       tm::Stats::mine().fused_aborts += 1;
       if (!sched::mutate(sched::Mutation::kFusionNeverFallback)) {
         budget_ = 0;
-        tm::Stats::mine().record(tm::AbortCause::kFusionFallback);
+        tm::StatCounters& counters = tm::Stats::mine();
+        counters.record(tm::AbortCause::kFusionFallback);
+        // Causal attribution: the abort that forced this retreat left
+        // the conflicting owner's slot in the thread-local set by
+        // abort_tx (-1 when that abort carried no attribution).
+        if (tm::last_aborter_slot() >= 0)
+          counters.fusion_fb_attributed += 1;
+        else
+          counters.fusion_fb_unknown += 1;
         util::trace_event(util::Ev::kFusionFallback);
       }
     }

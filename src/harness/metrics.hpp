@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+namespace hohtm::harness {
+
+/// Wire the standard metrics-plane sections and gauges into
+/// util::MetricsRegistry and arm the `$HOHTM_METRICS_FILE` atexit dump:
+///
+///  - "tm": tm::Stats::total() with the causal-attribution buckets
+///    (loss_by_aborter / loss_by_site / aborted_by and their sums),
+///  - "kv_heatmap": kv::ContentionMap's top hot cells,
+///  - "watchdog": reclaim::Watchdog state sampled at snapshot time,
+///  - gauges: reclaim.live / reclaim.peak and the epoch / hazard
+///    unreclaimed backlogs.
+///
+/// Idempotent; called from every bench header emitter and from
+/// kv::Service, so any binary that reports anything is snapshot-capable.
+void install_standard_sections();
+
+/// install_standard_sections() + one full snapshot document (the body
+/// behind kv::Service::stats_snapshot()).
+std::string metrics_snapshot_json();
+
+}  // namespace hohtm::harness

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "harness/metrics.hpp"
 #include "tm/config.hpp"
 
 namespace hohtm::harness {
@@ -16,7 +17,7 @@ std::string cause_columns() {
   return names;
 }
 
-// The shared 22-column cell body (everything but the trailing newline),
+// The shared 24-column cell body (everything but the trailing newline),
 // so the KV variant appends its columns to an identical prefix.
 void print_cell_columns(const std::string& figure, const std::string& panel,
                         const std::string& series, int threads,
@@ -38,16 +39,22 @@ void print_cell_columns(const std::string& figure, const std::string& panel,
               static_cast<unsigned long long>(commit.percentile(0.99)),
               static_cast<unsigned long long>(commit.max()));
   std::printf(",%lld", cell.live_peak);
+  // Causal attribution: how many of the losses / aborts carry a known
+  // aborter slot (the rest landed in the unknown buckets).
+  std::printf(",%llu,%llu",
+              static_cast<unsigned long long>(c.attributed_losses()),
+              static_cast<unsigned long long>(c.attributed_aborts()));
 }
 
 }  // namespace
 
 void emit_header(const std::string& figure, const std::string& description) {
+  install_standard_sections();  // every bench is metrics-snapshot capable
   std::printf("# %s: %s\n", figure.c_str(), description.c_str());
   std::printf(
       "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
       ",res_lost,fused_windows,commit_p50_ns,commit_p95_ns,commit_p99_ns"
-      ",commit_max_ns,live_peak\n",
+      ",commit_max_ns,live_peak,res_lost_attr,aborts_attr\n",
       cause_columns().c_str());
   std::fflush(stdout);
 }
@@ -75,11 +82,13 @@ void emit_timeline_row(const std::string& figure, const std::string& panel,
 
 void emit_kv_header(const std::string& figure,
                     const std::string& description) {
+  install_standard_sections();  // every bench is metrics-snapshot capable
   std::printf("# %s: %s\n", figure.c_str(), description.c_str());
   std::printf(
       "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
       ",res_lost,fused_windows,commit_p50_ns,commit_p95_ns,commit_p99_ns"
-      ",commit_max_ns,live_peak,kv_hits,kv_misses,kv_migrations,kv_resizes\n",
+      ",commit_max_ns,live_peak,res_lost_attr,aborts_attr"
+      ",kv_hits,kv_misses,kv_migrations,kv_resizes\n",
       cause_columns().c_str());
   std::fflush(stdout);
 }

@@ -24,9 +24,13 @@ namespace hohtm::harness {
 /// commit_p50_ns, commit_p95_ns, commit_p99_ns, commit_max_ns
 /// (commit-latency percentiles from the merged util::Metrics
 /// histograms — zero unless built with HOHTM_TRACE=ON) and live_peak
-/// (max live-object count observed during the cell).
-/// tools/summarize_bench.py understands the legacy 6-column, 15-column,
-/// 20-column, and this 22-column layout.
+/// (max live-object count observed during the cell). PR 7 appends the
+/// attribution pair: res_lost_attr (losses whose revoker was named via
+/// the RevocationBoard) and aborts_attr (conflict aborts with a known
+/// aborter slot) — 24 columns, and emit_header now prints a
+/// `# columns:` line naming them all. tools/summarize_bench.py keys on
+/// that header when present and still understands every historical
+/// headerless width (6, 15, 20, 22 columns).
 ///
 /// When footprint sampling is on (HOH_BENCH_FOOTPRINT_MS), each cell is
 /// followed by its reclamation-footprint timeline, one sample per row:
@@ -56,9 +60,10 @@ struct KvRowExtra {
   std::uint64_t resizes = 0;
 };
 
-/// 26-column variant of the bench CSV: the 22 emit_row columns plus
+/// 28-column variant of the bench CSV: the 24 emit_row columns plus
 /// kv_hits,kv_misses,kv_migrations,kv_resizes. summarize_bench.py and
-/// trace_report.py accept both layouts (they key on column count).
+/// trace_report.py accept both layouts via the `# columns:` header
+/// (historical headerless widths keep decoding by column count).
 void emit_kv_header(const std::string& figure, const std::string& description);
 void emit_kv_row(const std::string& figure, const std::string& panel,
                  const std::string& series, int threads,

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "harness/metrics.hpp"
 #include "kv/store.hpp"
 
 namespace hohtm::kv {
@@ -250,6 +251,22 @@ class Service {
       total.scans += s.value.scans.load(std::memory_order_relaxed);
     }
     return total;
+  }
+
+  /// One metrics-plane snapshot document (counters, gauges, abort
+  /// attribution, contention heatmap, watchdog), prefixed with this
+  /// service's own request counters. A serving layer exposes this as its
+  /// stats endpoint; callable any time, from any thread.
+  std::string stats_snapshot() const {
+    const Stats s = stats();
+    std::string doc = "{\"service\":{\"gets\":" + std::to_string(s.gets) +
+                      ",\"puts\":" + std::to_string(s.puts) +
+                      ",\"dels\":" + std::to_string(s.dels) +
+                      ",\"scans\":" + std::to_string(s.scans) +
+                      "},\"metrics\":";
+    doc += harness::metrics_snapshot_json();
+    doc += '}';
+    return doc;
   }
 
  private:

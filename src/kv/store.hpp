@@ -16,6 +16,7 @@
 #include "core/rr.hpp"
 #include "ds/window_policy.hpp"
 #include "ds/window_tuner.hpp"
+#include "kv/contention.hpp"
 #include "reclaim/gauge.hpp"
 #include "sched/schedpoint.hpp"
 #include "tm/tm.hpp"
@@ -208,6 +209,7 @@ class Store {
           // Overwrite replaces the node (values are immutable in place,
           // so readers copying bytes never race an update) and frees the
           // old one precisely, revoking any reservation parked on it.
+          rr::SiteScope site(tm::RevokeSite::kKvReplace);
           detail::Node* fresh =
               make_node(tx, h, key, value, tx.read(curr->next));
           tx.write(*link, fresh);
@@ -220,6 +222,11 @@ class Store {
           tx.write(*link, fresh);
           return true;
         });
+    if (!inserted)  // replace: the old node was revoked out from under
+                    // any parked traversal — contention heat
+      ContentionMap::note(static_cast<std::uint32_t>(shard_index(h)),
+                          ContentionMap::cell_of(h, opt_.log2_shards),
+                          ContentionMap::kRevokeWeight);
     if (inserted && chain_len >= static_cast<std::size_t>(opt_.grow_chain))
       try_grow(sh);
     after_op(sh, OpCode::kPut);
@@ -256,12 +263,17 @@ class Store {
     const bool removed = with_chain(
         sh, h, key, chain_len,
         [&](Tx& tx, detail::Node** link, detail::Node* curr) {
+          rr::SiteScope site(tm::RevokeSite::kKvDelete);
           tx.write(*link, tx.read(curr->next));
           reservation_.revoke(tx, curr);
           tx.dealloc(curr);
           return true;
         },
         [](Tx&, detail::Node**, detail::Node*) { return false; });
+    if (removed)
+      ContentionMap::note(static_cast<std::uint32_t>(shard_index(h)),
+                          ContentionMap::cell_of(h, opt_.log2_shards),
+                          ContentionMap::kRevokeWeight);
     after_op(sh, OpCode::kDel);
     return removed;
   }
@@ -492,10 +504,16 @@ class Store {
     } feedback{fusion_gate_.get()};
     bool handed_over = false;
     std::uint64_t parked_log2 = 0;
+    rr::Ref parked_ref = nullptr;  // what the last committed park reserved
+    const std::uint32_t heat_shard =
+        static_cast<std::uint32_t>(shard_index(h));
+    const std::uint32_t heat_cell =
+        ContentionMap::cell_of(h, opt_.log2_shards);
     for (;;) {
       migrate_for(sh, h);
       for (;;) {
         bool position_lost = false;
+        rr::Ref lost = nullptr;
         std::size_t tx_seen = 0;
         const Step step = TM::atomically([&](Tx& tx) -> Step {
           fusion.on_attempt_start();
@@ -519,6 +537,10 @@ class Store {
             auto* parked = static_cast<detail::Node*>(
                 const_cast<void*>(boundary_.resume(tx)));
             position_lost = parked == nullptr || cur->log2 != parked_log2;
+            // Capture the lost ref here, before this attempt can park a
+            // new node over parked_ref (attribution must name what was
+            // actually revoked, not a later boundary).
+            if (position_lost) lost = parked_ref;
             if (!position_lost) link = &parked->next;
           } else {
             used = initial_scatter();
@@ -550,14 +572,22 @@ class Store {
           }
           // Window exhausted short of the key's position: hand over.
           boundary_.park(tx, curr);
+          parked_ref = curr;
           parked_log2 = cur->log2;
           return Step::kHandover;
         });
         fusion.on_commit();
         chain_len += tx_seen;
-        if (position_lost) ds::WindowBoundary<RR>::note_position_lost();
-        if (step == Step::kTrue) return true;
-        if (step == Step::kFalse) return false;
+        if (position_lost) {
+          ds::WindowBoundary<RR>::note_position_lost(lost);
+          ContentionMap::note(heat_shard, heat_cell,
+                              ContentionMap::kPositionLostWeight);
+        }
+        if (step == Step::kTrue || step == Step::kFalse) {
+          ContentionMap::note(heat_shard, heat_cell,
+                              ContentionMap::kOpWeight);
+          return step == Step::kTrue;
+        }
         if (step == Step::kMigrate) {
           handed_over = false;
           chain_len = 0;
@@ -589,6 +619,9 @@ class Store {
     std::size_t done_bucket = 0;
     std::size_t freed_buckets = 0;
     const bool finished = TM::atomically([&](Tx& tx) -> bool {
+      // Any revocation issued while relocating a chain is a migration
+      // casualty for attribution purposes.
+      rr::SiteScope site(tm::RevokeSite::kMigration);
       bucket_done = false;
       table_freed = false;
       reservation_.register_thread(tx);

@@ -1,13 +1,29 @@
 #include "reclaim/epoch.hpp"
 
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace hohtm::reclaim {
+namespace {
+
+// Process-wide retire/free counters across every epoch domain; the
+// metrics snapshot derives the unreclaimed backlog as retired - freed.
+int retired_metric() {
+  static const int id = util::MetricsRegistry::counter("epoch.retired");
+  return id;
+}
+int freed_metric() {
+  static const int id = util::MetricsRegistry::counter("epoch.freed");
+  return id;
+}
+
+}  // namespace
 
 EpochDomain::~EpochDomain() {
   for (auto& bucket : buckets_) {
     for (auto& generation : bucket->generation) {
       for (const Retired& r : generation) r.deleter(r.ptr);
+      util::MetricsRegistry::add(freed_metric(), generation.size());
       generation.clear();
     }
   }
@@ -15,6 +31,7 @@ EpochDomain::~EpochDomain() {
 
 void EpochDomain::retire(void* ptr, void (*deleter)(void*) noexcept) {
   util::trace_event(util::Ev::kRetire, reinterpret_cast<std::uintptr_t>(ptr));
+  util::MetricsRegistry::add(retired_metric());
   Bucket& mine = buckets_[util::ThreadRegistry::slot()].value;
   const std::uint64_t e = global_epoch_->load(std::memory_order_acquire);
   mine.generation[e % kGenerations].push_back(Retired{ptr, deleter});
@@ -42,6 +59,7 @@ bool EpochDomain::try_advance() {
   Bucket& mine = buckets_[util::ThreadRegistry::slot()].value;
   auto& reclaimable = mine.generation[(e + 1) % kGenerations];
   for (const Retired& r : reclaimable) r.deleter(r.ptr);
+  util::MetricsRegistry::add(freed_metric(), reclaimable.size());
   reclaimable.clear();
   return true;
 }

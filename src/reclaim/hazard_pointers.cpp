@@ -2,19 +2,36 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace hohtm::reclaim {
+namespace {
+
+// Process-wide retire/free counters across every hazard domain; the
+// metrics snapshot derives the unreclaimed backlog as retired - freed.
+int retired_metric() {
+  static const int id = util::MetricsRegistry::counter("hazard.retired");
+  return id;
+}
+int freed_metric() {
+  static const int id = util::MetricsRegistry::counter("hazard.freed");
+  return id;
+}
+
+}  // namespace
 
 HazardDomain::~HazardDomain() {
   for (auto& list : lists_) {
     for (const Retired& r : list->items) r.deleter(r.ptr);
+    util::MetricsRegistry::add(freed_metric(), list->items.size());
     list->items.clear();
   }
 }
 
 void HazardDomain::retire(void* ptr, void (*deleter)(void*) noexcept) {
   util::trace_event(util::Ev::kRetire, reinterpret_cast<std::uintptr_t>(ptr));
+  util::MetricsRegistry::add(retired_metric());
   RetireList& mine = lists_[util::ThreadRegistry::slot()].value;
   mine.items.push_back(Retired{ptr, deleter});
   if (mine.items.size() >= scan_threshold_) scan();
@@ -46,6 +63,8 @@ void HazardDomain::scan() {
   }
   util::trace_event(util::Ev::kScan,
                     mine.items.size() - still_hazardous.size());
+  util::MetricsRegistry::add(freed_metric(),
+                             mine.items.size() - still_hazardous.size());
   mine.items = std::move(still_hazardous);
 }
 

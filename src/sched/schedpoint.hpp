@@ -60,6 +60,7 @@ enum class Mutation : unsigned {
   kSkipReadValidation,   // TML readers skip the post-read clock check
   kDropMigrationReserve, // kv migration parks its anchor without reserving
   kFusionNeverFallback,  // fused traversal keeps speculating after an abort
+  kDropAborterId,        // revokers/aborters omit their identity stamp
 };
 
 namespace detail {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "sched/schedpoint.hpp"
 #include "tm/config.hpp"
 
 namespace hohtm::tm {
@@ -16,8 +17,38 @@ struct Conflict {
 /// counter on the calling thread, then unwinds. Every conflict site in
 /// the backends goes through here — a bare `throw Conflict{}` is a bug
 /// (the telemetry audit greps for it).
+/// The calling thread's most recent conflict attribution: the registry
+/// slot of the transaction that owned the lock/orec this thread lost to
+/// (-1 when the last abort carried no attribution). Consumed by
+/// ds::FusionState to attribute kFusionFallback records and cleared at
+/// the start of each attributed abort.
+inline int& last_aborter_slot() noexcept {
+  thread_local int slot = -1;
+  return slot;
+}
+
 [[noreturn]] inline void abort_tx(AbortCause cause) {
+  last_aborter_slot() = -1;
   Stats::mine().record(cause);
+  throw Conflict{cause};
+}
+
+/// Attribution-bearing abort: `aborter_slot` names the thread-registry
+/// slot of the transaction that caused this conflict (the orec/seqlock
+/// owner). Exact for the orec backends — the owner's slot is recoverable
+/// from the lock word — and best-effort (last lock holder) for the
+/// single-seqlock backends. The kDropAborterId mutant erases the id so
+/// the sched attribution tests can prove the invariant checkers notice.
+[[noreturn]] inline void abort_tx(AbortCause cause, int aborter_slot) {
+  if (sched::mutate(sched::Mutation::kDropAborterId)) aborter_slot = -1;
+  // A transaction never legitimately conflicts with itself; a self id is
+  // a stale best-effort owner stamp, so fold it into "unknown".
+  if (aborter_slot == static_cast<int>(util::ThreadRegistry::slot()))
+    aborter_slot = -1;
+  last_aborter_slot() = aborter_slot;
+  StatCounters& counters = Stats::mine();
+  counters.record(cause);
+  counters.note_conflict_attribution(aborter_slot);
   throw Conflict{cause};
 }
 

@@ -51,6 +51,22 @@ inline constexpr const char* kAbortCauseNames[kAbortCauseCount] = {
     "validation",  "lock",        "user", "serial_esc", "revocations",
     "hoh_retries", "fusion_fallbacks"};
 
+/// Where a revocation was issued from — the "site" half of causal abort
+/// attribution (the other half is the aborter's thread-registry slot).
+/// Stamped into the RevocationBoard by `rr::note_revocation` from a
+/// thread-local set by `rr::SiteScope` around each revoking operation,
+/// and read back by the victim when it observes the loss.
+enum class RevokeSite : unsigned {
+  kUnknown = 0,  // no SiteScope active (or attribution unavailable)
+  kListRemove,   // ds:: list Remove unlink-revoke-free
+  kKvReplace,    // kv::Store put over an existing key
+  kKvDelete,     // kv::Store del
+  kMigration,    // kv::Store bucket migration window
+};
+inline constexpr std::size_t kRevokeSiteCount = 5;
+inline constexpr const char* kRevokeSiteNames[kRevokeSiteCount] = {
+    "unknown", "list_remove", "kv_replace", "kv_delete", "migration"};
+
 /// Per-thread transaction counters, padded to avoid false sharing; each
 /// slot is written only by its owning thread, so plain relaxed loads
 /// suffice to aggregate.
@@ -74,8 +90,65 @@ struct StatCounters {
   std::uint64_t fused_aborts = 0;
   std::uint64_t by_cause[kAbortCauseCount] = {};
 
+  /// Causal attribution ("who aborted whom"): one bucket per possible
+  /// aborter thread-registry slot plus a final *unknown* bucket. Every
+  /// attributed event increments exactly one bucket, so the buckets sum
+  /// to the corresponding event total by construction — the invariant
+  /// the kv_ycsb smoke and the sched attribution tests assert.
+  static constexpr std::size_t kAttrSlots = util::kMaxThreads + 1;
+  static constexpr std::size_t kAttrUnknown = util::kMaxThreads;
+  /// Reservation losses by the revoker's slot; sums to
+  /// `reservation_losses` exactly (see WindowBoundary::note_position_lost).
+  std::uint64_t loss_by_aborter[kAttrSlots] = {};
+  /// Reservation losses by the revoker's site (kv delete vs. migration
+  /// vs. list remove ...); same total as loss_by_aborter.
+  std::uint64_t loss_by_site[kRevokeSiteCount] = {};
+  /// Conflict aborts (lock / validation) by the owning writer's slot.
+  /// Only attribution-bearing abort sites tick these (abort_tx with an
+  /// aborter), so the buckets sum to ≤ `aborts`.
+  std::uint64_t aborted_by[kAttrSlots] = {};
+  /// kFusionFallback records that carried / lacked a known aborter id
+  /// (the identity of the conflict that killed the fused attempt).
+  std::uint64_t fusion_fb_attributed = 0;
+  std::uint64_t fusion_fb_unknown = 0;
+
   void record(AbortCause cause) noexcept {
     by_cause[static_cast<unsigned>(cause)] += 1;
+  }
+
+  /// Attribute one reservation loss: `slot` is the revoker's registry
+  /// slot (out-of-range means unknown), `site` indexes RevokeSite.
+  void note_loss_attribution(int slot, unsigned site) noexcept {
+    const std::size_t bucket =
+        (slot >= 0 && slot < static_cast<int>(util::kMaxThreads))
+            ? static_cast<std::size_t>(slot)
+            : kAttrUnknown;
+    loss_by_aborter[bucket] += 1;
+    loss_by_site[site < kRevokeSiteCount ? site : 0] += 1;
+  }
+
+  /// Attribute one conflict abort to the owning writer's slot.
+  void note_conflict_attribution(int slot) noexcept {
+    const std::size_t bucket =
+        (slot >= 0 && slot < static_cast<int>(util::kMaxThreads))
+            ? static_cast<std::size_t>(slot)
+            : kAttrUnknown;
+    aborted_by[bucket] += 1;
+  }
+
+  /// Losses / conflict aborts whose aborter slot is known.
+  std::uint64_t attributed_losses() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kAttrUnknown; ++i) sum += loss_by_aborter[i];
+    return sum;
+  }
+  std::uint64_t unknown_losses() const noexcept {
+    return loss_by_aborter[kAttrUnknown];
+  }
+  std::uint64_t attributed_aborts() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kAttrUnknown; ++i) sum += aborted_by[i];
+    return sum;
   }
 
   std::uint64_t cause(AbortCause c) const noexcept {
@@ -103,6 +176,14 @@ struct StatCounters {
     fused_aborts += other.fused_aborts;
     for (std::size_t i = 0; i < kAbortCauseCount; ++i)
       by_cause[i] += other.by_cause[i];
+    for (std::size_t i = 0; i < kAttrSlots; ++i) {
+      loss_by_aborter[i] += other.loss_by_aborter[i];
+      aborted_by[i] += other.aborted_by[i];
+    }
+    for (std::size_t i = 0; i < kRevokeSiteCount; ++i)
+      loss_by_site[i] += other.loss_by_site[i];
+    fusion_fb_attributed += other.fusion_fb_attributed;
+    fusion_fb_unknown += other.fusion_fb_unknown;
   }
 };
 

@@ -6,6 +6,7 @@
 
 #include "sched/schedpoint.hpp"
 #include "util/cacheline.hpp"
+#include "util/thread_registry.hpp"
 #include "util/tsan.hpp"
 
 namespace hohtm::tm {
@@ -30,8 +31,16 @@ class SeqLock {
   /// Spin until the clock is even, return its value.
   std::uint64_t wait_even() const noexcept;
 
-  /// Try to move even `expected` to odd; true on success.
+  /// Try to move even `expected` to odd; true on success. The caller's
+  /// registry slot is stamped into the owner cell *before* the CAS so a
+  /// reader that aborts against this writer generation can name the
+  /// writer (causal abort attribution). The pre-CAS stamp means a CAS
+  /// that loses leaves a transiently wrong owner — attribution through a
+  /// single global seqlock is best-effort by nature (documented in
+  /// docs/OBSERVABILITY.md), unlike the per-orec owner words of TL2.
   bool try_lock_from(std::uint64_t expected) noexcept {
+    owner_->store(static_cast<std::int64_t>(util::ThreadRegistry::slot()),
+                  std::memory_order_relaxed);
     sched::point(sched::Op::kLockAcquire, this);
     const bool won = clock_->compare_exchange_strong(
         expected, expected + 1, std::memory_order_acquire,
@@ -47,8 +56,16 @@ class SeqLock {
     clock_->store(next_even, std::memory_order_release);
   }
 
+  /// Registry slot of the last thread that (tried to) acquire the write
+  /// lock; -1 before any writer. Best-effort attribution input for the
+  /// value- and clock-validating backends (NOrec, TML).
+  int owner() const noexcept {
+    return static_cast<int>(owner_->load(std::memory_order_relaxed));
+  }
+
  private:
   util::CachePadded<std::atomic<std::uint64_t>> clock_{0};
+  util::CachePadded<std::atomic<std::int64_t>> owner_{-1};
 };
 
 /// Global version clock + ownership-record (orec) table for TL2.

@@ -137,7 +137,9 @@ class Norec {
         const std::uint64_t even = seqlock().wait_even();
         for (const ReadEntry& r : reads_) {
           if (erased_load(r.addr, r.word.width).bits != r.word.bits)
-            abort_tx(AbortCause::kReadValidation);
+            // A committed writer changed a value under us; the last lock
+            // acquirer is that writer (best-effort; see SeqLock::owner).
+            abort_tx(AbortCause::kReadValidation, seqlock().owner());
         }
         std::atomic_thread_fence(std::memory_order_acquire);
         if (seqlock().load_acquire() == even) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "reclaim/watchdog.hpp"
 #include "sched/schedpoint.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_registry.hpp"
@@ -33,6 +34,7 @@ class Quiescence {
   /// (Dekker-style publish-then-check / set-then-scan).
   void publish(std::uint64_t ts) noexcept {
     sched::point(sched::Op::kQuiescePublish, this);
+    reclaim::Watchdog::on_publish();
     auto& slot = *slots_[util::ThreadRegistry::slot()];
     // Everything this thread read before (re)validating at ts must
     // happen-before any free gated on wait_until(<= ts) observing it.
@@ -43,6 +45,7 @@ class Quiescence {
   /// Calling thread has no transaction in flight.
   void deactivate() noexcept {
     sched::point(sched::Op::kQuiesceDeactivate, this);
+    reclaim::Watchdog::on_deactivate();
     auto& slot = *slots_[util::ThreadRegistry::slot()];
     tsan::release(&slot);  // all of this thread's transactional accesses
     slot.store(0, std::memory_order_release);

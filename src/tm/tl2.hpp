@@ -45,15 +45,24 @@ class Tl2 {
       std::atomic<std::uint64_t>& orec = orecs().orec_for(&loc);
       sched::point(sched::Op::kOrecRead, &orec);
       const std::uint64_t before = orec.load(std::memory_order_acquire);
-      if (OrecTable::is_locked(before)) abort_tx(AbortCause::kLockConflict);
+      if (OrecTable::is_locked(before))
+        // Exact attribution: a locked orec word carries the owner's slot.
+        abort_tx(AbortCause::kLockConflict,
+                 static_cast<int>(OrecTable::version_of(before)));
       if (OrecTable::version_of(before) > rv_)
         abort_tx(AbortCause::kReadValidation);
       const T val = atomic_load(loc);
       std::atomic_thread_fence(std::memory_order_acquire);
       sched::point(sched::Op::kOrecRead, &orec);
-      if (!sched::mutate(sched::Mutation::kSkipReadValidation) &&
-          orec.load(std::memory_order_acquire) != before)
-        abort_tx(AbortCause::kReadValidation);
+      if (!sched::mutate(sched::Mutation::kSkipReadValidation)) {
+        const std::uint64_t after = orec.load(std::memory_order_acquire);
+        if (after != before) {
+          if (OrecTable::is_locked(after))
+            abort_tx(AbortCause::kReadValidation,
+                     static_cast<int>(OrecTable::version_of(after)));
+          abort_tx(AbortCause::kReadValidation);
+        }
+      }
       // Re-check passed: the version this read ran at was published by a
       // committer's release store on this orec (mirrored for TSan; the
       // data load orders against the re-check via a fence TSan ignores).
@@ -158,7 +167,8 @@ class Tl2 {
           if (OrecTable::is_locked(seen)) {
             if (spins >= kLockSpinBudget) {
               release_locked();
-              abort_tx(AbortCause::kLockConflict);
+              abort_tx(AbortCause::kLockConflict,
+                       static_cast<int>(OrecTable::version_of(seen)));
             }
             backoff.pause();
             continue;
@@ -186,7 +196,12 @@ class Tl2 {
         sched::point(sched::Op::kOrecRead, orec);
         const std::uint64_t seen = orec->load(std::memory_order_acquire);
         if (seen == mine) continue;
-        if (OrecTable::is_locked(seen) || OrecTable::version_of(seen) > rv_) {
+        if (OrecTable::is_locked(seen)) {
+          release_locked();
+          abort_tx(AbortCause::kReadValidation,
+                   static_cast<int>(OrecTable::version_of(seen)));
+        }
+        if (OrecTable::version_of(seen) > rv_) {
           release_locked();
           abort_tx(AbortCause::kReadValidation);
         }

@@ -51,15 +51,24 @@ class TlEager {
       sched::point(sched::Op::kOrecRead, &orec);
       const std::uint64_t before = orec.load(std::memory_order_acquire);
       if (before == my_lock_word()) return atomic_load(loc);  // mine
-      if (OrecTable::is_locked(before)) abort_tx(AbortCause::kLockConflict);
+      if (OrecTable::is_locked(before))
+        // Exact attribution: a locked orec word carries the owner's slot.
+        abort_tx(AbortCause::kLockConflict,
+                 static_cast<int>(OrecTable::version_of(before)));
       if (OrecTable::version_of(before) > rv_)
         abort_tx(AbortCause::kReadValidation);
       const T val = atomic_load(loc);
       std::atomic_thread_fence(std::memory_order_acquire);
       sched::point(sched::Op::kOrecRead, &orec);
-      if (!sched::mutate(sched::Mutation::kSkipReadValidation) &&
-          orec.load(std::memory_order_acquire) != before)
-        abort_tx(AbortCause::kReadValidation);
+      if (!sched::mutate(sched::Mutation::kSkipReadValidation)) {
+        const std::uint64_t after = orec.load(std::memory_order_acquire);
+        if (after != before) {
+          if (OrecTable::is_locked(after))
+            abort_tx(AbortCause::kReadValidation,
+                     static_cast<int>(OrecTable::version_of(after)));
+          abort_tx(AbortCause::kReadValidation);
+        }
+      }
       tsan::acquire(&orec);  // see Tl2::Tx::read
       reads_.push_back(&orec);
       return val;
@@ -161,13 +170,20 @@ class TlEager {
       sched::point(sched::Op::kOrecRead, &orec);
       std::uint64_t seen = orec.load(std::memory_order_acquire);
       if (seen == my_lock_word()) return;  // already own it
-      if (OrecTable::is_locked(seen) || OrecTable::version_of(seen) > rv_)
+      if (OrecTable::is_locked(seen))
+        abort_tx(AbortCause::kLockConflict,
+                 static_cast<int>(OrecTable::version_of(seen)));
+      if (OrecTable::version_of(seen) > rv_)
         abort_tx(AbortCause::kLockConflict);
       sched::point(sched::Op::kOrecCas, &orec);
       if (!orec.compare_exchange_strong(seen, my_lock_word(),
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed))
-        abort_tx(AbortCause::kLockConflict);
+        // The CAS failure wrote the winner's word into `seen`.
+        abort_tx(AbortCause::kLockConflict,
+                 OrecTable::is_locked(seen)
+                     ? static_cast<int>(OrecTable::version_of(seen))
+                     : -1);
       tsan::acquire(&orec);  // synchronizes with the prior release
       locked_.push_back(LockedOrec{&orec, seen});
     }
@@ -177,8 +193,11 @@ class TlEager {
         sched::point(sched::Op::kOrecRead, orec);
         const std::uint64_t seen = orec->load(std::memory_order_acquire);
         if (seen == my_lock_word()) continue;
-        if (OrecTable::is_locked(seen) || OrecTable::version_of(seen) > rv_)
-          abort_tx(AbortCause::kReadValidation);  // on_abort rolls back
+        if (OrecTable::is_locked(seen))
+          abort_tx(AbortCause::kReadValidation,  // on_abort rolls back
+                   static_cast<int>(OrecTable::version_of(seen)));
+        if (OrecTable::version_of(seen) > rv_)
+          abort_tx(AbortCause::kReadValidation);
       }
     }
 

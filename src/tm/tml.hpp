@@ -34,7 +34,9 @@ class Tml {
           !sched::mutate(sched::Mutation::kSkipReadValidation)) {
         std::atomic_thread_fence(std::memory_order_acquire);
         if (seqlock().load_acquire() != snapshot_)
-          abort_tx(AbortCause::kReadValidation);
+          // The clock moved: some writer invalidated us. Attribute the
+          // abort to the last lock acquirer (best-effort; see SeqLock).
+          abort_tx(AbortCause::kReadValidation, seqlock().owner());
       }
       return val;
     }
@@ -113,8 +115,11 @@ class Tml {
 
    private:
     void become_writer() {
+      // Capture the contending acquirer *before* our own attempt stamps
+      // the owner cell (try_lock_from stamps pre-CAS).
+      const int contender = seqlock().owner();
       if (!seqlock().try_lock_from(snapshot_))
-        abort_tx(AbortCause::kLockConflict);
+        abort_tx(AbortCause::kLockConflict, contender);
       writer_ = true;
     }
 

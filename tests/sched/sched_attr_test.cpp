@@ -1,0 +1,237 @@
+// Schedule exploration of causal abort attribution (docs/OBSERVABILITY.md):
+// when a revocation costs a hand-over-hand traverser its parked position,
+// the loss record must name the revoker — a valid aborter slot and the
+// revoke site — in EVERY schedule. The attribution invariant is exact by
+// construction (every loss lands in exactly one aborter bucket and one
+// site bucket), so the victim-side check here is `unknown == 0`: with the
+// revoker publishing to the RevocationBoard and only one contended node,
+// no loss may fall into the unknown bucket.
+//
+// The kDropAborterId mutant erases the revoker's board publish (and the
+// backends' aborter stamps); the explorer must find a schedule where a
+// loss goes unattributed, within a bounded budget, and replay it
+// byte-identically from the recorded choices.
+//
+// Backend is TML for the same determinism reason as sched_rr_test.cpp:
+// address-independent conflict detection keeps control flow identical
+// across schedules.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rr_v.hpp"
+#include "ds/window_policy.hpp"
+#include "sched/explore.hpp"
+#include "sched/schedpoint.hpp"
+#include "tm/config.hpp"
+#include "tm/tml.hpp"
+
+namespace {
+
+using hohtm::sched::ExploreResult;
+using hohtm::sched::Mutation;
+using hohtm::sched::Scenario;
+using hohtm::sched::describe;
+using hohtm::sched::depth_multiplier;
+using hohtm::sched::explore_dfs;
+using hohtm::sched::format_steps;
+using hohtm::sched::replay_choices;
+using hohtm::sched::set_mutation;
+using hohtm::tm::Tml;
+
+#define REQUIRE_SCHED_BUILD()                                       \
+  do {                                                              \
+    if constexpr (!hohtm::sched::kSchedBuild)                       \
+      GTEST_SKIP() << "needs -DHOHTM_SCHED=ON (scripts/check.sh "   \
+                      "--sched)";                                   \
+  } while (0)
+
+struct ScenarioGuard {
+  ScenarioGuard() { hohtm::tm::Config::set_serial_threshold(1000); }
+  ~ScenarioGuard() {
+    set_mutation(Mutation::kNone);
+    hohtm::tm::Config::set_serial_threshold(8);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Scenario 1: reservation loss must name its revoker.
+
+using Rr = hohtm::rr::RrV<Tml>;
+using Boundary = hohtm::ds::WindowBoundary<Rr>;
+
+constexpr auto kSite = hohtm::tm::RevokeSite::kListRemove;
+constexpr auto kSiteIndex = static_cast<std::size_t>(kSite);
+
+struct AttrState {
+  // No default member initializer: the struct is completed inside the
+  // enclosing class where its static member is declared (same C++20
+  // wrinkle as Watchdog::Slot); zero-init is what we want anyway.
+  struct Node {
+    long payload;
+  };
+  // Static storage: identical addresses (and board fingerprints) across
+  // schedules, a determinism requirement of DFS prefix replay.
+  static inline Node node;
+  static inline Rr reservations{4};
+  // Stats accumulate across schedules; the check diffs against setup.
+  static inline std::uint64_t base_losses;
+  static inline std::uint64_t base_attributed;
+  static inline std::uint64_t base_unknown;
+  static inline std::uint64_t base_site;
+};
+
+Scenario attribution_scenario() {
+  Scenario s;
+  s.setup = [] {
+    // A previous schedule's publish for the same node address would let
+    // a mutated revoker inherit its attribution — the mutant would
+    // survive every schedule. Fresh board per schedule.
+    hohtm::rr::RevocationBoard::reset_for_testing();
+    const hohtm::tm::StatCounters t = hohtm::tm::Stats::total();
+    AttrState::base_losses = t.reservation_losses;
+    AttrState::base_attributed = t.attributed_losses();
+    AttrState::base_unknown = t.unknown_losses();
+    AttrState::base_site = t.loss_by_site[kSiteIndex];
+  };
+  s.bodies = {
+      // Traverser: park a reservation at a window boundary, then resume
+      // in the next transaction. A nil resume is a lost position, and
+      // its loss record must attribute the revoker.
+      [] {
+        Tml::atomically([](auto& tx) {
+          AttrState::reservations.register_thread(tx);
+          AttrState::reservations.reserve(tx, &AttrState::node);
+        });
+        const hohtm::rr::Ref resumed = Tml::atomically(
+            [](auto& tx) { return AttrState::reservations.get(tx); });
+        if (resumed == nullptr)
+          Boundary::note_position_lost(&AttrState::node);
+      },
+      // Remover: revoke the parked node from a named site, as
+      // ds::SllHoh::remove / kv::Store::del do.
+      [] {
+        hohtm::rr::SiteScope site(kSite);
+        Tml::atomically([](auto& tx) {
+          AttrState::reservations.revoke(tx, &AttrState::node);
+        });
+      },
+  };
+  s.check = [] {
+    const hohtm::tm::StatCounters t = hohtm::tm::Stats::total();
+    const std::uint64_t losses =
+        t.reservation_losses - AttrState::base_losses;
+    const std::uint64_t attributed =
+        t.attributed_losses() - AttrState::base_attributed;
+    const std::uint64_t unknown =
+        t.unknown_losses() - AttrState::base_unknown;
+    const std::uint64_t at_site =
+        t.loss_by_site[kSiteIndex] - AttrState::base_site;
+    if (attributed + unknown != losses)
+      return "aborter buckets sum to " + std::to_string(attributed + unknown) +
+             " but the schedule lost " + std::to_string(losses);
+    if (unknown != 0)
+      return std::to_string(unknown) +
+             " revocation loss(es) carry no aborter id";
+    if (at_site != losses)
+      return "revoke site buckets recorded " + std::to_string(at_site) +
+             " of " + std::to_string(losses) + " losses";
+    return std::string();
+  };
+  return s;
+}
+
+TEST(SchedAttr, RevocationLossAlwaysNamesItsRevoker) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const ExploreResult r =
+      explore_dfs(attribution_scenario(), 8000 * depth_multiplier(), 400);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_GT(r.schedules, 1u) << describe(r);
+  std::cout << "   [exploration] " << describe(r) << "\n";
+}
+
+TEST(SchedAttr, DropAborterIdMutantCaught) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const Scenario s = attribution_scenario();
+  set_mutation(Mutation::kDropAborterId);
+  const ExploreResult r =
+      explore_dfs(s, 40000 * depth_multiplier(), 400);
+  ASSERT_TRUE(r.failed) << "mutant survived: " << describe(r);
+  ASSERT_FALSE(r.failing_choices.empty());
+  // The recorded choices must reproduce the identical failing schedule.
+  const ExploreResult again = replay_choices(s, r.failing_choices, 400);
+  EXPECT_TRUE(again.failed) << describe(again);
+  EXPECT_EQ(format_steps(again.failing_steps), format_steps(r.failing_steps))
+      << "replay diverged";
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: a fused attempt killed by a conflicting writer must record
+// its fallback with the writer's identity (fusion_fb_unknown stays 0 —
+// TML's owner cell is stamped before the clock can move, so every
+// read-validation abort in a two-thread schedule has a named aborter).
+
+struct FusionAttrState {
+  static inline long a = 0;
+  static inline long b = 0;
+  static inline std::uint64_t base_attributed;
+  static inline std::uint64_t base_unknown;
+};
+
+Scenario fusion_attribution_scenario() {
+  Scenario s;
+  s.setup = [] {
+    FusionAttrState::a = 0;
+    FusionAttrState::b = 0;
+    const hohtm::tm::StatCounters t = hohtm::tm::Stats::total();
+    FusionAttrState::base_attributed = t.fusion_fb_attributed;
+    FusionAttrState::base_unknown = t.fusion_fb_unknown;
+  };
+  s.bodies = {
+      [] {
+        hohtm::ds::FusionState fusion(1);
+        Tml::atomically([&](auto& tx) -> long {
+          fusion.on_attempt_start();
+          long sum = tx.read(FusionAttrState::a);
+          if (fusion.try_fuse()) sum += tx.read(FusionAttrState::b);
+          return sum;
+        });
+        fusion.on_commit();
+      },
+      [] {
+        Tml::atomically([](auto& tx) {
+          tx.write(FusionAttrState::a, tx.read(FusionAttrState::a) + 10);
+          tx.write(FusionAttrState::b, tx.read(FusionAttrState::b) + 1);
+        });
+      },
+  };
+  s.check = [] {
+    const hohtm::tm::StatCounters t = hohtm::tm::Stats::total();
+    const std::uint64_t unknown =
+        t.fusion_fb_unknown - FusionAttrState::base_unknown;
+    if (unknown != 0)
+      return std::to_string(unknown) +
+             " fusion fallback(s) carry no aborter id";
+    return std::string();
+  };
+  return s;
+}
+
+TEST(SchedAttr, FusionFallbackNamesItsAborter) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const ExploreResult r = explore_dfs(fusion_attribution_scenario(),
+                                      8000 * depth_multiplier(), 400);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_GT(r.schedules, 1u) << describe(r);
+  // The exploration must actually have exercised a fallback somewhere,
+  // or the invariant was never tested.
+  const hohtm::tm::StatCounters t = hohtm::tm::Stats::total();
+  EXPECT_GT(t.fusion_fb_attributed, 0u)
+      << "no schedule drove a fused attempt into a fallback";
+}
+
+}  // namespace

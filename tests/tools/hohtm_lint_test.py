@@ -57,6 +57,7 @@ EXPECTED = {
     ("src/util/pragma_bad.hpp", 1, "pragma-once"),
     ("src/util/using_bad.hpp", 4, "no-using-namespace"),
     ("src/core/padded_bad.hpp", 6, "padded-shared-array"),
+    ("src/util/metric_slots_bad.hpp", 10, "padded-metric-slots"),
     # allow_pragma.cpp: three violations suppressed by pragmas; the last
     # yield's pragma names a different rule, so it still fires.
     ("src/ds/allow_pragma.cpp", 17, "no-sleep-sync"),
@@ -100,6 +101,7 @@ class FixtureCorpus(unittest.TestCase):
                              "src/util/atomic_unordered_ok.hpp",
                              "src/tm/atomic_order_good.hpp",
                              "src/core/padded_good.hpp",
+                             "src/util/metric_slots_good.hpp",
                              "src/ds/tx_alloc_good.cpp",
                              "src/util/trace.hpp",
                              "tests/util/using_ok.cpp")]
@@ -131,7 +133,8 @@ class Cli(unittest.TestCase):
         self.assertEqual(proc.returncode, 0)
         for rule in ("tx-raw-alloc", "atomic-order", "no-sleep-sync",
                      "spin-park", "gated-hooks", "pragma-once",
-                     "no-using-namespace", "padded-shared-array"):
+                     "no-using-namespace", "padded-shared-array",
+                     "padded-metric-slots"):
             self.assertIn(rule, proc.stdout)
 
     def test_missing_path_is_usage_error(self):

@@ -41,6 +41,22 @@ FUSION_KV_ROW = ("kv,ycsb-c,RR-V+fuse,16,10.5000,0.90,"
                  "1000,50,10,20,5,3,7,4,2,1,64,"
                  "2048,8192,16384,30000,512,"
                  "3800,200,96,3")
+# Attribution-era layouts (PR 7): res_lost_attr,aborts_attr appended after
+# live_peak. These rows always travel with their `# columns:` header —
+# that is what disambiguates the new 24-column base layout from the
+# headerless pre-fusion kv 24-column layout above.
+ATTR_HEADER = ("# columns: figure,panel,series,threads,mops,cv_pct,"
+               "commits,aborts,validation,lock,user,serial_esc,"
+               "revocations,hoh_retries,fusion_fallbacks,res_lost,"
+               "fused_windows,commit_p50_ns,commit_p95_ns,commit_p99_ns,"
+               "commit_max_ns,live_peak,res_lost_attr,aborts_attr")
+ATTR_ROW = (FUSION_OBSERVABILITY_ROW + ",9,6")
+ATTR_KV_HEADER = (ATTR_HEADER +
+                  ",kv_hits,kv_misses,kv_migrations,kv_resizes")
+ATTR_KV_ROW = ("kv,ycsb-c,RR-V+fuse,16,10.5000,0.90,"
+               "1000,50,10,20,5,3,7,4,2,1,64,"
+               "2048,8192,16384,30000,512,9,6,"
+               "3800,200,96,3")
 
 
 def write(rows):
@@ -150,6 +166,41 @@ class LoadTest(unittest.TestCase):
         self.assertEqual(len(rows), 1)
         self.assertIsNone(rows[0][-1])  # counters dropped, row kept
 
+    def test_header_driven_attribution_columns(self):
+        rows = self.load([ATTR_HEADER, ATTR_ROW])
+        self.assertEqual(len(rows), 1)
+        counters = rows[0][-1]
+        self.assertEqual(counters["res_lost_attr"], 9)
+        self.assertEqual(counters["aborts_attr"], 6)
+        self.assertEqual(counters["live_peak"], 512)
+        self.assertEqual(counters["fused_windows"], 64)
+
+    def test_header_driven_kv_attribution_columns(self):
+        rows = self.load([ATTR_KV_HEADER, ATTR_KV_ROW])
+        counters = rows[0][-1]
+        self.assertEqual(counters["res_lost_attr"], 9)
+        self.assertEqual(counters["kv_hits"], 3800)
+        self.assertEqual(counters["kv_resizes"], 3)
+
+    def test_headerless_24_keeps_legacy_kv_interpretation(self):
+        # Without a header, a 24-column row is the pre-fusion kv layout;
+        # the same width WITH the attribution header decodes by name.
+        rows = self.load([KV_ROW])
+        self.assertIn("kv_hits", rows[0][-1])
+        rows = self.load([ATTR_HEADER, ATTR_ROW])
+        self.assertNotIn("kv_hits", rows[0][-1])
+        self.assertIn("res_lost_attr", rows[0][-1])
+
+    def test_later_header_with_same_width_wins(self):
+        other = ATTR_HEADER.replace("res_lost_attr", "renamed_attr")
+        rows = self.load([other, ATTR_HEADER, ATTR_ROW])
+        self.assertIn("res_lost_attr", rows[0][-1])
+
+    def test_header_applies_only_to_matching_width(self):
+        # A 24-name header must not disturb 26-column fusion-kv rows.
+        rows = self.load([ATTR_HEADER, FUSION_KV_ROW])
+        self.assertEqual(rows[0][-1]["kv_hits"], 3800)
+
     def test_timeline_rows_are_skipped(self):
         rows = self.load([
             "timeline,fig5,alloc,rr-fa,4,10.00,123",
@@ -183,6 +234,14 @@ class CliTest(unittest.TestCase):
         self.assertIn("kv workload", proc.stdout)
         self.assertIn("95.00", proc.stdout)  # 3800 / 4000 keyed ops
         self.assertIn("96", proc.stdout)     # migrations column
+
+    def test_summarize_renders_attribution_columns(self):
+        proc = self.run_tool("summarize_bench.py",
+                             [ATTR_HEADER, ATTR_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("lost_attr", proc.stdout)
+        self.assertIn("aborts_attr", proc.stdout)
+        self.assertIn("9.00", proc.stdout)  # 9 attributed per 1k commits
 
     def test_summarize_renders_fusion_columns(self):
         proc = self.run_tool("summarize_bench.py",

@@ -1,0 +1,192 @@
+// Deterministic unit tests for the always-on metrics plane
+// (util::MetricsRegistry), the kv contention heatmap (kv::ContentionMap),
+// and the reclamation-stall watchdog (reclaim::Watchdog). No sleeps and
+// no wall-clock dependence: the watchdog is driven with explicit
+// timestamps, and the concurrent snapshot test asserts monotonicity, not
+// timing.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kv/contention.hpp"
+#include "reclaim/watchdog.hpp"
+#include "util/barrier.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using hohtm::kv::ContentionMap;
+using hohtm::reclaim::Watchdog;
+using hohtm::util::MetricsRegistry;
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  const int id = MetricsRegistry::counter("test.idempotent");
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(MetricsRegistry::counter("test.idempotent"), id);
+  const int other = MetricsRegistry::counter("test.idempotent.other");
+  EXPECT_NE(other, id);
+}
+
+TEST(MetricsRegistry, NegativeIdIsHarmless) {
+  MetricsRegistry::add(-1);  // must not crash or write anywhere
+  EXPECT_EQ(MetricsRegistry::total(-1), 0u);
+}
+
+// A retired thread's counts must survive: the cells stay in the registry
+// slot, and a later thread recycling that slot keeps adding to them.
+TEST(MetricsRegistry, ThreadRetirementLosesNoCounts) {
+  const int id = MetricsRegistry::counter("test.retire");
+  ASSERT_GE(id, 0);
+  MetricsRegistry::reset_counters_for_testing();
+  MetricsRegistry::add(id, 5);
+  std::thread first([&] { MetricsRegistry::add(id, 1000); });
+  first.join();  // thread retires; its registry slot may now be recycled
+  std::thread second([&] { MetricsRegistry::add(id, 500); });
+  second.join();
+  EXPECT_EQ(MetricsRegistry::total(id), 1505u);
+}
+
+// Snapshot-during-update: aggregation is lock-free, so totals observed
+// while writers are mid-burst must be monotone and land exactly on the
+// final sum once the writers join.
+TEST(MetricsRegistry, SnapshotDuringUpdateIsMonotone) {
+  const int id = MetricsRegistry::counter("test.concurrent");
+  ASSERT_GE(id, 0);
+  MetricsRegistry::reset_counters_for_testing();
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  hohtm::util::SpinBarrier barrier(kWriters + 1);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (std::uint64_t i = 0; i < kPerWriter; ++i)
+        MetricsRegistry::add(id);
+    });
+  }
+  barrier.arrive_and_wait();
+  std::uint64_t last = 0;
+  for (int probe = 0; probe < 1000; ++probe) {
+    const std::uint64_t now = MetricsRegistry::total(id);
+    ASSERT_GE(now, last);  // owner-only release stores: sums never regress
+    ASSERT_LE(now, kWriters * kPerWriter);
+    last = now;
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(MetricsRegistry::total(id), kWriters * kPerWriter);
+}
+
+TEST(MetricsRegistry, SnapshotJsonCarriesAllThreeKinds) {
+  const int id = MetricsRegistry::counter("test.json.counter");
+  ASSERT_GE(id, 0);
+  MetricsRegistry::reset_counters_for_testing();
+  MetricsRegistry::add(id, 7);
+  ASSERT_TRUE(MetricsRegistry::register_gauge("test.json.gauge",
+                                              [] { return std::int64_t{42}; }));
+  ASSERT_TRUE(MetricsRegistry::register_section(
+      "test.json.section",
+      [](std::FILE* out) { std::fputs("{\"x\": 1}", out); }));
+  const std::string doc = MetricsRegistry::snapshot_json();
+  EXPECT_NE(doc.find("\"test.json.counter\": 7"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"test.json.gauge\": 42"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"test.json.section\": {\"x\": 1}"),
+            std::string::npos) << doc;
+}
+
+// Registration past the fixed capacity must degrade, not reallocate:
+// -1 ids that every later add() ignores. (Runs in its own ctest process,
+// so filling the table cannot starve the other tests.)
+TEST(MetricsRegistry, TableOverflowReturnsMinusOne) {
+  int last = 0;
+  for (int i = 0; last >= 0 && i <= MetricsRegistry::kMaxMetrics; ++i)
+    last = MetricsRegistry::counter(
+        ("test.overflow." + std::to_string(i)).c_str());
+  EXPECT_EQ(last, -1);
+  MetricsRegistry::add(last);  // and the failed id stays harmless
+}
+
+TEST(ContentionMapTest, TopMergesThreadsAndOrdersByWeight) {
+  ContentionMap::reset();
+  ContentionMap::note(0, 10, 5);
+  ContentionMap::note(1, 20, 2);
+  std::thread peer([] {
+    ContentionMap::note(0, 10, 6);  // same cell from another thread
+    ContentionMap::note(2, 30, 1);
+  });
+  peer.join();
+  const auto hot = ContentionMap::top(4);
+  ASSERT_GE(hot.size(), 3u);
+  EXPECT_EQ(hot[0].shard, 0u);
+  EXPECT_EQ(hot[0].cell, 10u);
+  EXPECT_EQ(hot[0].weight, 11u);  // merged across both threads
+  EXPECT_EQ(hot[1].weight, 2u);
+  ContentionMap::reset();
+  EXPECT_TRUE(ContentionMap::top(1).empty());
+}
+
+TEST(ContentionMapTest, CellOfIsStableAndInRange) {
+  const std::uint64_t h = 0xDEADBEEFCAFEF00DULL;
+  for (std::size_t shards : {std::size_t{0}, std::size_t{2}}) {
+    const std::uint32_t cell = ContentionMap::cell_of(h, shards);
+    EXPECT_LT(cell, 1u << ContentionMap::kCellBits);
+    // Same hash, same shard count -> same cell, across "resizes": the
+    // cell is a function of the hash alone, never of the bucket count.
+    EXPECT_EQ(ContentionMap::cell_of(h, shards), cell);
+  }
+}
+
+// The watchdog contract, driven with explicit timestamps: a thread that
+// is active at two samples with unchanged progress and elapsed past the
+// threshold is stalled; progress or deactivation re-arms it; a stall
+// counts as ONE event no matter how many checks observe it.
+TEST(WatchdogTest, DetectsStallExactlyOncePerEpisode) {
+  Watchdog::reset_for_testing();
+  const std::uint64_t threshold = Watchdog::threshold_ns();
+  Watchdog::on_publish();  // enter a window: active, progress = p
+  const std::uint64_t t0 = 1;
+  Watchdog::Report armed = Watchdog::check(t0);
+  EXPECT_GE(armed.active_threads, 1);
+  EXPECT_EQ(armed.stalled_threads, 0);
+  Watchdog::Report tripped = Watchdog::check(t0 + threshold + 1);
+  EXPECT_GE(tripped.stalled_threads, 1);
+  EXPECT_GT(tripped.max_stall_ns, threshold);
+  EXPECT_EQ(Watchdog::stall_events(), 1u);
+  // Still parked at a later sample: stalled again, but no second event.
+  Watchdog::Report still = Watchdog::check(t0 + 3 * threshold);
+  EXPECT_GE(still.stalled_threads, 1);
+  EXPECT_EQ(Watchdog::stall_events(), 1u);
+  Watchdog::on_deactivate();
+  Watchdog::Report after = Watchdog::check(t0 + 4 * threshold);
+  EXPECT_EQ(after.stalled_threads, 0);
+}
+
+TEST(WatchdogTest, ProgressSuppressesTheStall) {
+  Watchdog::reset_for_testing();
+  const std::uint64_t threshold = Watchdog::threshold_ns();
+  Watchdog::on_publish();
+  Watchdog::check(1);              // arm
+  Watchdog::on_publish();          // progress moved: a new window began
+  Watchdog::Report report = Watchdog::check(1 + threshold + 1);
+  EXPECT_EQ(report.stalled_threads, 0);  // baseline re-armed, not stalled
+  EXPECT_EQ(Watchdog::stall_events(), 0u);
+  Watchdog::on_deactivate();
+}
+
+TEST(WatchdogTest, ThresholdIsAdjustable) {
+  Watchdog::reset_for_testing();
+  const std::uint64_t saved = Watchdog::threshold_ns();
+  Watchdog::set_threshold_ns(10);
+  EXPECT_EQ(Watchdog::threshold_ns(), 10u);
+  Watchdog::on_publish();
+  Watchdog::check(100);
+  EXPECT_GE(Watchdog::check(200).stalled_threads, 1);  // 100ns >> 10ns
+  Watchdog::on_deactivate();
+  Watchdog::set_threshold_ns(saved);
+}
+
+}  // namespace

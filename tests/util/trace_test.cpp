@@ -112,7 +112,7 @@ TEST_F(TraceTest, DrainJsonEmitsChromeTraceEvents) {
 }
 
 TEST_F(TraceTest, EventNamesCoverTheTaxonomy) {
-  ASSERT_EQ(kEvCount, 21u);
+  ASSERT_EQ(kEvCount, 22u);
   for (std::size_t i = 0; i < kEvCount; ++i) {
     ASSERT_NE(kEvNames[i], nullptr);
     EXPECT_GT(std::string(kEvNames[i]).size(), 0u);
@@ -125,6 +125,8 @@ TEST_F(TraceTest, EventNamesCoverTheTaxonomy) {
                "fused_window");
   EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kFusionFallback)],
                "fusion_fallback");
+  EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kRrLossAttr)],
+               "rr_loss_attr");
 }
 
 TEST_F(TraceTest, MetricsAggregateAcrossSlots) {

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Build and gate the perf-smoke artifact (BENCH_N.json).
+
+Two subcommands:
+
+  emit   — combine a kv_ycsb --smoke CSV capture and a metrics-plane
+           snapshot (the $HOHTM_METRICS_FILE dump) into one artifact:
+
+               python3 tools/bench_compare.py emit \\
+                   build/kv_smoke.txt build/metrics.json -o BENCH_7.json
+
+  check  — compare an artifact against the checked-in baseline
+           (bench/baselines/BENCH_7.baseline.json by default). When the
+           baseline does not exist yet, the artifact SEEDS it (first CI
+           run on a branch that adds the gate) and the check passes:
+
+               python3 tools/bench_compare.py check BENCH_7.json
+
+Structural regressions hard-fail regardless of tolerance:
+
+  * a (figure, panel, series, threads) row present in the baseline but
+    missing from the artifact;
+  * the attribution invariant broken in the artifact's metrics snapshot
+    (delegated to tools/metrics_report.py `check`);
+  * an empty contention heatmap or missing watchdog section when the
+    baseline had them.
+
+Throughput is gated loosely — CI machines are noisy and the smoke runs
+are tiny — by HOHTM_BENCH_TOLERANCE (default 0.60: a row fails only when
+it drops below 40% of the baseline's Mops). Set it to 0 to disable the
+throughput gate entirely while keeping the structural checks.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+import metrics_report
+
+DEFAULT_BASELINE = os.path.join("bench", "baselines",
+                                "BENCH_7.baseline.json")
+SCHEMA = 1
+
+
+def load_rows(csv_path):
+    """kv_ycsb --smoke CSV -> [{figure,panel,series,threads,mops}]."""
+    rows = []
+    with open(csv_path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) < 6 or parts[0] == "timeline":
+                continue
+            try:
+                rows.append({
+                    "figure": parts[0],
+                    "panel": parts[1],
+                    "series": parts[2],
+                    "threads": int(parts[3]),
+                    "mops": float(parts[4]),
+                })
+            except ValueError:
+                continue
+    return rows
+
+
+def emit(args):
+    rows = load_rows(args.csv)
+    if not rows:
+        print(f"no bench rows in {args.csv}", file=sys.stderr)
+        return 1
+    metrics = metrics_report.load(args.metrics)
+    artifact = {"schema": SCHEMA, "rows": rows, "metrics": metrics}
+    with open(args.output, "w") as handle:
+        json.dump(artifact, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}: {len(rows)} rows, "
+          f"{len(metrics.get('counters', {}))} counters")
+    return 0
+
+
+def row_key(row):
+    return (row["figure"], row["panel"], row["series"], row["threads"])
+
+
+def structural_problems(artifact, baseline):
+    problems = []
+    current = {row_key(r): r for r in artifact.get("rows", [])}
+    for row in baseline.get("rows", []):
+        if row_key(row) not in current:
+            problems.append(f"row missing from artifact: {row_key(row)}")
+    problems.extend(metrics_report.check(artifact.get("metrics", {})))
+    base_sections = baseline.get("metrics", {}).get("sections", {})
+    cur_sections = artifact.get("metrics", {}).get("sections", {})
+    if base_sections.get("kv_heatmap") and not cur_sections.get("kv_heatmap"):
+        problems.append("contention heatmap is empty (baseline had cells)")
+    if "watchdog" in base_sections and "watchdog" not in cur_sections:
+        problems.append("watchdog section missing")
+    return problems
+
+
+def throughput_problems(artifact, baseline, tolerance):
+    if tolerance <= 0:
+        return []
+    problems = []
+    current = {row_key(r): r for r in artifact.get("rows", [])}
+    for row in baseline.get("rows", []):
+        match = current.get(row_key(row))
+        if match is None:
+            continue  # already a structural failure
+        floor = row["mops"] * (1.0 - tolerance)
+        if match["mops"] < floor:
+            problems.append(
+                f"{row_key(row)}: {match['mops']:.3f} Mops < floor "
+                f"{floor:.3f} (baseline {row['mops']:.3f}, "
+                f"tolerance {tolerance:.0%})")
+    return problems
+
+
+def check(args):
+    with open(args.artifact) as handle:
+        artifact = json.load(handle)
+    # The artifact must be internally coherent even on the seeding run —
+    # never enshrine a broken snapshot as the baseline.
+    own_problems = metrics_report.check(artifact.get("metrics", {}))
+    if own_problems:
+        for p in own_problems:
+            print(f"FAIL (artifact): {p}", file=sys.stderr)
+        return 1
+    if not os.path.exists(args.baseline):
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as handle:
+            json.dump(artifact, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"seeded baseline {args.baseline} from {args.artifact} "
+              f"({len(artifact.get('rows', []))} rows); commit it")
+        return 0
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    tolerance = float(os.environ.get("HOHTM_BENCH_TOLERANCE", "0.60"))
+    problems = structural_problems(artifact, baseline)
+    problems += throughput_problems(artifact, baseline, tolerance)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    print(f"bench compare ok: {len(baseline.get('rows', []))} baseline "
+          f"rows held (tolerance {tolerance:.0%})")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    emit_cmd = sub.add_parser("emit", help="build the artifact")
+    emit_cmd.add_argument("csv", help="kv_ycsb --smoke output")
+    emit_cmd.add_argument("metrics", help="metrics snapshot JSON")
+    emit_cmd.add_argument("-o", "--output", default="BENCH_7.json")
+    emit_cmd.set_defaults(func=emit)
+    check_cmd = sub.add_parser("check", help="gate against the baseline")
+    check_cmd.add_argument("artifact", help="BENCH_N.json from `emit`")
+    check_cmd.add_argument("--baseline", default=DEFAULT_BASELINE)
+    check_cmd.set_defaults(func=check)
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,12 @@ RULES = {
         "per-thread shared arrays (sized by kMaxThreads) in src/ headers "
         "must wrap elements in util::CachePadded<> to prevent false sharing"
     ),
+    "padded-metric-slots": (
+        "shared metric-slot arrays (static atomics sized by kMaxMetrics) "
+        "must sit behind util::CachePadded<> blocks: a flat static array "
+        "makes every thread's counter bumps false-share with its "
+        "neighbours, which the always-on metrics plane cannot afford"
+    ),
 }
 
 # Files allowed to define/reference the compile-time hook gates directly:
@@ -115,6 +121,8 @@ SPIN_PARK_TOKENS = re.compile(
 USING_NAMESPACE_RE = re.compile(r"(?<![\w_])using\s+namespace\b")
 
 KMAX_ARRAY_RE = re.compile(r"\[\s*(?:util::)?kMaxThreads\s*\]")
+
+KMAX_METRICS_ARRAY_RE = re.compile(r"\[\s*(?:\w+::)*kMaxMetrics\s*\]")
 
 
 @dataclass
@@ -282,6 +290,7 @@ class Linter:
             self._check_pragma_once(rel, raw_lines, add)
             self._check_using_namespace(rel, lines, add)
             self._check_padded_array(rel, code, line_starts, add)
+            self._check_padded_metric_slots(rel, code, line_starts, add)
 
         # Apply allow-pragmas: same line or the line directly above.
         def allowed(f: Finding) -> bool:
@@ -436,6 +445,32 @@ class Linter:
                 "per-thread array sized by kMaxThreads without "
                 "util::CachePadded elements: neighbouring threads' slots "
                 "share a cache line (paper §3.1 assumes they do not)",
+            )
+
+    def _check_padded_metric_slots(self, rel, code, line_starts, add):
+        if not rel.startswith("src/"):
+            return
+        for m in KMAX_METRICS_ARRAY_RE.finditer(code):
+            stmt_start = code.rfind(";", 0, m.start())
+            stmt_start = max(stmt_start, code.rfind("{", 0, m.start()),
+                             code.rfind("}", 0, m.start())) + 1
+            stmt = code[stmt_start:m.end()]
+            # Only *shared* slot storage is a finding: a static array of
+            # raw atomics. Non-static members (the per-thread cell block
+            # that lives inside a CachePadded<> wrapper, as in
+            # util::MetricsRegistry::Slots), CachePadded declarations,
+            # and constexpr tables are all fine.
+            if "static" not in stmt or "atomic" not in stmt:
+                continue
+            if "CachePadded" in stmt or "constexpr" in stmt:
+                continue
+            add(
+                line_of(m.start(), line_starts),
+                "padded-metric-slots",
+                "static metric-slot array of raw atomics: every thread's "
+                "counter bumps false-share with its neighbours; keep the "
+                "slots inside per-thread util::CachePadded<> blocks "
+                "(util::MetricsRegistry is the reference layout)",
             )
 
 

@@ -5,8 +5,14 @@ Usage:
     python3 tools/summarize_bench.py bench_output.txt [--figure fig2]
                                      [--causes]
 
-Reads the CSV rows emitted by the bench binaries. Layouts are detected
-by column count:
+Reads the CSV rows emitted by the bench binaries. The layout is
+*header-driven*: every bench prints a `# columns: name1,name2,...` line
+(src/harness/report.cpp), and data rows whose column count matches a
+seen header are decoded by those names — new columns appended by a
+future schema load without touching this tool.
+
+For headerless input (older captures, hand-made fixtures) the layout
+falls back to detection by column count:
 
   legacy (6 cols):  figure,panel,series,threads,mops,cv_pct
   telemetry (15):   figure,panel,series,threads,mops,cv_pct,commits,
@@ -15,13 +21,16 @@ by column count:
   observability (20): the 15 telemetry columns plus commit_p50_ns,
                     commit_p95_ns,commit_p99_ns,commit_max_ns,live_peak
   kv (24):          the 20 observability columns plus kv_hits,kv_misses,
-                    kv_migrations,kv_resizes (bench/kv_ycsb emits these;
-                    see src/harness/report.hpp emit_kv_row)
+                    kv_migrations,kv_resizes (see report.hpp emit_kv_row)
   fusion (17/22/26): the same three telemetry layouts after window
                     fusion (PR 6) widened the cause block with
                     fusion_fallbacks and appended fused_windows after
                     res_lost; the two column-count families are
                     disjoint, so both generations of output load.
+
+(The attribution-era 24/28-column layouts emitted since PR 7 always
+carry their header, so the 24-column collision with the pre-fusion kv
+layout never bites in practice.)
 
 `timeline,...` rows (the reclamation-footprint samples) are skipped
 here; tools/trace_report.py renders those, along with the latency
@@ -60,11 +69,75 @@ KV_FIELDS = [
 ]
 
 
+def parse_header_line(line, headers):
+    """Records a `# columns: a,b,c` header, keyed by column count (the
+    only property a data row exposes). A later header with the same
+    count — e.g. a second bench appended to the same capture — wins."""
+    names = [n.strip() for n in line.split(":", 1)[1].split(",") if n.strip()]
+    if len(names) >= 6:
+        headers[len(names)] = names
+
+
+def header_counters(parts, headers):
+    """Decode the telemetry tail of a row by the matching header's
+    column names; None when no header with this width was seen."""
+    names = headers.get(len(parts))
+    if names is None:
+        return None
+    counters = {}
+    for name, value in zip(names[6:], parts[6:]):
+        try:
+            counters[name] = int(value)
+        except ValueError:
+            pass  # non-integer telemetry cell: keep the rest
+    return counters or None
+
+
+def fallback_counters(parts):
+    """Count-based decoding for headerless rows (pre-PR-7 captures)."""
+    # The fusion-era column counts {17, 22, 26} are disjoint
+    # from the pre-fusion {15, 20, 24}, so the count picks the
+    # cause-block width unambiguously.
+    cause_fields = (CAUSE_FIELDS_V2 if len(parts) in (17, 22, 26)
+                    else CAUSE_FIELDS)
+    counters = None
+    if len(parts) >= 6 + len(cause_fields):
+        try:
+            values = [int(v) for v in parts[6:6 + len(cause_fields)]]
+            counters = dict(zip(cause_fields, values))
+        except ValueError:
+            pass  # malformed telemetry: keep the throughput columns
+    if counters is not None and \
+            len(parts) >= 6 + len(cause_fields) + len(OBSERVABILITY_FIELDS):
+        start = 6 + len(cause_fields)
+        try:
+            values = [int(v) for v in
+                      parts[start:start + len(OBSERVABILITY_FIELDS)]]
+            counters.update(zip(OBSERVABILITY_FIELDS, values))
+        except ValueError:
+            pass  # malformed observability tail: keep the rest
+    if counters is not None and \
+            len(parts) >= 6 + len(cause_fields) + \
+            len(OBSERVABILITY_FIELDS) + len(KV_FIELDS):
+        start = 6 + len(cause_fields) + len(OBSERVABILITY_FIELDS)
+        try:
+            values = [int(v) for v in
+                      parts[start:start + len(KV_FIELDS)]]
+            counters.update(zip(KV_FIELDS, values))
+        except ValueError:
+            pass  # malformed kv tail: keep the rest
+    return counters
+
+
 def load(path):
     rows = []
+    headers = {}
     with open(path) as handle:
         for line in handle:
             line = line.strip()
+            if line.startswith("# columns:"):
+                parse_header_line(line, headers)
+                continue
             if not line or line.startswith("#") or line.startswith("====="):
                 continue
             parts = line.split(",")
@@ -76,37 +149,9 @@ def load(path):
                 mops = float(mops)
             except ValueError:
                 continue
-            # The fusion-era column counts {17, 22, 26} are disjoint
-            # from the pre-fusion {15, 20, 24}, so the count picks the
-            # cause-block width unambiguously.
-            cause_fields = (CAUSE_FIELDS_V2 if len(parts) in (17, 22, 26)
-                            else CAUSE_FIELDS)
-            counters = None
-            if len(parts) >= 6 + len(cause_fields):
-                try:
-                    values = [int(v) for v in parts[6:6 + len(cause_fields)]]
-                    counters = dict(zip(cause_fields, values))
-                except ValueError:
-                    pass  # malformed telemetry: keep the throughput columns
-            if counters is not None and \
-                    len(parts) >= 6 + len(cause_fields) + len(OBSERVABILITY_FIELDS):
-                start = 6 + len(cause_fields)
-                try:
-                    values = [int(v) for v in
-                              parts[start:start + len(OBSERVABILITY_FIELDS)]]
-                    counters.update(zip(OBSERVABILITY_FIELDS, values))
-                except ValueError:
-                    pass  # malformed observability tail: keep the rest
-            if counters is not None and \
-                    len(parts) >= 6 + len(cause_fields) + \
-                    len(OBSERVABILITY_FIELDS) + len(KV_FIELDS):
-                start = 6 + len(cause_fields) + len(OBSERVABILITY_FIELDS)
-                try:
-                    values = [int(v) for v in
-                              parts[start:start + len(KV_FIELDS)]]
-                    counters.update(zip(KV_FIELDS, values))
-                except ValueError:
-                    pass  # malformed kv tail: keep the rest
+            counters = header_counters(parts, headers)
+            if counters is None:
+                counters = fallback_counters(parts)
             rows.append((figure, panel, series, threads, mops, counters))
     return rows
 
@@ -173,6 +218,11 @@ def emit_cause_table(figure, panel, series_list, threads, counter_cells):
     if any("fused_windows" in c for _, c in have):
         causes += [("fusion_fallbacks", "fusion_fb"),
                    ("fused_windows", "fused_win")]
+    # Causal-attribution columns (PR 7 layouts): losses / aborts whose
+    # aborter thread is known.
+    if any("res_lost_attr" in c for _, c in have):
+        causes += [("res_lost_attr", "lost_attr"),
+                   ("aborts_attr", "aborts_attr")]
     show_peak = any("live_peak" in c for _, c in have)
     header = ("series".ljust(14) + f"{'aborts/1k':>11}" +
               "".join(f"{label:>12}" for _, label in causes) +

@@ -11,10 +11,11 @@ Reads the same CSV the bench binaries print and renders:
 
   * one commit-latency table per figure/panel (p50/p95/p99/max in
     microseconds, per series and thread count) from the observability
-    columns (commit_p50_ns..commit_max_ns, present since the 20-column
-    schema; the fusion-era 22/26-column layouts shift them right by the
-    fusion_fallbacks and fused_windows columns; all-zero unless the
-    bench was built with HOHTM_TRACE=ON);
+    columns. The latency block is located by name from the bench's
+    `# columns:` header line, so appended columns never shift it; for
+    headerless captures the column count falls back to the historical
+    layouts (20/24 pre-fusion, 22/26 fusion-era). All-zero unless the
+    bench was built with HOHTM_TRACE=ON;
 
   * one footprint chart per figure/panel from the `timeline,...` rows
     (emitted under HOH_BENCH_FOOTPRINT_MS, or always by the
@@ -47,9 +48,16 @@ def load(path):
     """
     latency_rows = []
     timelines = collections.defaultdict(lambda: collections.defaultdict(list))
+    headers = {}  # column count -> column names, from `# columns:` lines
     with open(path) as handle:
         for line in handle:
             line = line.strip()
+            if line.startswith("# columns:"):
+                names = [n.strip() for n in line.split(":", 1)[1].split(",")
+                         if n.strip()]
+                if len(names) >= 6:
+                    headers[len(names)] = names
+                continue
             if not line or line.startswith("#"):
                 continue
             parts = line.split(",")
@@ -61,14 +69,23 @@ def load(path):
                 except ValueError:
                     continue
                 continue
-            # Layout by column count: the fusion-era 22/26-column rows
-            # carry two extra telemetry columns ahead of the latency
-            # block (see summarize_bench.py CAUSE_FIELDS_V2).
-            if len(parts) in (22, 26):
-                lat_start = 17
+            # Locate the latency block by name when the capture carried a
+            # header for this width; otherwise fall back to the
+            # historical count-based layouts (the fusion-era 22/26-column
+            # rows carry two extra telemetry columns ahead of it; see
+            # summarize_bench.py CAUSE_FIELDS_V2).
+            names = headers.get(len(parts))
+            if names is not None and LATENCY_COLS[0] in names:
+                lat_start = names.index(LATENCY_COLS[0])
+                peak_at = (names.index("live_peak")
+                           if "live_peak" in names else lat_start + 4)
+            elif len(parts) in (22, 26):
+                lat_start, peak_at = 17, 21
             elif len(parts) in (20, 24):
-                lat_start = 15
+                lat_start, peak_at = 15, 19
             else:
+                continue
+            if len(parts) <= max(lat_start + 3, peak_at):
                 continue
             figure, panel, series, threads = parts[:4]
             try:
@@ -76,7 +93,7 @@ def load(path):
                 values = dict(zip(LATENCY_COLS,
                                   (int(v) for v in
                                    parts[lat_start:lat_start + 4])))
-                live_peak = int(parts[lat_start + 4])
+                live_peak = int(parts[peak_at])
             except ValueError:
                 continue
             values["live_peak"] = live_peak
