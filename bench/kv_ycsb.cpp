@@ -1,11 +1,14 @@
-// KV extension — the sharded transactional store under the four core
-// YCSB mixes (A 50/50, B 95/5, C read-only, D read-latest/insert), one
-// panel per mix, with the single-transaction baseline (RrNull, unbounded
-// window) against representative reservation algorithms.
+// KV extension — the sharded transactional store under the five YCSB
+// mixes (A 50/50, B 95/5, C read-only, D read-latest/insert, E
+// scan/insert), one panel per mix, with the single-transaction baseline
+// (RrNull, unbounded window) against representative reservation
+// algorithms. --workload=X restricts the run to one mix.
 //
-// Rows use the 26-column KV layout (emit_kv_row): the standard cell
-// columns plus kv_hits,kv_misses,kv_migrations,kv_resizes, so the
-// resize traffic the D mix generates is attributable per series.
+// Rows use the 31-column KV layout (emit_kv_row): the standard cell
+// columns plus kv_hits,kv_misses,kv_migrations,kv_resizes and the scan
+// triple kv_scans,kv_scan_windows,kv_scan_resumes, so the resize
+// traffic the D mix generates and the cursor handovers the E mix
+// exercises are attributable per series.
 //
 // Doubles as the check.sh smoke stage: --smoke runs a single 1-thread
 // YCSB-C cell and exits nonzero unless throughput is positive and every
@@ -13,13 +16,20 @@
 // after the store dies) — the precise-reclamation end-to-end check —
 // then re-runs the cell unfused vs fused (Options::fusion_cap) and
 // requires fusion to measurably cut commits per op without recording a
-// single extra abort.
+// single extra abort. --workload=E --smoke runs the range-scan smoke
+// instead: every scan result must be sorted and duplicate-free in
+// canonical (hash, key) order, and kv_scan_resumes must be nonzero
+// under a resize forced mid-scan (docs/KV.md, "Range scans").
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "kv/contention.hpp"
@@ -46,6 +56,13 @@ std::unique_ptr<kv::Store<TM, RR>> make_store(int window,
   return std::make_unique<kv::Store<TM, RR>>(opt);
 }
 
+hohtm::harness::KvRowExtra extra(const KvCellResult& cell) {
+  return hohtm::harness::KvRowExtra{cell.hits,       cell.misses,
+                                    cell.migrations, cell.resizes,
+                                    cell.scans,      cell.scan_windows,
+                                    cell.scan_resumes};
+}
+
 template <class RR>
 void series(const std::string& panel, const char* name,
             KvWorkloadConfig config, const BenchEnv& env, int window,
@@ -57,10 +74,8 @@ void series(const std::string& panel, const char* name,
     config.footprint_ms = env.footprint_ms;
     const KvCellResult cell = hohtm::kv::run_kv_cell(
         config, [&] { return make_store<RR>(window, fusion_cap); });
-    hohtm::harness::emit_kv_row(
-        "kv", panel, name, threads, cell.base,
-        hohtm::harness::KvRowExtra{cell.hits, cell.misses, cell.migrations,
-                                   cell.resizes});
+    hohtm::harness::emit_kv_row("kv", panel, name, threads, cell.base,
+                                extra(cell));
   }
 }
 
@@ -107,16 +122,12 @@ int run_fusion_smoke() {
   };
   const KvCellResult unfused = hohtm::kv::run_kv_cell(
       config, [&] { return frozen_store(0); });
-  hohtm::harness::emit_kv_row(
-      "kv", "fusion-smoke", "RR-V", 1, unfused.base,
-      hohtm::harness::KvRowExtra{unfused.hits, unfused.misses,
-                                 unfused.migrations, unfused.resizes});
+  hohtm::harness::emit_kv_row("kv", "fusion-smoke", "RR-V", 1,
+                              unfused.base, extra(unfused));
   const KvCellResult fused = hohtm::kv::run_kv_cell(
       config, [&] { return frozen_store(16); });
-  hohtm::harness::emit_kv_row(
-      "kv", "fusion-smoke", "RR-V+fuse", 1, fused.base,
-      hohtm::harness::KvRowExtra{fused.hits, fused.misses, fused.migrations,
-                                 fused.resizes});
+  hohtm::harness::emit_kv_row("kv", "fusion-smoke", "RR-V+fuse", 1,
+                              fused.base, extra(fused));
   const auto& uc = unfused.base.counters;
   const auto& fc = fused.base.counters;
   if (fc.commits >= uc.commits) {
@@ -175,10 +186,8 @@ int run_attribution_smoke() {
     return std::make_unique<kv::Store<TM, rr::RrV<TM>>>(opt);
   };
   const KvCellResult cell = hohtm::kv::run_kv_cell(config, contended_store);
-  hohtm::harness::emit_kv_row(
-      "kv", "attr-smoke", "RR-V", config.threads, cell.base,
-      hohtm::harness::KvRowExtra{cell.hits, cell.misses, cell.migrations,
-                                 cell.resizes});
+  hohtm::harness::emit_kv_row("kv", "attr-smoke", "RR-V", config.threads,
+                              cell.base, extra(cell));
   const auto& c = cell.base.counters;
   const unsigned long long losses = c.reservation_losses;
   const unsigned long long attributed = c.attributed_losses();
@@ -267,10 +276,8 @@ int run_smoke() {
   hohtm::harness::emit_kv_header("kv", "smoke: 1-thread YCSB-C, RR-V");
   const KvCellResult cell = hohtm::kv::run_kv_cell(
       config, [&] { return make_store<rr::RrV<TM>>(16); });
-  hohtm::harness::emit_kv_row(
-      "kv", "smoke", "RR-V", 1, cell.base,
-      hohtm::harness::KvRowExtra{cell.hits, cell.misses, cell.migrations,
-                                 cell.resizes});
+  hohtm::harness::emit_kv_row("kv", "smoke", "RR-V", 1, cell.base,
+                              extra(cell));
   const long long leaked = hohtm::reclaim::Gauge::live() - baseline;
   if (cell.base.mops.mean <= 0.0) {
     std::fprintf(stderr, "kv smoke: zero throughput\n");
@@ -293,14 +300,200 @@ int run_smoke() {
   return run_watchdog_smoke();
 }
 
+/// Canonical scan order: (hash_bytes(key), key), the total order every
+/// scan result must be strictly ascending in (docs/KV.md, "Range
+/// scans").
+bool canon_less(const std::string& a, const std::string& b) {
+  const std::uint64_t ha = kv::detail::hash_bytes(a);
+  const std::uint64_t hb = kv::detail::hash_bytes(b);
+  if (ha != hb) return ha < hb;
+  return a < b;
+}
+
+/// Range-scan smoke (--workload=E --smoke, PR 8 acceptance). All
+/// single-threaded and deterministic:
+///  1. a bounded scan_from at a mid-canonical-order key must return
+///     exactly the expected slice of the prefill, in order;
+///  2. a whole-store scan whose visitor re-enters the store mid-scan
+///     with a 512-key insert burst — forcing table grows underneath the
+///     parked cursor — must stay strictly sorted and duplicate-free,
+///     must still deliver every prefill key, must observe no phantoms,
+///     and must record kv_scan_resumes > 0 (the reseeks really ran);
+///  3. the store must tear down with zero leaked objects;
+///  4. a YCSB-E cell through the harness must emit a CSV row whose scan
+///     columns are live (kv_scans > 0, windows >= scans).
+int run_scan_smoke() {
+  using ScanStore = kv::Store<TM, rr::RrV<TM>>;
+  hohtm::harness::emit_kv_header("kv", "smoke: YCSB-E range scans, RR-V");
+  const long long baseline = hohtm::reclaim::Gauge::live();
+  {
+    ScanStore::Options opt;
+    opt.window = 4;  // small windows: many handovers per bucket
+    ScanStore store(opt);
+    const std::size_t kPrefill = 256;
+    std::vector<std::string> prefill;
+    prefill.reserve(kPrefill);
+    for (std::size_t r = 0; r < kPrefill; ++r) {
+      prefill.push_back(kv::make_key(r));
+      store.put(prefill.back(), kv::make_value(r, 0));
+    }
+    store.finish_migration();
+    std::sort(prefill.begin(), prefill.end(), canon_less);
+
+    // 1. Bounded scan_from: exactly the canonical slice.
+    const std::size_t at = kPrefill / 2;
+    const std::size_t want = 10;
+    std::vector<std::string> slice;
+    store.scan_from(prefill[at], want,
+                    [&](const std::string& k, const std::string&) {
+                      slice.push_back(k);
+                    });
+    if (slice.size() != want ||
+        !std::equal(slice.begin(), slice.end(), prefill.begin() + at)) {
+      std::fprintf(stderr,
+                   "kv scan smoke: scan_from returned %zu keys, not the "
+                   "expected canonical slice\n",
+                   slice.size());
+      return 1;
+    }
+
+    // 2. Full scan with a re-entrant visitor that grows the table
+    //    mid-scan: the cursor handover must absorb both the visitor's
+    //    reservation reuse and the resize.
+    const std::uint64_t swaps_before = store.tables_swapped();
+    const std::uint64_t resumes_before = store.scan_resumes();
+    std::vector<std::string> seen;
+    std::set<std::string> burst;
+    store.scan(std::numeric_limits<std::size_t>::max(),
+               [&](const std::string& k, const std::string&) {
+                 seen.push_back(k);
+                 if (seen.size() == 64 && burst.empty())
+                   for (std::uint64_t r = 0; r < 512; ++r) {
+                     const std::uint64_t rank = 100000 + r;
+                     burst.insert(kv::make_key(rank));
+                     store.put(kv::make_key(rank), kv::make_value(rank, 0));
+                   }
+               });
+    for (std::size_t i = 1; i < seen.size(); ++i)
+      if (!canon_less(seen[i - 1], seen[i])) {
+        std::fprintf(stderr,
+                     "kv scan smoke: result out of canonical order (or "
+                     "duplicated) at index %zu\n",
+                     i);
+        return 1;
+      }
+    std::set<std::string> seen_set(seen.begin(), seen.end());
+    for (const std::string& k : prefill)
+      if (seen_set.count(k) == 0) {
+        std::fprintf(stderr,
+                     "kv scan smoke: prefill key missing from full scan\n");
+        return 1;
+      }
+    for (const std::string& k : seen)
+      if (burst.count(k) == 0 &&
+          !std::binary_search(prefill.begin(), prefill.end(), k,
+                              canon_less)) {
+        std::fprintf(stderr, "kv scan smoke: phantom key in scan result\n");
+        return 1;
+      }
+    if (store.tables_swapped() == swaps_before) {
+      std::fprintf(stderr,
+                   "kv scan smoke: the insert burst forced no resize — the "
+                   "scenario lost its adversary\n");
+      return 1;
+    }
+    if (store.scan_resumes() == resumes_before) {
+      std::fprintf(stderr,
+                   "kv scan smoke: no cursor resume recorded under forced "
+                   "resize\n");
+      return 1;
+    }
+    std::printf(
+        "# kv scan smoke ok: %zu keys in canonical order, %llu resumes, "
+        "%llu tables swapped mid-scan\n",
+        seen.size(),
+        static_cast<unsigned long long>(store.scan_resumes() -
+                                        resumes_before),
+        static_cast<unsigned long long>(store.tables_swapped() -
+                                        swaps_before));
+  }
+  const long long leaked = hohtm::reclaim::Gauge::live() - baseline;
+  if (leaked != 0) {
+    std::fprintf(stderr,
+                 "kv scan smoke: %lld objects leaked past store teardown\n",
+                 leaked);
+    return 1;
+  }
+
+  // 4. One YCSB-E cell through the harness, so the CSV pipeline carries
+  //    live scan columns end to end.
+  KvWorkloadConfig config;
+  config.mix = Mix::kE;
+  config.records = 512;
+  config.threads = 1;
+  config.ops_per_thread = 500;
+  config.trials = 1;
+  config.max_scan_len = 32;
+  const KvCellResult cell = hohtm::kv::run_kv_cell(
+      config, [&] { return make_store<rr::RrV<TM>>(8); });
+  hohtm::harness::emit_kv_row("kv", "scan-smoke", "RR-V", 1, cell.base,
+                              extra(cell));
+  if (cell.scans == 0 || cell.scan_windows < cell.scans) {
+    std::fprintf(stderr,
+                 "kv scan smoke: E cell scan counters dead (scans=%llu "
+                 "windows=%llu)\n",
+                 static_cast<unsigned long long>(cell.scans),
+                 static_cast<unsigned long long>(cell.scan_windows));
+    return 1;
+  }
+  std::printf("# kv scan smoke ok: E cell ran %llu scans over %llu windows "
+              "(%llu resumes)\n",
+              static_cast<unsigned long long>(cell.scans),
+              static_cast<unsigned long long>(cell.scan_windows),
+              static_cast<unsigned long long>(cell.scan_resumes));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+  bool smoke = false;
+  bool have_mix = false;
+  Mix only_mix = Mix::kA;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--workload=", 11) == 0 &&
+               argv[i][11] != '\0' && argv[i][12] == '\0') {
+      switch (argv[i][11]) {
+        case 'A': only_mix = Mix::kA; break;
+        case 'B': only_mix = Mix::kB; break;
+        case 'C': only_mix = Mix::kC; break;
+        case 'D': only_mix = Mix::kD; break;
+        case 'E': only_mix = Mix::kE; break;
+        default:
+          std::fprintf(stderr, "unknown workload: %s (want A..E)\n", argv[i]);
+          return 2;
+      }
+      have_mix = true;
+    } else {
+      std::fprintf(stderr, "usage: kv_ycsb [--workload=A..E] [--smoke]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    if (have_mix && only_mix == Mix::kE) return run_scan_smoke();
+    return run_smoke();
+  }
   const BenchEnv env = BenchEnv::from_environment();
   hohtm::harness::emit_kv_header(
       "kv", "sharded KV store: 2048 records, zipfian(0.99); panels = YCSB "
-            "A/B/C/D mixes");
-  for (Mix mix : {Mix::kA, Mix::kB, Mix::kC, Mix::kD}) run_panel(env, mix);
+            "A/B/C/D/E mixes");
+  if (have_mix) {
+    run_panel(env, only_mix);
+    return 0;
+  }
+  for (Mix mix : {Mix::kA, Mix::kB, Mix::kC, Mix::kD, Mix::kE})
+    run_panel(env, mix);
   return 0;
 }

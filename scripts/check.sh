@@ -196,7 +196,7 @@ echo "== kv smoke (bench/kv_ycsb --smoke)"
 # binary self-asserts consistency, settled migration, and Gauge-precise
 # reclamation, then re-runs the cell unfused vs fused and requires
 # window fusion to cut commits per op with zero added aborts (PR 6),
-# printing 26-column rows. summarize_bench.py must render the kv
+# printing 31-column rows. summarize_bench.py must render the kv
 # workload table from them.
 KV_OUT="$BUILD_DIR/kv_smoke.txt"
 "./$BUILD_DIR/bench/kv_ycsb" --smoke > "$KV_OUT"
@@ -205,6 +205,19 @@ if ! grep -q "kv workload" <(python3 tools/summarize_bench.py "$KV_OUT"); then
   exit 1
 fi
 echo "-- kv_ycsb (smoke) ok"
+
+echo "== kv range-scan smoke (bench/kv_ycsb --workload=E --smoke)"
+# The multi-window range-scan path (docs/KV.md, "Range scans"): the
+# binary self-asserts canonical sorted duplicate-free scan results
+# against a model, nonzero cursor resumes under a resize forced
+# mid-scan, and Gauge-precise reclamation, then prints the YCSB E cell.
+SCAN_OUT="$BUILD_DIR/kv_scan_smoke.txt"
+"./$BUILD_DIR/bench/kv_ycsb" --workload=E --smoke > "$SCAN_OUT"
+if ! grep -q "kv workload" <(python3 tools/summarize_bench.py "$SCAN_OUT"); then
+  echo "FAIL: kv scan smoke produced no kv workload table" >&2
+  exit 1
+fi
+echo "-- kv_ycsb (E scan smoke) ok"
 
 echo "== trace build (observability smoke)"
 # Separate tree with the hot-path instrumentation compiled in

@@ -80,6 +80,33 @@ class WindowBoundary {
     return rr_.get(tx);
   }
 
+  /// Scan-cursor variant of park (docs/KV.md, "Range scans"): a range
+  /// scan hands its position across window transactions through the same
+  /// release + reserve pair, with its own sched point so the explorer
+  /// can interleave deleters and migrators at the boundary, and its own
+  /// mutant — kDropScanCursorHandover parks a raw cached pointer instead
+  /// of reserving, exactly the stale-resume bug the reservation prevents
+  /// (tests/sched/sched_scan_test.cpp).
+  template <class Tx>
+  void park_cursor(Tx& tx, rr::Ref cursor, rr::Ref& raw_cache) {
+    sched::point(sched::Op::kKvScanPark, cursor);
+    rr_.release(tx);
+    if (sched::mutate(sched::Mutation::kDropScanCursorHandover)) {
+      raw_cache = cursor;  // injected bug: nothing protects the cursor now
+      return;
+    }
+    raw_cache = nullptr;
+    rr_.reserve(tx, cursor);
+  }
+
+  template <class Tx>
+  rr::Ref resume_cursor(Tx& tx, rr::Ref raw_cache) {
+    if (sched::mutate(sched::Mutation::kDropScanCursorHandover) &&
+        raw_cache != nullptr)
+      return raw_cache;
+    return rr_.get(tx);
+  }
+
   /// A committed window found its parked position gone: a concurrent
   /// remover revoked (and freed) the node, and the traversal restarts
   /// from the head. Both counters feed contention_signal(). No-op for

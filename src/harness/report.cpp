@@ -88,7 +88,8 @@ void emit_kv_header(const std::string& figure,
       "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
       ",res_lost,fused_windows,commit_p50_ns,commit_p95_ns,commit_p99_ns"
       ",commit_max_ns,live_peak,res_lost_attr,aborts_attr"
-      ",kv_hits,kv_misses,kv_migrations,kv_resizes\n",
+      ",kv_hits,kv_misses,kv_migrations,kv_resizes"
+      ",kv_scans,kv_scan_windows,kv_scan_resumes\n",
       cause_columns().c_str());
   std::fflush(stdout);
 }
@@ -97,11 +98,14 @@ void emit_kv_row(const std::string& figure, const std::string& panel,
                  const std::string& series, int threads,
                  const CellResult& cell, const KvRowExtra& kv) {
   print_cell_columns(figure, panel, series, threads, cell);
-  std::printf(",%llu,%llu,%llu,%llu\n",
+  std::printf(",%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
               static_cast<unsigned long long>(kv.hits),
               static_cast<unsigned long long>(kv.misses),
               static_cast<unsigned long long>(kv.migrations),
-              static_cast<unsigned long long>(kv.resizes));
+              static_cast<unsigned long long>(kv.resizes),
+              static_cast<unsigned long long>(kv.scans),
+              static_cast<unsigned long long>(kv.scan_windows),
+              static_cast<unsigned long long>(kv.scan_resumes));
   for (const FootprintSample& s : cell.footprint)
     emit_timeline_row(figure, panel, series, threads, s.t_ms, s.live);
   std::fflush(stdout);

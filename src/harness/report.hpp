@@ -52,18 +52,24 @@ void emit_timeline_row(const std::string& figure, const std::string& panel,
                        long long live);
 
 /// KV telemetry appended to a cell row by the kv_ycsb bench (PR 5):
-/// read hits/misses, old-table buckets migrated, and tables installed.
+/// read hits/misses, old-table buckets migrated, tables installed, and
+/// the range-scan triple (ops, committed window transactions, cursor
+/// resumes — see docs/KV.md, "Range scans").
 struct KvRowExtra {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t migrations = 0;
   std::uint64_t resizes = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t scan_windows = 0;
+  std::uint64_t scan_resumes = 0;
 };
 
-/// 28-column variant of the bench CSV: the 24 emit_row columns plus
-/// kv_hits,kv_misses,kv_migrations,kv_resizes. summarize_bench.py and
-/// trace_report.py accept both layouts via the `# columns:` header
-/// (historical headerless widths keep decoding by column count).
+/// 31-column variant of the bench CSV: the 24 emit_row columns plus
+/// kv_hits,kv_misses,kv_migrations,kv_resizes,kv_scans,kv_scan_windows,
+/// kv_scan_resumes. summarize_bench.py and trace_report.py accept both
+/// layouts via the `# columns:` header (historical headerless widths
+/// keep decoding by column count).
 void emit_kv_header(const std::string& figure, const std::string& description);
 void emit_kv_row(const std::string& figure, const std::string& panel,
                  const std::string& series, int threads,

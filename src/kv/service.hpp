@@ -29,6 +29,10 @@ struct Completion {
   std::string value;        // get: the value on kOk
   std::size_t scan_count = 0;  // scan: entries visited
   bool created = false;        // put: true if newly inserted
+  /// scan with Request::collect: the visited (key, value) pairs in
+  /// canonical scan order. The worker fills this before signalling, so
+  /// the waiter owns it race-free once wait() returns.
+  std::vector<std::pair<std::string, std::string>> entries;
 
   void wait() noexcept {
     while (state.load(std::memory_order_acquire) == 0) state.wait(0);
@@ -44,18 +48,21 @@ struct Completion {
     value.clear();
     scan_count = 0;
     created = false;
+    entries.clear();
   }
 };
 
 /// One submitted operation. kScan visits up to scan_limit entries
-/// starting at `key`'s position and reports only the count (a serving
-/// layer would stream them; the count keeps the record bounded).
+/// starting at `key`'s position and reports the count; set `collect`
+/// to also copy the entries into the Completion (a streaming layer
+/// would chunk them — collect keeps the record bounded by scan_limit).
 struct Request {
   OpCode op = OpCode::kGet;
   std::string key;
   std::string value;
   std::size_t scan_limit = 0;
   Completion* done = nullptr;
+  bool collect = false;
 };
 
 /// Bounded MPMC submission ring (Vyukov per-cell sequence numbers), with
@@ -228,6 +235,20 @@ class Service {
     return done.rc;
   }
 
+  /// Entry-collecting scan: like scan(), but the visited (key, value)
+  /// pairs land in `entries_out` in canonical scan order. The count is
+  /// entries_out.size().
+  ResultCode scan(std::string start_key, std::size_t limit,
+                  std::vector<std::pair<std::string, std::string>>&
+                      entries_out) {
+    Completion done;
+    submit(Request{OpCode::kScan, std::move(start_key), {}, limit, &done,
+                   /*collect=*/true});
+    done.wait();
+    entries_out = std::move(done.entries);
+    return done.rc;
+  }
+
   /// Stop and join the workers. Idempotent; implied by the destructor.
   /// Every request submitted before stop() is served; anything a racing
   /// client queued behind the sentinels is answered kStopped so no
@@ -315,9 +336,19 @@ class Service {
         }
         case OpCode::kScan: {
           stats.scans.fetch_add(1, std::memory_order_relaxed);
-          const std::size_t n = store_.scan_from(
-              req.key, req.scan_limit,
-              [](const std::string&, const std::string&) {});
+          std::size_t n = 0;
+          if (req.collect && done != nullptr) {
+            done->entries.clear();
+            n = store_.scan_from(
+                req.key, req.scan_limit,
+                [done](const std::string& k, const std::string& v) {
+                  done->entries.emplace_back(k, v);
+                });
+          } else {
+            n = store_.scan_from(
+                req.key, req.scan_limit,
+                [](const std::string&, const std::string&) {});
+          }
           if (done != nullptr) {
             done->scan_count = n;
             done->signal(ResultCode::kOk);

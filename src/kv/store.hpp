@@ -130,6 +130,30 @@ rr::Ref resume_anchor(RR& rr, Tx& tx, rr::Ref raw_cache) {
   return ds::WindowBoundary<RR>(rr).resume_anchor(tx, raw_cache);
 }
 
+/// Scan-cursor handover (docs/KV.md, "Range scans"). At a scan's window
+/// boundary the last node the window *walked past* is parked in the
+/// reservation; the next window resumes mid-chain from it instead of
+/// reseeking the bucket. A concurrent delete of the cursor node revokes
+/// it, Get returns nil, and the scan reseeks from its remembered
+/// (hash, key) position — never from scratch.
+///
+/// The kDropScanCursorHandover mutant skips the reserve and resumes
+/// through a raw cached pointer: the stale-resume bug the reservation
+/// prevents. tests/sched/sched_scan_test.cpp proves the schedule
+/// explorer catches it.
+///
+/// Thin wrappers over ds::WindowBoundary, kept so sched scenarios can
+/// mirror the store's calls verbatim.
+template <class RR, class Tx>
+void park_scan_cursor(RR& rr, Tx& tx, rr::Ref cursor, rr::Ref& raw_cache) {
+  ds::WindowBoundary<RR>(rr).park_cursor(tx, cursor, raw_cache);
+}
+
+template <class RR, class Tx>
+rr::Ref resume_scan_cursor(RR& rr, Tx& tx, rr::Ref raw_cache) {
+  return ds::WindowBoundary<RR>(rr).resume_cursor(tx, raw_cache);
+}
+
 }  // namespace detail
 
 /// Sharded, incrementally resizable transactional hash map with
@@ -278,16 +302,23 @@ class Store {
     return removed;
   }
 
-  /// Visit up to `limit` entries in internal (shard, bucket, hash, key)
-  /// order, starting at `start_key`'s position; returns the visit count.
-  /// `fn(key, value)` runs outside any transaction, once per entry.
+  /// Visit up to `limit` entries in canonical (hash, key) order — a
+  /// deterministic total order over all keys, globally ascending across
+  /// shard and bucket boundaries — starting at `start_key`'s position
+  /// (inclusive when present). Returns the visit count. The traversal is
+  /// multi-window: each transaction walks at most `Options::window`
+  /// nodes and parks the boundary node as a *scan cursor* in the
+  /// reservation (detail::park_scan_cursor); on revocation the scan
+  /// reseeks from its remembered (hash, key) position, never from
+  /// scratch. `fn(key, value)` runs outside any transaction, once per
+  /// entry, and may re-enter the store (docs/KV.md, "Range scans").
   template <class F>
   std::size_t scan_from(std::string_view start_key, std::size_t limit,
                         F&& fn) {
     return scan_impl(false, start_key, limit, std::forward<F>(fn));
   }
 
-  /// Whole-store scan from the beginning of internal order.
+  /// Whole-store scan from the beginning of canonical order.
   template <class F>
   std::size_t scan(std::size_t limit, F&& fn) {
     return scan_impl(true, std::string_view{}, limit, std::forward<F>(fn));
@@ -404,6 +435,21 @@ class Store {
   }
   std::uint64_t tables_retired() const noexcept {
     return tables_retired_.load(std::memory_order_relaxed);
+  }
+
+  /// Scan telemetry: ops started, committed window transactions, and
+  /// cursor resumes (a parked cursor was lost — revoked, reused by a
+  /// visitor op, or invalidated by a grow — and the scan reseeked from
+  /// its remembered position). Resumes stay zero for RrNull, where no
+  /// reservation carries the cursor in the first place.
+  std::uint64_t scans() const noexcept {
+    return scans_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t scan_windows() const noexcept {
+    return scan_windows_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t scan_resumes() const noexcept {
+    return scan_resumes_.load(std::memory_order_relaxed);
   }
 
   static const char* reservation_name() noexcept { return RR::name(); }
@@ -750,55 +796,222 @@ class Store {
     util::trace_event(util::Ev::kKvOpDone, static_cast<std::uint64_t>(op));
   }
 
+  /// Outcome of one scan window transaction.
+  enum class ScanStep : std::uint8_t {
+    kHandover,   // window exhausted; cursor node parked in the reservation
+    kMigrate,    // an unmigrated old bucket blocks the walk; go migrate it
+    kLimit,      // the visit limit was reached
+    kShardDone,  // walked past the shard's last bucket
+  };
+
+  /// Smallest hash routed to bucket `b` of a `log2`-bucket table in
+  /// `shard` — the representative used to locate that bucket's parent in
+  /// the old table (and, with b == 0, a shard's first position).
+  std::uint64_t rep_hash(std::size_t shard, std::size_t b,
+                         std::uint64_t log2) const noexcept {
+    const std::size_t ls = opt_.log2_shards;
+    std::uint64_t h = 0;
+    if (ls > 0) h |= static_cast<std::uint64_t>(shard) << (64 - ls);
+    if (log2 > 0) h |= static_cast<std::uint64_t>(b) << (64 - ls - log2);
+    return h;
+  }
+
+  /// Multi-window range scan (docs/KV.md, "Range scans"). Because the
+  /// bucket index is the hash bits immediately below the shard bits,
+  /// shard-major -> bucket-major -> chain order is one globally
+  /// ascending (hash, key) order: the sorted-shard variant of ROADMAP
+  /// item 2, with no extra index to maintain. Each window transaction
+  /// emits at most `Options::window` entries (nodes skipped while
+  /// re-walking toward the cursor are grow-policy-bounded and free);
+  /// at the boundary the last emitted node is parked in the reservation
+  /// (detail::park_scan_cursor)
+  /// and the next window resumes mid-chain from it. A resume is honored
+  /// only if the reservation still holds the very node this scan parked,
+  /// the table generation is unchanged, and the node has not moved past
+  /// the cursor — anything else (revoked cursor, a visitor op that
+  /// reused the thread's reservation, a grow) reseeks from the
+  /// remembered (hash, key) cursor position, never from scratch.
   template <class F>
   std::size_t scan_impl(bool from_start, std::string_view start_key,
                         std::size_t limit, F&& fn) {
     util::trace_event(util::Ev::kKvOpStart,
                       static_cast<std::uint64_t>(OpCode::kScan));
-    if (limit == 0) return 0;
-    const std::uint64_t h =
-        from_start ? 0 : detail::hash_bytes(start_key);
-    const std::size_t first_shard = from_start ? 0 : shard_index(h);
+    scans_.fetch_add(1, std::memory_order_relaxed);
+    if (limit == 0) {
+      util::trace_event(util::Ev::kKvOpDone,
+                        static_cast<std::uint64_t>(OpCode::kScan));
+      return 0;
+    }
+    // The cursor: the last consumed (hash, key) position, exclusive once
+    // anything was emitted. It survives revocation — only the *parked
+    // node* is protected by the reservation; the position is plain data.
+    std::uint64_t chash = from_start ? 0 : detail::hash_bytes(start_key);
+    std::string ckey(from_start ? std::string_view{} : start_key);
+    bool cinclusive = true;
+    std::size_t shard = from_start ? 0 : shard_index(chash);
+    const auto past_cursor = [&](std::uint64_t h, std::string_view k) {
+      return cinclusive ? !detail::precedes(h, k, chash, ckey)
+                        : detail::precedes(chash, ckey, h, k);
+    };
     std::size_t visited = 0;
     std::vector<std::pair<std::string, std::string>> batch;
-    for (std::size_t s = first_shard; s < shard_count_ && visited < limit;
-         ++s) {
-      Shard& sh = shards_[s].value;
-      // Settle the shard first so one table holds every entry and the
-      // bucket walk is in hash order.
-      for (;;) {
-        const std::size_t buckets = TM::atomically([&](Tx& tx) -> std::size_t {
-          detail::Table* old = tx.read(sh.old);
-          return old == nullptr ? 0 : old->buckets();
-        });
-        if (buckets == 0) break;
-        for (std::size_t b = 0; b < buckets; ++b) {
-          MigrationCursor cursor;
-          while (!migrate_window(sh, Pick::kByIndex, b, cursor)) {
+    bool handed_over = false;
+    detail::Node* parked_raw = nullptr;  // what this scan's last park reserved
+    std::uint64_t parked_log2 = 0;
+    rr::Ref mutant_cache = nullptr;  // kDropScanCursorHandover mutant only
+    while (shard < shard_count_) {
+      Shard& sh = shards_[shard].value;
+      bool position_lost = false;
+      std::uint64_t need_hash = 0;
+      detail::Node* new_parked = nullptr;
+      std::uint64_t new_parked_log2 = 0;
+      const ScanStep step = TM::atomically([&](Tx& tx) -> ScanStep {
+        batch.clear();
+        position_lost = false;
+        reservation_.register_thread(tx);
+        detail::Table* old = tx.read(sh.old);
+        detail::Table* cur = tx.read(sh.cur);
+        std::size_t b = 0;
+        detail::Node** link = nullptr;
+        bool resumed = false;
+        if (handed_over) {
+          auto* parked = static_cast<detail::Node*>(const_cast<void*>(
+              detail::resume_scan_cursor(reservation_, tx, mutant_cache)));
+          // Honor the resume only if the reservation still holds exactly
+          // the node this scan parked (a visitor op on this thread may
+          // have reused the slot for its own boundary or a migration
+          // anchor), the table generation matches, and the node is still
+          // at-or-before the cursor (a node at the same address but past
+          // the cursor would skip entries).
+          if (parked != nullptr && parked == parked_raw &&
+              cur->log2 == parked_log2 && shard_index(parked->hash) == shard &&
+              !past_cursor(parked->hash, parked->key())) {
+            b = detail::bucket_index(parked->hash, cur->log2,
+                                     opt_.log2_shards);
+            link = &parked->next;
+            resumed = true;
+          } else {
+            position_lost = true;
           }
         }
+        if (!resumed) {
+          // Reseek from the cursor position's bucket, after making sure
+          // its old-table parent bucket is migrated (the chain walk must
+          // see every entry of the bucket in the current table).
+          if (old != nullptr &&
+              tx.read(old->slots()[detail::bucket_index(
+                  chash, old->log2, opt_.log2_shards)]) !=
+                  detail::moved_tag()) {
+            reservation_.release(tx);
+            need_hash = chash;
+            return ScanStep::kMigrate;
+          }
+          b = detail::bucket_index(chash, cur->log2, opt_.log2_shards);
+          link = &cur->slots()[b];
+        }
+        int used = 0;
+        for (;;) {
+          detail::Node* curr = tx.read(*link);
+          if (curr == nullptr) {
+            if (++b >= cur->buckets()) {
+              reservation_.release(tx);
+              return ScanStep::kShardDone;
+            }
+            if (old != nullptr) {
+              const std::uint64_t rep = rep_hash(shard, b, cur->log2);
+              if (tx.read(old->slots()[detail::bucket_index(
+                      rep, old->log2, opt_.log2_shards)]) !=
+                  detail::moved_tag()) {
+                reservation_.release(tx);
+                need_hash = rep;
+                return ScanStep::kMigrate;
+              }
+            }
+            link = &cur->slots()[b];
+            continue;
+          }
+          if (past_cursor(curr->hash, curr->key())) {
+            if (visited + batch.size() >= limit) {
+              reservation_.release(tx);
+              return ScanStep::kLimit;
+            }
+            batch.emplace_back(std::string(curr->key()),
+                               std::string(curr->value()));
+            // Only *emitted* entries consume window budget. Nodes
+            // skipped while re-walking toward the cursor (a reseek's
+            // chain prefix, bounded by the grow policy like every keyed
+            // op's traversal) must not: a window that spent its whole
+            // budget on skips would park without advancing the
+            // remembered position — with a nil-resuming reservation
+            // (RrNull, or sustained revocation) that is a livelock.
+            if (++used >= opt_.window) {
+              // Window boundary: park the last emitted node as cursor.
+              detail::park_scan_cursor(reservation_, tx, curr,
+                                       mutant_cache);
+              new_parked = curr;
+              new_parked_log2 = cur->log2;
+              return ScanStep::kHandover;
+            }
+          }
+          link = &curr->next;
+        }
+      });
+      scan_windows_.fetch_add(1, std::memory_order_relaxed);
+      util::trace_event(util::Ev::kKvScanWindow, batch.size());
+      if (position_lost) {
+        if constexpr (RR::kReal) {
+          // With a real reservation a lost cursor is contention (someone
+          // revoked it, or this thread's own visitor reused the slot);
+          // with RrNull nil is the steady state, not an event.
+          scan_resumes_.fetch_add(1, std::memory_order_relaxed);
+          util::trace_event(util::Ev::kKvScanResume);
+          ds::WindowBoundary<RR>::note_position_lost(parked_raw);
+          ContentionMap::note(static_cast<std::uint32_t>(shard),
+                              ContentionMap::cell_of(chash, opt_.log2_shards),
+                              ContentionMap::kPositionLostWeight);
+        }
+        handed_over = false;
+        parked_raw = nullptr;
       }
-      const std::size_t buckets = TM::atomically(
-          [&](Tx& tx) { return tx.read(sh.cur)->buckets(); });
-      for (std::size_t b = 0; b < buckets && visited < limit; ++b) {
-        TM::atomically([&](Tx& tx) {
-          batch.clear();
-          detail::Table* cur = tx.read(sh.cur);
-          if (cur->buckets() != buckets) return;  // resized: settle again
-          for (detail::Node* n = tx.read(cur->slots()[b]); n != nullptr;
-               n = tx.read(n->next)) {
-            if (!from_start && s == first_shard &&
-                detail::precedes(n->hash, n->key(), h, start_key))
-              continue;
-            if (visited + batch.size() >= limit) break;
-            batch.emplace_back(std::string(n->key()),
-                               std::string(n->value()));
+      // Deliver outside the transaction, then advance the cursor to the
+      // last emitted position; the visitor may re-enter the store (its
+      // ops reuse this thread's reservation — the resume check above
+      // keeps that safe).
+      for (const auto& entry : batch) {
+        fn(entry.first, entry.second);
+        ++visited;
+      }
+      if (!batch.empty()) {
+        ckey = batch.back().first;
+        chash = detail::hash_bytes(ckey);
+        cinclusive = false;
+      }
+      switch (step) {
+        case ScanStep::kHandover:
+          handed_over = true;
+          parked_raw = new_parked;
+          parked_log2 = new_parked_log2;
+          break;
+        case ScanStep::kMigrate: {
+          handed_over = false;
+          MigrationCursor cursor;
+          while (!migrate_window(sh, Pick::kByHash, need_hash, cursor)) {
           }
-        });
-        for (const auto& entry : batch) {
-          fn(entry.first, entry.second);
-          ++visited;
+          break;
         }
+        case ScanStep::kLimit:
+          util::trace_event(util::Ev::kKvOpDone,
+                            static_cast<std::uint64_t>(OpCode::kScan));
+          return visited;
+        case ScanStep::kShardDone:
+          handed_over = false;
+          ++shard;
+          if (shard < shard_count_) {
+            chash = rep_hash(shard, 0, 0);
+            ckey.clear();
+            cinclusive = true;
+          }
+          break;
       }
     }
     util::trace_event(util::Ev::kKvOpDone,
@@ -859,6 +1072,9 @@ class Store {
   std::atomic<std::uint64_t> migrated_buckets_{0};
   std::atomic<std::uint64_t> tables_swapped_{0};
   std::atomic<std::uint64_t> tables_retired_{0};
+  std::atomic<std::uint64_t> scans_{0};
+  std::atomic<std::uint64_t> scan_windows_{0};
+  std::atomic<std::uint64_t> scan_resumes_{0};
 };
 
 }  // namespace hohtm::kv

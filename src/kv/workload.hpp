@@ -16,15 +16,19 @@
 
 namespace hohtm::kv {
 
-/// The four core YCSB mixes (Cooper et al., SoCC '10), over Zipfian key
+/// The five YCSB mixes (Cooper et al., SoCC '10), over Zipfian key
 /// popularity:
 ///   A: 50% read / 50% update     (session store)
 ///   B: 95% read /  5% update     (photo tagging)
 ///   C: 100% read                 (profile cache)
 ///   D: 95% read-latest / 5% insert (status updates)
+///   E: 95% scan / 5% insert      (threaded conversations)
 /// Updates go through put (replace-node), so A/B exercise the precise
-/// node-swap reclamation; D grows the store, exercising migration.
-enum class Mix : std::uint8_t { kA = 0, kB, kC, kD };
+/// node-swap reclamation; D grows the store, exercising migration; E's
+/// range scans start at Zipfian-popular keys with uniform lengths up to
+/// `max_scan_len`, exercising the cursor handover against the resizes
+/// its inserts trigger.
+enum class Mix : std::uint8_t { kA = 0, kB, kC, kD, kE };
 
 inline const char* mix_name(Mix mix) noexcept {
   switch (mix) {
@@ -32,6 +36,7 @@ inline const char* mix_name(Mix mix) noexcept {
     case Mix::kB: return "ycsb-b";
     case Mix::kC: return "ycsb-c";
     case Mix::kD: return "ycsb-d";
+    case Mix::kE: return "ycsb-e";
   }
   return "?";
 }
@@ -49,6 +54,7 @@ struct KvWorkloadConfig {
   int trials = 1;
   std::uint64_t seed = 42;
   int footprint_ms = 0;  // live-object sampling cadence; 0 = off
+  std::size_t max_scan_len = 64;  // Mix E: uniform scan length in [1, max]
 };
 
 /// Key for popularity rank r: "user" + variable-length hex of the
@@ -85,10 +91,13 @@ inline std::string make_value(std::uint64_t rank, std::uint64_t version) {
 /// (columns kv_hits..kv_resizes; see harness::emit_kv_header).
 struct KvCellResult {
   harness::CellResult base;
-  std::uint64_t hits = 0;        // reads that found their key
-  std::uint64_t misses = 0;      // reads that did not
-  std::uint64_t migrations = 0;  // old-table buckets migrated
-  std::uint64_t resizes = 0;     // tables installed (grow events)
+  std::uint64_t hits = 0;          // reads that found their key
+  std::uint64_t misses = 0;        // reads that did not
+  std::uint64_t migrations = 0;    // old-table buckets migrated
+  std::uint64_t resizes = 0;       // tables installed (grow events)
+  std::uint64_t scans = 0;         // range-scan ops started (Mix E)
+  std::uint64_t scan_windows = 0;  // committed scan window transactions
+  std::uint64_t scan_resumes = 0;  // lost cursors reseeked mid-scan
 };
 
 /// KV mirror of harness::run_cell: per trial, build a fresh store via
@@ -110,6 +119,9 @@ KvCellResult run_kv_cell(const KvWorkloadConfig& config,
     store->finish_migration();  // settle prefill grows before timing
     const std::uint64_t migrate_baseline = store->migrated_buckets();
     const std::uint64_t resize_baseline = store->tables_swapped();
+    const std::uint64_t scan_baseline = store->scans();
+    const std::uint64_t scan_window_baseline = store->scan_windows();
+    const std::uint64_t scan_resume_baseline = store->scan_resumes();
     tm::Stats::reset();
     util::Metrics::reset();
 
@@ -138,8 +150,27 @@ KvCellResult run_kv_cell(const KvWorkloadConfig& config,
             case Mix::kB: do_read = dice < 95; break;
             case Mix::kC: do_read = true; break;
             case Mix::kD: do_read = dice < 95; break;
+            case Mix::kE: do_read = dice < 95; break;
           }
-          if (config.mix == Mix::kD) {
+          if (config.mix == Mix::kE) {
+            if (do_read) {
+              // Scan: Zipfian-popular start key, uniform length. The
+              // visitor is a no-op — the cell measures the traversal and
+              // its cursor handover, not the consumer.
+              const std::size_t len = 1 + static_cast<std::size_t>(
+                  rng.next_below(config.max_scan_len));
+              if (store->scan_from(make_key(zipf.next()), len,
+                                   [](const std::string&,
+                                      const std::string&) {}) > 0)
+                ++my_hits;
+              else
+                ++my_misses;
+            } else {
+              store->put(make_key(insert_base + inserted),
+                         make_value(insert_base + inserted, 0));
+              ++inserted;
+            }
+          } else if (config.mix == Mix::kD) {
             if (do_read) {
               // Read-latest: prefer this thread's most recent inserts,
               // Zipfian-skewed; fall back to the prefill while young.
@@ -222,6 +253,9 @@ KvCellResult run_kv_cell(const KvWorkloadConfig& config,
     cell.misses += misses.load(std::memory_order_relaxed);
     cell.migrations += store->migrated_buckets() - migrate_baseline;
     cell.resizes += store->tables_swapped() - resize_baseline;
+    cell.scans += store->scans() - scan_baseline;
+    cell.scan_windows += store->scan_windows() - scan_window_baseline;
+    cell.scan_resumes += store->scan_resumes() - scan_resume_baseline;
 
     const long long end_live = reclaim::Gauge::live() - live_baseline;
     if (end_live > cell.base.live_peak) cell.base.live_peak = end_live;

@@ -43,8 +43,9 @@ enum class Op : std::uint8_t {
   kBackoff,           // retry-loop backoff pause
   kUserMark,          // scenario-defined marker
   kKvMigrate,         // kv store: bucket-migration window boundary
+  kKvScanPark,        // kv store: scan-cursor window boundary
 };
-inline constexpr std::size_t kOpCount = 19;
+inline constexpr std::size_t kOpCount = 20;
 extern const char* const kOpNames[kOpCount];
 
 /// Bug-injection mutants used to validate the explorer itself: each one
@@ -61,6 +62,7 @@ enum class Mutation : unsigned {
   kDropMigrationReserve, // kv migration parks its anchor without reserving
   kFusionNeverFallback,  // fused traversal keeps speculating after an abort
   kDropAborterId,        // revokers/aborters omit their identity stamp
+  kDropScanCursorHandover, // kv scan parks its cursor without reserving
 };
 
 namespace detail {

@@ -12,7 +12,7 @@ const char* const kOpNames[kOpCount] = {
     "clock_adv",    "orec_read",    "orec_cas",     "orec_release",
     "load",         "store",        "q_publish",    "q_deactivate",
     "q_wait",       "rr_reserve",   "rr_get",       "rr_revoke",
-    "backoff",      "mark",         "kv_migrate"};
+    "backoff",      "mark",         "kv_migrate",   "kv_scan_park"};
 
 namespace {
 

@@ -52,14 +52,18 @@ enum class Ev : std::uint8_t {
   kFusionFallback, // a fused attempt aborted; op retreats to small windows
   kRrLossAttr,     // a reservation loss was attributed: arg packs
                    // aborter slot | site << 8 | known << 16
+  kKvScanWindow,   // arg: entries emitted by the committed scan window
+  kKvScanResume,   // a scan lost its parked cursor and reseeked from the
+                   // remembered (hash, key) position
 };
-inline constexpr std::size_t kEvCount = 22;
+inline constexpr std::size_t kEvCount = 24;
 inline constexpr const char* kEvNames[kEvCount] = {
     "tx_begin",      "tx_commit", "tx_abort", "tx_serial",    "rr_reserve",
     "rr_get",        "rr_revoke", "quiesce_enter", "quiesce_exit", "alloc",
     "free",          "retire",    "scan",     "epoch_advance",
     "kv_op_start",   "kv_op_done", "kv_migrate", "kv_table_swap",
-    "kv_table_free", "fused_window", "fusion_fallback", "rr_loss_attr"};
+    "kv_table_free", "fused_window", "fusion_fallback", "rr_loss_attr",
+    "kv_scan_window", "kv_scan_resume"};
 
 /// One compact trace record. 24 bytes; a thread's ring is a plain array
 /// of these, written only by its owner.

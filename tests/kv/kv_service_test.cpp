@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/rr.hpp"
@@ -121,6 +123,46 @@ TEST(KvService, StopIsIdempotentAndServesEverythingSubmitted) {
   svc->stop();          // idempotent
   svc.reset();          // destructor after stop: no double join
   EXPECT_EQ(store.size(), 10u);
+}
+
+TEST(KvService, CollectingScanReturnsEntriesInCanonicalOrder) {
+  Store store;
+  Service svc(store, 2, 3);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back("ce" + std::to_string(i));
+    svc.put(keys.back(), "v" + std::to_string(i), nullptr);
+  }
+  // The sorted mirror: the store's canonical (hash, key) order.
+  std::sort(keys.begin(), keys.end(), [](const std::string& a,
+                                         const std::string& b) {
+    return kv::detail::precedes(kv::detail::hash_bytes(a), a,
+                                kv::detail::hash_bytes(b), b);
+  });
+  // Scan from the canonical-first key (scan_from("") would start at
+  // the empty string's own hash position, not the beginning).
+  std::vector<std::pair<std::string, std::string>> entries;
+  EXPECT_EQ(svc.scan(keys[0], 1000, entries), kv::ResultCode::kOk);
+  ASSERT_EQ(entries.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(entries[i].first, keys[i]) << "position " << i;
+  }
+  // Ranged + bounded: starts at the requested key inclusive, stops at
+  // the limit, and the values ride along with their keys.
+  entries.clear();
+  EXPECT_EQ(svc.scan(keys[10], 5, entries), kv::ResultCode::kOk);
+  ASSERT_EQ(entries.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(entries[i].first, keys[10 + i]);
+    const std::string suffix = entries[i].first.substr(2);
+    EXPECT_EQ(entries[i].second, "v" + suffix);
+  }
+  // The count-only overload agrees with the collecting one, and both
+  // count as scans in the service stats.
+  std::size_t count = 0;
+  EXPECT_EQ(svc.scan(keys[10], 5, count), kv::ResultCode::kOk);
+  EXPECT_EQ(count, 5u);
+  EXPECT_EQ(svc.stats().scans, 3u);
 }
 
 TEST(KvService, LargeValuesRoundTripThroughTheRing) {

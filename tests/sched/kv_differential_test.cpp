@@ -9,11 +9,13 @@
 // with no concurrency every backend must be *functionally identical*, so
 // the diff is exact (concurrent semantics are covered by the kv tier-1
 // churn test and the schedule-exploration suite). Exercised per op:
-// put/get/del over a small hot key domain, bounded scans, periodic
-// full-dump set comparison, insert bursts that push shards through
-// incremental resize mid-script, and user exceptions (via the store's
-// fail hook) that must roll back the whole mutating attempt. The final
-// Gauge check proves the script's deletes and resizes freed precisely.
+// put/get/del over a small hot key domain, bounded head scans, ranged
+// scan_from ops diffed as exact canonical-order sequences against the
+// sorted reference, periodic full-dump set comparison, insert bursts
+// that push shards through incremental resize mid-script, and user
+// exceptions (via the store's fail hook) that must roll back the whole
+// mutating attempt. The final Gauge check proves the script's deletes
+// and resizes freed precisely.
 #include <algorithm>
 #include <cstdint>
 #include <map>
@@ -47,6 +49,19 @@ struct Trace {
   std::vector<long> results;
   std::vector<std::pair<std::string, std::string>> final_dump;
 };
+
+/// The store's canonical scan order: (hash, key) ascending — what
+/// scan_from emits, and the order the reference must be sorted into
+/// before slicing a range for comparison.
+bool canon_key_less(const std::string& a, const std::string& b) {
+  return hohtm::kv::detail::precedes(hohtm::kv::detail::hash_bytes(a), a,
+                                     hohtm::kv::detail::hash_bytes(b), b);
+}
+
+bool canon_entry_less(const std::pair<std::string, std::string>& a,
+                      const std::pair<std::string, std::string>& b) {
+  return canon_key_less(a.first, b.first);
+}
 
 // Out-parameter instead of a return value: the ASSERTs inside require a
 // void-returning function (gtest's fatal-failure contract).
@@ -98,7 +113,7 @@ void run_kv_script(std::uint64_t seed, Trace& t) {
         ASSERT_EQ(removed, ref.erase(key) == 1u)
             << TM::name() << " op " << op << " (seed " << seed << ")";
         result = removed ? 3 : -3;
-      } else if (dice < 82) {
+      } else if (dice < 78) {
         // Bounded scan from the table head: visits exactly
         // min(limit, occupancy) entries regardless of layout.
         const std::size_t limit = rng.next_below(32);
@@ -107,6 +122,33 @@ void run_kv_script(std::uint64_t seed, Trace& t) {
         ASSERT_EQ(count, std::min(limit, ref.size()))
             << TM::name() << " op " << op << " (seed " << seed << ")";
         result = static_cast<long>(count);
+      } else if (dice < 82) {
+        // Ranged scan from a (possibly absent) hot key: the emitted
+        // (key, value) sequence must equal the reference's
+        // canonical-order slice exactly — the snapshot-consistent
+        // prefix, sorted, no duplicates, no phantoms.
+        const std::size_t limit =
+            1 + static_cast<std::size_t>(rng.next_below(24));
+        std::vector<std::pair<std::string, std::string>> got;
+        const std::size_t count = store.scan_from(
+            key, limit, [&got](const std::string& k, const std::string& v) {
+              got.emplace_back(k, v);
+            });
+        std::vector<std::pair<std::string, std::string>> want(ref.begin(),
+                                                              ref.end());
+        std::sort(want.begin(), want.end(), canon_entry_less);
+        const auto from = std::find_if(
+            want.begin(), want.end(),
+            [&key](const std::pair<std::string, std::string>& e) {
+              return !canon_key_less(e.first, key);  // first not before key
+            });
+        want.erase(want.begin(), from);
+        if (want.size() > limit) want.resize(limit);
+        ASSERT_EQ(got, want)
+            << TM::name() << " op " << op << " (seed " << seed << ")";
+        ASSERT_EQ(count, got.size())
+            << TM::name() << " op " << op << " (seed " << seed << ")";
+        result = 6 + static_cast<long>(count);
       } else if (dice < 90) {
         // A user exception thrown from inside the mutating transaction:
         // the whole attempt (node allocation included) must vanish, and

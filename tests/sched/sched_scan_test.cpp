@@ -1,0 +1,362 @@
+// Schedule exploration of the range scan's cursor-carrying reservation
+// (docs/KV.md, "Range scans").
+//
+// Three scenarios:
+//
+//  1. The cursor-handover discipline in isolation (static state, exact
+//     mirror of the store's park_scan_cursor/resume_scan_cursor calls):
+//     a scanner ends a window by parking its cursor node in the
+//     reservation and resumes it in the next window's transaction,
+//     racing a deleter that revokes the cursor, waits on the quiescence
+//     fence, and "frees" it (stamps a tombstone, so a stale resume is
+//     an assertion instead of UB). The kDropScanCursorHandover mutant
+//     parks a raw cached pointer instead of reserving — exactly the bug
+//     the handover prevents — and the explorer must catch it within a
+//     bounded budget, with the failing schedule replaying
+//     byte-identically from its recorded choices.
+//
+//  2. The real Store mid-resize: a scan's windows (window = 1, so the
+//     cursor parks after every node, including mid-bucket) interleave
+//     with a migrator driving the old bucket over one node at a time.
+//     Every interleaving must deliver the exact canonical dump — no
+//     entry lost to the migration, none duplicated by the reseek.
+//
+//  3. The real Store vs a delete of a node the cursor may be parked on:
+//     the scan must stay sorted and dup-free, see every surviving key,
+//     and observe the deleted key at most once.
+//
+// Backend is TML throughout (address-independent conflict detection,
+// the determinism requirement of DFS prefix replay). Scenario 2 uses
+// RR-Null, which forces the reseek path on every single window
+// boundary; scenario 3 uses the real RR-V so the delete actually
+// revokes a *held* cursor (under RR-Null keyed ops also livelock
+// whenever a key sits deeper than the window in its chain — nil resume
+// restarts them from the head — so a no-resize single-bucket store
+// needs the real reservation anyway).
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rr_null.hpp"
+#include "core/rr_v.hpp"
+#include "kv/store.hpp"
+#include "sched/explore.hpp"
+#include "sched/schedpoint.hpp"
+#include "tm/config.hpp"
+#include "tm/tml.hpp"
+
+namespace {
+
+using hohtm::sched::ExploreResult;
+using hohtm::sched::Mutation;
+using hohtm::sched::Scenario;
+using hohtm::sched::describe;
+using hohtm::sched::depth_multiplier;
+using hohtm::sched::explore_dfs;
+using hohtm::sched::format_steps;
+using hohtm::sched::replay_choices;
+using hohtm::sched::set_mutation;
+using hohtm::tm::Tml;
+
+#define REQUIRE_SCHED_BUILD()                                       \
+  do {                                                              \
+    if constexpr (!hohtm::sched::kSchedBuild)                       \
+      GTEST_SKIP() << "needs -DHOHTM_SCHED=ON (scripts/check.sh "   \
+                      "--sched)";                                   \
+  } while (0)
+
+struct ScenarioGuard {
+  ScenarioGuard() { hohtm::tm::Config::set_serial_threshold(1000); }
+  ~ScenarioGuard() {
+    set_mutation(Mutation::kNone);
+    hohtm::tm::Config::set_serial_threshold(8);
+  }
+};
+
+bool canon_less(const std::string& a, const std::string& b) {
+  return hohtm::kv::detail::precedes(hohtm::kv::detail::hash_bytes(a), a,
+                                     hohtm::kv::detail::hash_bytes(b), b);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: cursor handover vs. concurrent delete, distilled.
+
+struct CursorNode {
+  long tombstone = 0;
+};
+
+struct CursorState {
+  using Node = CursorNode;
+  // Static storage: addresses are identical across schedules, so the
+  // recorded steps of a failing schedule compare byte-for-byte with its
+  // replay (same reasoning as sched_kv_test.cpp's anchor scenario).
+  static inline Node node;
+  static inline hohtm::rr::RrV<Tml> reservations{4};
+  static inline bool stale_resume;
+};
+
+Scenario cursor_scenario() {
+  using S = CursorState;
+  Scenario s;
+  s.setup = [] {
+    S::node.tombstone = 0;
+    S::stale_resume = false;
+  };
+  s.bodies = {
+      // Scanner: one window transaction ends by parking the scan cursor
+      // (release + reserve — or, under the mutant, a raw cached
+      // pointer); the next window's transaction resumes it and reads
+      // through it. A nil resume means the deleter won; a real scan
+      // reseeks from its remembered (hash, key) — here there is nothing
+      // left to walk, so the schedule just ends.
+      [] {
+        hohtm::rr::Ref raw_cache = nullptr;
+        Tml::atomically([&](auto& tx) {
+          S::reservations.register_thread(tx);
+          hohtm::kv::detail::park_scan_cursor(S::reservations, tx, &S::node,
+                                              raw_cache);
+        });
+        const long saw = Tml::atomically([&](auto& tx) -> long {
+          const hohtm::rr::Ref ref = hohtm::kv::detail::resume_scan_cursor(
+              S::reservations, tx, raw_cache);
+          if (ref == nullptr) return -1;
+          const long t = tx.read(S::node.tombstone);
+          S::reservations.release(tx);
+          return t;
+        });
+        if (saw == 1) S::stale_resume = true;
+      },
+      // Deleter: unlink-equivalent — revoke the node the cursor may be
+      // parked on, wait for every in-flight transaction, then "free" it.
+      [] {
+        Tml::atomically(
+            [](auto& tx) { S::reservations.revoke(tx, &S::node); });
+        Tml::quiesce_before_free();
+        hohtm::tm::atomic_store(S::node.tombstone, 1L);
+      },
+  };
+  s.check = [] {
+    return S::stale_resume
+               ? std::string("scan resumed a freed cursor node")
+               : std::string();
+  };
+  return s;
+}
+
+TEST(SchedScan, CursorHandoverProtectsScanResume) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const ExploreResult r =
+      explore_dfs(cursor_scenario(), 8000 * depth_multiplier(), 400);
+  EXPECT_FALSE(r.failed) << describe(r);
+}
+
+TEST(SchedScan, DropScanCursorHandoverMutantCaught) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const Scenario s = cursor_scenario();
+  set_mutation(Mutation::kDropScanCursorHandover);
+  const ExploreResult r = explore_dfs(s, 40000 * depth_multiplier(), 400);
+  ASSERT_TRUE(r.failed) << "mutant survived " << describe(r);
+  ASSERT_FALSE(r.failing_choices.empty());
+  const ExploreResult again = replay_choices(s, r.failing_choices, 400);
+  EXPECT_TRUE(again.failed) << describe(again);
+  EXPECT_EQ(format_steps(again.failing_steps), format_steps(r.failing_steps))
+      << "replay diverged";
+}
+
+// ---------------------------------------------------------------------------
+// Real-store scenarios. One shard, single-node windows (the cursor
+// parks after *every* walked node, including mid-bucket), no auto-help.
+
+using SchedStore = hohtm::kv::Store<Tml, hohtm::rr::RrNull<Tml>>;
+
+struct ScanState {
+  static inline std::optional<SchedStore> store;
+  static inline std::vector<std::string> inserted;
+  static inline std::vector<std::string> seen;
+};
+
+void reset_scan_state(int grow_chain, const char* prefix, int keys) {
+  ScanState::store.reset();
+  ScanState::store.emplace(SchedStore::Options{
+      /*log2_shards=*/0, /*log2_buckets=*/0, /*max_log2_buckets=*/4,
+      /*window=*/1, grow_chain, /*auto_migrate=*/false});
+  ScanState::inserted.clear();
+  ScanState::seen.clear();
+  for (int i = 0; i < keys; ++i) {
+    const std::string key = prefix + std::to_string(i);
+    ScanState::store->put(key, "v" + std::to_string(i));
+    ScanState::inserted.push_back(key);
+  }
+}
+
+// Shared between the real-store checks: the scan's output must be
+// strictly canonical-sorted (which also rules out duplicates) and
+// contain only inserted keys.
+std::string check_scan_shape() {
+  for (std::size_t i = 0; i + 1 < ScanState::seen.size(); ++i)
+    if (!canon_less(ScanState::seen[i], ScanState::seen[i + 1]))
+      return "scan output out of canonical order (or duplicated)";
+  for (const std::string& k : ScanState::seen) {
+    bool known = false;
+    for (const std::string& ins : ScanState::inserted)
+      if (ins == k) known = true;
+    if (!known) return "scan saw phantom key " + k;
+  }
+  return std::string();
+}
+
+// Scenario 2: scan parked mid-bucket vs. the resize migration.
+
+Scenario scan_vs_migration_scenario() {
+  Scenario s;
+  s.setup = [] {
+    // grow_chain = 1: the second key that collides into the one chain
+    // trips the grow, and auto_migrate = false leaves it pending, so
+    // the scan starts against a store genuinely mid-resize.
+    reset_scan_state(/*grow_chain=*/1, "s", /*keys=*/0);
+    SchedStore& st = *ScanState::store;
+    for (int i = 0; i < 8 && st.tables_swapped() == 0; ++i) {
+      const std::string key = "s" + std::to_string(i);
+      st.put(key, "v" + std::to_string(i));
+      ScanState::inserted.push_back(key);
+    }
+  };
+  s.bodies = {
+      // Scanner: full dump. Its own windows migrate the buckets they
+      // need before walking them, racing the migrator's windows.
+      [] {
+        ScanState::store->scan(
+            ScanState::inserted.size() + 4,
+            [](const std::string& k, const std::string&) {
+              ScanState::seen.push_back(k);
+            });
+      },
+      // Migrator: drive the one old bucket to completion node by node;
+      // the window that empties it frees the old table.
+      [] {
+        while (!ScanState::store->migrate_bucket_window_for("s0")) {
+        }
+      },
+  };
+  s.check = [] {
+    SchedStore& st = *ScanState::store;
+    if (st.tables_swapped() != 1)
+      return std::string("setup never installed the resize");
+    if (st.migrating()) return std::string("store still mid-resize");
+    if (st.tables_retired() != st.tables_swapped())
+      return std::string("old table not retired precisely");
+    if (!st.is_consistent()) return std::string("chain invariants broken");
+    std::string shape = check_scan_shape();
+    if (!shape.empty()) return shape;
+    // No concurrent mutations: the scan must see exactly every key.
+    if (ScanState::seen.size() != ScanState::inserted.size())
+      return std::string("scan lost or duplicated entries: saw ") +
+             std::to_string(ScanState::seen.size()) + " of " +
+             std::to_string(ScanState::inserted.size());
+    return std::string();
+  };
+  return s;
+}
+
+TEST(SchedScan, ScanWindowsVsResizeMigration) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const ExploreResult r = explore_dfs(scan_vs_migration_scenario(),
+                                      2000 * depth_multiplier(), 400);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_GT(r.schedules, 1u) << describe(r);
+  std::cout << "   [exploration] " << describe(r) << "\n";
+  ScanState::store.reset();
+}
+
+// Scenario 3: scan vs. a delete of a node the cursor may be parked on.
+// This one runs over the real reservation (RR-V): the deleter's
+// unlink-revoke-dealloc genuinely revokes a cursor the scanner is
+// holding, and the scan must detect the nil resume and reseek. (RR-V is
+// also what makes a no-resize single-bucket store usable here at all —
+// see the file comment.)
+
+using SchedStoreRv = hohtm::kv::Store<Tml, hohtm::rr::RrV<Tml>>;
+
+struct ScanRvState {
+  static inline std::optional<SchedStoreRv> store;
+  static inline std::vector<std::string> inserted;
+  static inline std::vector<std::string> seen;
+};
+
+Scenario scan_vs_delete_scenario() {
+  Scenario s;
+  s.setup = [] {
+    // High grow threshold: no resize in this one — the race under test
+    // is purely cursor-parked-on-node vs. unlink-revoke-dealloc. One
+    // bucket and window = 1, so the cursor parks mid-chain after every
+    // emitted node and the delete has many boundaries to land on.
+    ScanRvState::store.reset();
+    ScanRvState::store.emplace(SchedStoreRv::Options{
+        /*log2_shards=*/0, /*log2_buckets=*/0, /*max_log2_buckets=*/4,
+        /*window=*/1, /*grow_chain=*/16, /*auto_migrate=*/false});
+    ScanRvState::inserted.clear();
+    ScanRvState::seen.clear();
+    for (int i = 0; i < 4; ++i) {
+      const std::string key = "d" + std::to_string(i);
+      ScanRvState::store->put(key, "v" + std::to_string(i));
+      ScanRvState::inserted.push_back(key);
+    }
+  };
+  s.bodies = {
+      [] {
+        ScanRvState::store->scan(ScanRvState::inserted.size() + 4,
+                                 [](const std::string& k, const std::string&) {
+                                   ScanRvState::seen.push_back(k);
+                                 });
+      },
+      [] { ScanRvState::store->del("d1"); },
+  };
+  s.check = [] {
+    SchedStoreRv& st = *ScanRvState::store;
+    if (!st.is_consistent()) return std::string("chain invariants broken");
+    std::string v;
+    if (st.get("d1", v)) return std::string("deleted key d1 survived");
+    // Same shape rules as check_scan_shape(), over the RR-V state.
+    for (std::size_t i = 0; i + 1 < ScanRvState::seen.size(); ++i)
+      if (!canon_less(ScanRvState::seen[i], ScanRvState::seen[i + 1]))
+        return std::string(
+            "scan output out of canonical order (or duplicated)");
+    for (const std::string& k : ScanRvState::seen) {
+      bool known = false;
+      for (const std::string& ins : ScanRvState::inserted)
+        if (ins == k) known = true;
+      if (!known) return "scan saw phantom key " + k;
+    }
+    // Linearizability: every surviving key appears exactly once; the
+    // deleted key appears at most once (the delete lands before, after,
+    // or mid-scan). Sortedness above already bounds each to <= 1, so
+    // presence is all that is left to check.
+    for (const std::string& ins : ScanRvState::inserted) {
+      if (ins == "d1") continue;
+      bool found = false;
+      for (const std::string& k : ScanRvState::seen)
+        if (k == ins) found = true;
+      if (!found) return "scan missed surviving key " + ins;
+    }
+    return std::string();
+  };
+  return s;
+}
+
+TEST(SchedScan, ScanVsDeleteOfCursorNode) {
+  REQUIRE_SCHED_BUILD();
+  ScenarioGuard guard;
+  const ExploreResult r = explore_dfs(scan_vs_delete_scenario(),
+                                      2000 * depth_multiplier(), 400);
+  EXPECT_FALSE(r.failed) << describe(r);
+  EXPECT_GT(r.schedules, 1u) << describe(r);
+  std::cout << "   [exploration] " << describe(r) << "\n";
+  ScanRvState::store.reset();
+}
+
+}  // namespace

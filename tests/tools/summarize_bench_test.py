@@ -2,9 +2,10 @@
 """ctest-registered checks for tools/summarize_bench.py and
 tools/trace_report.py: every CSV layout the benches have ever emitted
 must keep loading (legacy 6-column, telemetry 15-column, observability
-20-column, kv 24-column, and their fusion-era 17/22/26-column
-successors), malformed rows must be skipped rather than crash the
-report, and timeline rows must route to trace_report.py only."""
+20-column, kv 24-column, their fusion-era 17/22/26-column successors,
+and the scan-era 31-column kv layout), malformed rows must be skipped
+rather than crash the report, and timeline rows must route to
+trace_report.py only."""
 
 import io
 import os
@@ -57,6 +58,17 @@ ATTR_KV_ROW = ("kv,ycsb-c,RR-V+fuse,16,10.5000,0.90,"
                "1000,50,10,20,5,3,7,4,2,1,64,"
                "2048,8192,16384,30000,512,9,6,"
                "3800,200,96,3")
+# Scan-era kv layout (PR 8): the attribution pair plus the four kv
+# columns and the range-scan triple — 31 columns. Unlike the 24-column
+# collision above, 31 is disjoint from every earlier width, so these
+# rows decode even when the header got stripped.
+SCAN_KV_HEADER = (ATTR_HEADER +
+                  ",kv_hits,kv_misses,kv_migrations,kv_resizes"
+                  ",kv_scans,kv_scan_windows,kv_scan_resumes")
+SCAN_KV_ROW = ("kv,ycsb-e,RR-V,16,10.5000,0.90,"
+               "1000,50,10,20,5,3,7,4,2,1,64,"
+               "2048,8192,16384,30000,512,9,6,"
+               "3800,200,96,3,480,1320,2")
 
 
 def write(rows):
@@ -201,6 +213,30 @@ class LoadTest(unittest.TestCase):
         rows = self.load([ATTR_HEADER, FUSION_KV_ROW])
         self.assertEqual(rows[0][-1]["kv_hits"], 3800)
 
+    def test_header_driven_scan_columns(self):
+        rows = self.load([SCAN_KV_HEADER, SCAN_KV_ROW])
+        self.assertEqual(len(rows), 1)
+        counters = rows[0][-1]
+        self.assertEqual(counters["kv_scans"], 480)
+        self.assertEqual(counters["kv_scan_windows"], 1320)
+        self.assertEqual(counters["kv_scan_resumes"], 2)
+        self.assertEqual(counters["kv_hits"], 3800)
+        self.assertEqual(counters["res_lost_attr"], 9)
+        self.assertEqual(counters["live_peak"], 512)
+
+    def test_headerless_31_decodes_scan_columns(self):
+        # The width-31 fallback: header stripped (e.g. grep'd capture),
+        # every block still lands by position.
+        rows = self.load([SCAN_KV_ROW])
+        self.assertEqual(len(rows), 1)
+        counters = rows[0][-1]
+        self.assertEqual(counters["kv_scans"], 480)
+        self.assertEqual(counters["kv_scan_windows"], 1320)
+        self.assertEqual(counters["kv_scan_resumes"], 2)
+        self.assertEqual(counters["kv_resizes"], 3)
+        self.assertEqual(counters["aborts_attr"], 6)
+        self.assertEqual(counters["fused_windows"], 64)
+
     def test_timeline_rows_are_skipped(self):
         rows = self.load([
             "timeline,fig5,alloc,rr-fa,4,10.00,123",
@@ -255,6 +291,22 @@ class CliTest(unittest.TestCase):
         proc = self.run_tool("summarize_bench.py", [OBSERVABILITY_ROW])
         self.assertEqual(proc.returncode, 0, proc.stderr)
         self.assertNotIn("fused_win", proc.stdout)
+
+    def test_summarize_renders_scan_columns(self):
+        proc = self.run_tool("summarize_bench.py",
+                             [SCAN_KV_HEADER, SCAN_KV_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("kv workload", proc.stdout)
+        self.assertIn("win/scan", proc.stdout)
+        self.assertIn("480", proc.stdout)   # scans
+        self.assertIn("1320", proc.stdout)  # scan windows
+        self.assertIn("2.75", proc.stdout)  # 1320 / 480 windows per scan
+
+    def test_scanless_kv_rows_render_no_scan_columns(self):
+        proc = self.run_tool("summarize_bench.py", [KV_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("kv workload", proc.stdout)
+        self.assertNotIn("win/scan", proc.stdout)
 
     def test_non_kv_rows_render_no_kv_table(self):
         proc = self.run_tool("summarize_bench.py", [OBSERVABILITY_ROW])

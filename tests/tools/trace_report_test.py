@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """ctest-registered checks for tools/trace_report.py: the 20-column
-observability CSV (and its fusion-era 22/26-column successors) and the
-`timeline,...` rows must keep parsing, the footprint sparklines must
-stay deterministic, the Chrome trace-event summary must render
-(including the kv-activity and window-fusion digests), and the CLI
-filters (--figure, --width, --trace) must behave. Complements
+observability CSV (its fusion-era 22/26-column successors, and the
+scan-era 31-column kv layout) and the `timeline,...` rows must keep
+parsing, the footprint sparklines must stay deterministic, the Chrome
+trace-event summary must render (including the kv-activity — with its
+range-scan digest — and window-fusion sections), and the CLI filters
+(--figure, --width, --trace) must behave. Complements
 tests/tools/summarize_bench_test.py, which covers the loaders shared
 with summarize_bench.py."""
 
@@ -90,6 +91,18 @@ class LoadTest(unittest.TestCase):
         self.assertEqual(len(latency_rows), 1)
         values = latency_rows[0][4]
         self.assertEqual(values["commit_p99_ns"], 16384)
+        self.assertEqual(values["live_peak"], 512)
+
+    def test_scan_era_thirty_one_column_row_parses(self):
+        # PR 8 kv rows: attribution pair + four kv columns + the scan
+        # triple after live_peak — the latency block does not move, and
+        # the width-31 headerless fallback finds it.
+        kv_row = fusion_obs_row() + ",9,6,3800,200,96,3,480,1320,2"
+        latency_rows, _ = self.load([kv_row])
+        self.assertEqual(len(latency_rows), 1)
+        values = latency_rows[0][4]
+        self.assertEqual(values["commit_p50_ns"], 2048)
+        self.assertEqual(values["commit_max_ns"], 30000)
         self.assertEqual(values["live_peak"], 512)
 
     def test_short_rows_are_skipped(self):
@@ -265,6 +278,46 @@ class RenderTest(unittest.TestCase):
         self.assertIn("2 table swaps, 2 bucket migrations, "
                       "1 old tables freed (16 buckets)", out)
         self.assertIn("1 swap(s) still mid-migration", out)
+
+    def test_trace_summary_scan_digest(self):
+        def kv(name, v, ts=0):
+            return {"name": name, "ph": "X", "ts": ts, "dur": 1, "tid": 1,
+                    "args": {"v": v}}
+        events = [
+            kv("kv_op_start", 3),            # scan
+            kv("kv_op_done", 3, ts=50),
+            kv("kv_scan_window", 4),         # 4 entries this window
+            kv("kv_scan_window", 2, ts=10),
+            kv("kv_scan_resume", 0, ts=20),
+        ]
+        handle = tempfile.NamedTemporaryFile("w", suffix=".json",
+                                             delete=False)
+        json.dump(events, handle)
+        handle.close()
+        try:
+            out = self.render(trace_report.emit_trace_summary, handle.name)
+        finally:
+            os.unlink(handle.name)
+        self.assertIn("## kv activity", out)
+        self.assertIn("scan=1", out)
+        self.assertIn("2 window transactions delivered 6 entries", out)
+        self.assertIn("1 cursor resumes", out)
+
+    def test_trace_summary_no_scan_line_without_scan_events(self):
+        def kv(name, v):
+            return {"name": name, "ph": "X", "ts": 0, "dur": 1, "tid": 1,
+                    "args": {"v": v}}
+        events = [kv("kv_op_start", 0), kv("kv_op_done", 0)]
+        handle = tempfile.NamedTemporaryFile("w", suffix=".json",
+                                             delete=False)
+        json.dump(events, handle)
+        handle.close()
+        try:
+            out = self.render(trace_report.emit_trace_summary, handle.name)
+        finally:
+            os.unlink(handle.name)
+        self.assertIn("## kv activity", out)
+        self.assertNotIn("cursor resumes", out)
 
     def test_trace_summary_silent_without_kv_events(self):
         events = [{"name": "commit", "ph": "X", "ts": 0, "dur": 1,

@@ -112,7 +112,7 @@ TEST_F(TraceTest, DrainJsonEmitsChromeTraceEvents) {
 }
 
 TEST_F(TraceTest, EventNamesCoverTheTaxonomy) {
-  ASSERT_EQ(kEvCount, 22u);
+  ASSERT_EQ(kEvCount, 24u);
   for (std::size_t i = 0; i < kEvCount; ++i) {
     ASSERT_NE(kEvNames[i], nullptr);
     EXPECT_GT(std::string(kEvNames[i]).size(), 0u);
@@ -127,6 +127,10 @@ TEST_F(TraceTest, EventNamesCoverTheTaxonomy) {
                "fusion_fallback");
   EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kRrLossAttr)],
                "rr_loss_attr");
+  EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kKvScanWindow)],
+               "kv_scan_window");
+  EXPECT_STREQ(kEvNames[static_cast<std::size_t>(Ev::kKvScanResume)],
+               "kv_scan_resume");
 }
 
 TEST_F(TraceTest, MetricsAggregateAcrossSlots) {

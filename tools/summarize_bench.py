@@ -27,10 +27,15 @@ falls back to detection by column count:
                     fusion_fallbacks and appended fused_windows after
                     res_lost; the two column-count families are
                     disjoint, so both generations of output load.
+  scan-era kv (31): the 26 fusion-era observability columns plus
+                    res_lost_attr,aborts_attr (PR 7), the four kv
+                    columns, and the range-scan triple kv_scans,
+                    kv_scan_windows,kv_scan_resumes (PR 8).
 
 (The attribution-era 24/28-column layouts emitted since PR 7 always
 carry their header, so the 24-column collision with the pre-fusion kv
-layout never bites in practice.)
+layout never bites in practice; 31 is disjoint from every earlier
+width, so scan-era kv rows decode even without their header.)
 
 `timeline,...` rows (the reclamation-footprint samples) are skipped
 here; tools/trace_report.py renders those, along with the latency
@@ -67,6 +72,17 @@ OBSERVABILITY_FIELDS = [
 KV_FIELDS = [
     "kv_hits", "kv_misses", "kv_migrations", "kv_resizes",
 ]
+# Causal attribution pair (PR 7) and the range-scan triple (PR 8); the
+# 31-column scan-era kv layout is the fusion-era observability columns
+# plus these and the kv block, in emit_kv_header order.
+ATTRIBUTION_FIELDS = [
+    "res_lost_attr", "aborts_attr",
+]
+KV_SCAN_FIELDS = [
+    "kv_scans", "kv_scan_windows", "kv_scan_resumes",
+]
+SCAN_ERA_KV_FIELDS = (CAUSE_FIELDS_V2 + OBSERVABILITY_FIELDS +
+                      ATTRIBUTION_FIELDS + KV_FIELDS + KV_SCAN_FIELDS)
 
 
 def parse_header_line(line, headers):
@@ -94,7 +110,14 @@ def header_counters(parts, headers):
 
 
 def fallback_counters(parts):
-    """Count-based decoding for headerless rows (pre-PR-7 captures)."""
+    """Count-based decoding for headerless rows (pre-PR-7 captures,
+    plus the 31-column scan-era kv rows whose header got stripped)."""
+    if len(parts) == 6 + len(SCAN_ERA_KV_FIELDS):  # 31: scan-era kv
+        try:
+            return dict(zip(SCAN_ERA_KV_FIELDS,
+                            (int(v) for v in parts[6:])))
+        except ValueError:
+            pass  # malformed row: fall through to the older layouts
     # The fusion-era column counts {17, 22, 26} are disjoint
     # from the pre-fusion {15, 20, 24}, so the count picks the
     # cause-block width unambiguously.
@@ -242,25 +265,39 @@ def emit_cause_table(figure, panel, series_list, threads, counter_cells):
 
 def emit_kv_table(figure, panel, series_list, threads, counter_cells):
     """KV workload columns at the highest thread count: hit rate over the
-    keyed ops, plus how much resize work (bucket migrations, table swaps)
-    ran inside the measured window."""
+    keyed ops, how much resize work (bucket migrations, table swaps) ran
+    inside the measured window, and — when the scan triple is present
+    (YCSB E) — scans, committed scan windows, the windows-per-scan
+    ratio, and cursor resumes after a revoked handover."""
     have = [(s, counter_cells.get((figure, panel, s, threads)))
             for s in series_list]
     have = [(s, c) for s, c in have if c and "kv_hits" in c]
     if not have:
         return
+    show_scans = any(c.get("kv_scans", 0) or c.get("kv_scan_windows", 0)
+                     for _, c in have)
     header = (
         "series".ljust(14) + f"{'hits':>12}" + f"{'misses':>12}" +
         f"{'hit%':>8}" + f"{'migrations':>12}" + f"{'resizes':>9}")
+    if show_scans:
+        header += (f"{'scans':>10}" + f"{'scan_win':>10}" +
+                   f"{'win/scan':>9}" + f"{'resumes':>9}")
     print(f"   kv workload @ {threads} threads")
     print(header)
     print("-" * len(header))
     for series, c in have:
         keyed = max(c["kv_hits"] + c["kv_misses"], 1)
-        print(series.ljust(14) +
-              f"{c['kv_hits']:12d}" + f"{c['kv_misses']:12d}" +
-              f"{100.0 * c['kv_hits'] / keyed:8.2f}" +
-              f"{c['kv_migrations']:12d}" + f"{c['kv_resizes']:9d}")
+        row = (series.ljust(14) +
+               f"{c['kv_hits']:12d}" + f"{c['kv_misses']:12d}" +
+               f"{100.0 * c['kv_hits'] / keyed:8.2f}" +
+               f"{c['kv_migrations']:12d}" + f"{c['kv_resizes']:9d}")
+        if show_scans:
+            scans = c.get("kv_scans", 0)
+            windows = c.get("kv_scan_windows", 0)
+            row += (f"{scans:10d}" + f"{windows:10d}" +
+                    f"{windows / max(scans, 1):9.2f}" +
+                    f"{c.get('kv_scan_resumes', 0):9d}")
+        print(row)
 
 
 def main():

@@ -14,8 +14,8 @@ Reads the same CSV the bench binaries print and renders:
     columns. The latency block is located by name from the bench's
     `# columns:` header line, so appended columns never shift it; for
     headerless captures the column count falls back to the historical
-    layouts (20/24 pre-fusion, 22/26 fusion-era). All-zero unless the
-    bench was built with HOHTM_TRACE=ON;
+    layouts (20/24 pre-fusion, 22/26 fusion-era, 31 scan-era kv).
+    All-zero unless the bench was built with HOHTM_TRACE=ON;
 
   * one footprint chart per figure/panel from the `timeline,...` rows
     (emitted under HOH_BENCH_FOOTPRINT_MS, or always by the
@@ -72,14 +72,15 @@ def load(path):
             # Locate the latency block by name when the capture carried a
             # header for this width; otherwise fall back to the
             # historical count-based layouts (the fusion-era 22/26-column
-            # rows carry two extra telemetry columns ahead of it; see
-            # summarize_bench.py CAUSE_FIELDS_V2).
+            # rows carry two extra telemetry columns ahead of it, and the
+            # 31-column scan-era kv rows only append after live_peak; see
+            # summarize_bench.py CAUSE_FIELDS_V2 / SCAN_ERA_KV_FIELDS).
             names = headers.get(len(parts))
             if names is not None and LATENCY_COLS[0] in names:
                 lat_start = names.index(LATENCY_COLS[0])
                 peak_at = (names.index("live_peak")
                            if "live_peak" in names else lat_start + 4)
-            elif len(parts) in (22, 26):
+            elif len(parts) in (22, 26, 31):
                 lat_start, peak_at = 17, 21
             elif len(parts) in (20, 24):
                 lat_start, peak_at = 15, 19
@@ -201,14 +202,18 @@ KV_OPCODES = ("get", "put", "del", "scan")
 
 def emit_kv_trace_summary(events):
     """KV-specific digest of a trace: completed ops by opcode (from the
-    kv_op_done args), migration-window and resize activity. Silent when
-    the trace has no kv events (non-KV benches)."""
+    kv_op_done args), migration-window and resize activity, and the
+    range-scan window/resume traffic. Silent when the trace has no kv
+    events (non-KV benches)."""
     ops = collections.Counter()
     started = 0
     migrations = 0
     swaps = 0
     frees = 0
     freed_buckets = 0
+    scan_windows = 0
+    scan_entries = 0
+    scan_resumes = 0
     for e in events:
         name = e.get("name", "")
         arg = e.get("args", {}).get("v", 0)
@@ -226,7 +231,13 @@ def emit_kv_trace_summary(events):
         elif name == "kv_table_free":
             frees += 1
             freed_buckets += int(arg)
-    if not (started or ops or migrations or swaps or frees):
+        elif name == "kv_scan_window":
+            scan_windows += 1
+            scan_entries += int(arg)
+        elif name == "kv_scan_resume":
+            scan_resumes += 1
+    if not (started or ops or migrations or swaps or frees or scan_windows
+            or scan_resumes):
         return
     print("\n## kv activity")
     done = sum(ops.values())
@@ -238,6 +249,10 @@ def emit_kv_trace_summary(events):
     if frees < swaps:
         print(f"  note: {swaps - frees} swap(s) still mid-migration when "
               "the trace ended")
+    if scan_windows or scan_resumes:
+        print(f"  scans: {scan_windows} window transactions delivered "
+              f"{scan_entries} entries; {scan_resumes} cursor resumes "
+              "after a revoked handover")
 
 
 def emit_fusion_trace_summary(events):
