@@ -2,8 +2,8 @@
 # One-command verification: configure, build, test, smoke the examples,
 # and run a fast benchmark pass. Mirrors what a CI pipeline would do.
 #
-# Usage: scripts/check.sh [--lint] [--tsan] [--asan] [--sched] [--metrics]
-#                         [--full-bench]
+# Usage: scripts/check.sh [--lint] [--analyze] [--tsan] [--asan] [--ubsan]
+#                         [--sched] [--metrics] [--full-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,16 +11,25 @@ BUILD_DIR=build
 SANITIZE=""
 TSAN=0
 ASAN=0
+UBSAN=0
 SCHED=0
 LINT=0
+ANALYZE=0
 METRICS=0
 FULL_BENCH=0
 for arg in "$@"; do
   case "$arg" in
     --lint)
-      # Static analysis only: hohtm-lint (docs/STATIC_ANALYSIS.md) plus
-      # clang-tidy when available. No compile step.
+      # Static analysis only: hohtm-lint + hohtm-analyze
+      # (docs/STATIC_ANALYSIS.md) plus clang-tidy when available. No
+      # compile step.
       LINT=1
+      ;;
+    --analyze)
+      # The path-sensitive effect analyzer alone (tools/hohtm_analyze.py):
+      # precise-reclamation, boundary-pairing, cross-file atomic
+      # protocol, and gate reachability over src/. No compile step.
+      ANALYZE=1
       ;;
     --tsan)
       # Rebuild under ThreadSanitizer and run the FULL suite with no
@@ -40,6 +49,15 @@ for arg in "$@"; do
       SANITIZE="-DHOHTM_SANITIZE=address,undefined"
       ASAN=1
       ;;
+    --ubsan)
+      # Rebuild under UndefinedBehaviorSanitizer alone and run the full
+      # suite. --asan already folds UBSan in; this mode isolates UB
+      # reports from ASan's shadow-memory slowdown and interceptors, so
+      # an alignment/overflow/vptr report names itself directly.
+      BUILD_DIR=build-ubsan
+      SANITIZE="-DHOHTM_SANITIZE=undefined"
+      UBSAN=1
+      ;;
     --sched)
       # Rebuild with the virtual-scheduler hooks compiled in and run the
       # schedule-exploration + differential suites only (docs/TESTING.md).
@@ -53,7 +71,7 @@ for arg in "$@"; do
       # unit tests, a kv_ycsb --smoke run with $HOHTM_METRICS_FILE set,
       # the attribution-invariant check over the resulting snapshot, and
       # the perf-smoke artifact gate (tools/bench_compare.py against
-      # bench/baselines/BENCH_7.baseline.json — seeds it when absent).
+      # bench/baselines/BENCH_9.baseline.json — seeds it when absent).
       METRICS=1
       ;;
     --full-bench) FULL_BENCH=1 ;;
@@ -64,9 +82,15 @@ for arg in "$@"; do
   esac
 done
 
+run_analyze() {
+  echo "== analyze (tools/hohtm_analyze.py)"
+  python3 tools/hohtm_analyze.py
+}
+
 run_lint() {
   echo "== lint (tools/hohtm_lint.py)"
   python3 tools/hohtm_lint.py
+  run_analyze
   # clang-tidy is advisory depth on top of hohtm-lint: run it when the
   # toolchain provides it (CI's lint job does; the dev box may not).
   if command -v clang-tidy >/dev/null 2>&1; then
@@ -83,6 +107,12 @@ run_lint() {
 if [ "$LINT" -eq 1 ]; then
   run_lint
   echo "LINT CHECKS PASSED"
+  exit 0
+fi
+
+if [ "$ANALYZE" -eq 1 ]; then
+  run_analyze
+  echo "ANALYZE CHECKS PASSED"
   exit 0
 fi
 
@@ -109,6 +139,16 @@ if [ "$ASAN" -eq 1 ]; then
     exit 1
   fi
   echo "ASAN CHECKS PASSED"
+  exit 0
+fi
+
+if [ "$UBSAN" -eq 1 ]; then
+  echo "== tests (ubsan, full suite)"
+  if ! ctest --test-dir "$BUILD_DIR" --output-on-failure; then
+    echo "FAIL: test suite under UndefinedBehaviorSanitizer" >&2
+    exit 1
+  fi
+  echo "UBSAN CHECKS PASSED"
   exit 0
 fi
 
@@ -148,8 +188,8 @@ if [ "$METRICS" -eq 1 ]; then
   python3 tools/metrics_report.py "$METRICS_OUT" --check
   echo "== perf-smoke gate (tools/bench_compare.py)"
   python3 tools/bench_compare.py emit "$KV_OUT" "$METRICS_OUT" \
-    -o "$BUILD_DIR/BENCH_7.json"
-  python3 tools/bench_compare.py check "$BUILD_DIR/BENCH_7.json"
+    -o "$BUILD_DIR/BENCH_9.json"
+  python3 tools/bench_compare.py check "$BUILD_DIR/BENCH_9.json"
   echo "METRICS CHECKS PASSED"
   exit 0
 fi

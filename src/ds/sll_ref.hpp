@@ -66,6 +66,10 @@ class SllRef {
         [&](Tx& tx, Node* prev, Node* curr) {
           tx.write(prev->next, tx.read(curr->next));
           tx.write(curr->unlinked, 1L);
+          // REF reclaims by refcount, not reservation: the list is
+          // pinned hand-over-hand, so an unpinned+unlinked node is
+          // unreachable by construction and needs no revoke.
+          // hohtm-analyze: allow(unlink-without-revoke)
           if (tx.read(curr->refcount) == 0) tx.dealloc(curr);
           return true;
         },
@@ -104,6 +108,9 @@ class SllRef {
   void unpin(Tx& tx, Node* node) {
     const long count = tx.read(node->refcount) - 1;
     tx.write(node->refcount, count);
+    // Last unpinner frees: REF's refcount discipline replaces the
+    // reservation revoke (see remove above).
+    // hohtm-analyze: allow(unlink-without-revoke)
     if (count == 0 && tx.read(node->unlinked) != 0) tx.dealloc(node);
   }
 

@@ -729,6 +729,10 @@ class Store {
           // transaction — the quiescence fence at commit makes the free
           // precise yet unobservable by in-flight readers.
           tx.write(sh.old, static_cast<detail::Table*>(nullptr));
+          // Tables are never reservation targets (only nodes are parked
+          // at window boundaries), so unpublishing sh.old is the whole
+          // unlink protocol here — there is nothing to revoke.
+          // hohtm-analyze: allow(unlink-without-revoke)
           tx.dealloc(old);
           table_freed = true;
           freed_buckets = old->buckets();

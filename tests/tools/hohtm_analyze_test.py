@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Tests for tools/hohtm_analyze.py against the fixture corpus.
+
+Mirrors tests/tools/hohtm_lint_test.py: fixtures live in
+tests/tools/fixtures_analyze/ with a `.fixture` suffix (so the real-tree
+walks never see them) and encode their repo-relative path with `__`
+separators.  The tests materialize the corpus into a temp root and
+assert the exact finding set — every seeded violation at its line,
+every clean fixture silent, pragmas suppressing precisely the rule they
+name — plus the precise-reclamation merge gates: the real tree analyzes
+clean, and deleting a single revoke call from a real src/ds or src/kv
+unlink path makes the analyzer fail.
+"""
+
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parents[1]
+ANALYZE = REPO / "tools" / "hohtm_analyze.py"
+FIXTURES = HERE / "fixtures_analyze"
+
+
+def run_analyze(*argv, cwd=None):
+    return subprocess.run(
+        [sys.executable, str(ANALYZE), *argv],
+        capture_output=True, text=True, cwd=cwd)
+
+
+def materialize(root: pathlib.Path) -> None:
+    for fixture in FIXTURES.glob("*.fixture"):
+        rel = pathlib.Path(*fixture.name[: -len(".fixture")].split("__"))
+        dest = root / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(fixture, dest)
+
+
+# The complete expected output on the fixture corpus: (path, line, rule).
+# Clean fixtures appear in no row — any extra finding fails the exact-set
+# comparison, so false positives are caught as hard as false negatives.
+EXPECTED = {
+    ("src/ds/alloc_escape_bad.hpp", 9, "alloc-escape"),
+    ("src/ds/boundary_double_reserve_bad.hpp", 12, "boundary-pairing"),
+    ("src/ds/boundary_resume_after_release_bad.hpp", 10,
+     "boundary-pairing"),
+    ("src/ds/unlink_branch_bad.hpp", 13, "unlink-without-revoke"),
+    ("src/ds/unlink_no_revoke_bad.hpp", 10, "unlink-without-revoke"),
+    # The first dealloc carries a pragma naming the *wrong* rule, so it
+    # still fires; the second names unlink-without-revoke and is silent.
+    ("src/ds/unlink_pragma_mixed.hpp", 10, "unlink-without-revoke"),
+    ("src/kv/atomic_protocol_bad.hpp", 8, "atomic-protocol"),
+    ("src/sched/gated_reach_bad.hpp", 8, "gated-hook-reachability"),
+}
+
+CLEAN_FIXTURES = (
+    "src/ds/alloc_escape_good.hpp",
+    "src/ds/alloc_escape_loop_good.hpp",
+    "src/ds/alloc_escape_throw_good.hpp",
+    "src/ds/unlink_revoke_good.hpp",
+    "src/ds/boundary_park_good.hpp",
+    "src/util/gated_reach_good.hpp",
+)
+
+
+class FixtureCorpus(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.tmp = tempfile.TemporaryDirectory(prefix="hohtm_analyze_test_")
+        cls.root = pathlib.Path(cls.tmp.name)
+        materialize(cls.root)
+
+    @classmethod
+    def tearDownClass(cls):
+        cls.tmp.cleanup()
+
+    def analyze_json(self, *paths):
+        proc = run_analyze("--json", "--root", str(self.root), *paths)
+        self.assertIn(proc.returncode, (0, 1), proc.stderr)
+        return proc, json.loads(proc.stdout)
+
+    def test_exact_finding_set(self):
+        proc, findings = self.analyze_json()
+        got = {(f["path"], f["line"], f["rule"]) for f in findings}
+        self.assertEqual(got, EXPECTED)
+        self.assertEqual(proc.returncode, 1)
+
+    def test_json_shape(self):
+        _, findings = self.analyze_json()
+        for f in findings:
+            self.assertEqual(sorted(f), ["line", "message", "path", "rule"])
+            self.assertIsInstance(f["line"], int)
+            self.assertTrue(f["message"])
+
+    def test_clean_fixtures_exit_zero(self):
+        proc, findings = self.analyze_json(*CLEAN_FIXTURES)
+        self.assertEqual(findings, [])
+        self.assertEqual(proc.returncode, 0)
+
+    def test_wrong_rule_pragma_does_not_suppress(self):
+        _, findings = self.analyze_json("src/ds/unlink_pragma_mixed.hpp")
+        self.assertEqual(
+            [(f["line"], f["rule"]) for f in findings],
+            [(10, "unlink-without-revoke")])
+
+    def test_atomic_protocol_is_cross_file(self):
+        # The relaxed load alone (without the release-side file in the
+        # analysis set) is not flagged: the rule pairs sites across files.
+        _, findings = self.analyze_json("src/kv/atomic_protocol_bad.hpp")
+        self.assertEqual(findings, [])
+        _, findings = self.analyze_json(
+            "src/kv/atomic_protocol_bad.hpp",
+            "src/tm/atomic_protocol_release.hpp")
+        self.assertEqual(
+            [(f["line"], f["rule"]) for f in findings],
+            [(8, "atomic-protocol")])
+
+    def test_human_output_format(self):
+        proc = run_analyze("--root", str(self.root),
+                           "src/ds/unlink_no_revoke_bad.hpp")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("src/ds/unlink_no_revoke_bad.hpp:10: "
+                      "[unlink-without-revoke]", proc.stdout)
+        self.assertIn("1 finding(s)", proc.stderr)
+
+
+class RevokeRemovalGate(unittest.TestCase):
+    """Deleting any single revoke from a real unlink path must fail the
+    analyzer — the acceptance check that the discipline is actually
+    load-bearing, spot-checked at one src/ds and one src/kv site."""
+
+    SITES = ("src/ds/sll_hoh.hpp", "src/kv/store.hpp")
+
+    def mutate_and_analyze(self, rel):
+        src = (REPO / rel).read_text()
+        lines = src.split("\n")
+        victims = [i for i, ln in enumerate(lines) if ".revoke(" in ln]
+        self.assertTrue(victims, f"no revoke call found in {rel}")
+        # Remove only the first revoke: a single missing call must fail.
+        del lines[victims[0]]
+        with tempfile.TemporaryDirectory() as tmp:
+            dest = pathlib.Path(tmp) / rel
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text("\n".join(lines))
+            proc = run_analyze("--json", "--root", tmp, rel)
+            return proc, json.loads(proc.stdout)
+
+    def test_removing_single_revoke_fails(self):
+        for rel in self.SITES:
+            with self.subTest(site=rel):
+                proc, findings = self.mutate_and_analyze(rel)
+                self.assertEqual(proc.returncode, 1)
+                self.assertTrue(
+                    any(f["rule"] == "unlink-without-revoke"
+                        for f in findings),
+                    f"expected unlink-without-revoke after deleting a "
+                    f"revoke from {rel}, got: {findings}")
+
+    def test_unmutated_sites_are_clean(self):
+        for rel in self.SITES:
+            with self.subTest(site=rel):
+                proc = run_analyze("--json", "--root", str(REPO), rel)
+                self.assertEqual(proc.returncode, 0, proc.stdout)
+
+
+class Cli(unittest.TestCase):
+    def test_list_rules_names_every_rule(self):
+        proc = run_analyze("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("alloc-escape", "unlink-without-revoke",
+                     "boundary-pairing", "atomic-protocol",
+                     "gated-hook-reachability"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_missing_path_is_usage_error(self):
+        proc = run_analyze("--root", str(REPO), "no/such/dir")
+        self.assertEqual(proc.returncode, 2)
+
+    def test_real_tree_is_clean(self):
+        # The merge gate: the repo's own sources must analyze clean.
+        proc = run_analyze("--root", str(REPO))
+        self.assertEqual(proc.returncode, 0,
+                         f"hohtm-analyze findings in the real tree:\n"
+                         f"{proc.stdout}{proc.stderr}")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -49,6 +49,11 @@ EXPECTED = {
     ("src/tm/atomic_order_bad.hpp", 5, "atomic-order"),
     ("src/tm/atomic_order_bad.hpp", 6, "atomic-order"),
     ("src/tm/atomic_order_bad.hpp", 7, "atomic-order"),
+    # The widened scope (src/kv/ here; also src/ds/, src/reclaim/,
+    # src/sched/): implicit orders outside the TM core now fire too, and
+    # the allow-pragma still silences a deliberate one (line 12).
+    ("src/kv/atomic_order_widened_bad.hpp", 8, "atomic-order"),
+    ("src/kv/atomic_order_widened_bad.hpp", 9, "atomic-order"),
     ("tests/util/sleep_bad.cpp", 6, "no-sleep-sync"),
     ("tests/util/sleep_bad.cpp", 8, "no-sleep-sync"),
     ("src/util/spin_bad.hpp", 5, "spin-park"),

@@ -205,8 +205,8 @@ class BenchCompareTest(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory(prefix="bench_compare_test_")
         self.dir = Path(self.tmp.name)
-        self.baseline = self.dir / "BENCH_7.baseline.json"
-        self.artifact = self.dir / "BENCH_7.json"
+        self.baseline = self.dir / "BENCH_9.baseline.json"
+        self.artifact = self.dir / "BENCH_9.json"
 
     def tearDown(self):
         self.tmp.cleanup()

@@ -7,14 +7,14 @@ Two subcommands:
            snapshot (the $HOHTM_METRICS_FILE dump) into one artifact:
 
                python3 tools/bench_compare.py emit \\
-                   build/kv_smoke.txt build/metrics.json -o BENCH_7.json
+                   build/kv_smoke.txt build/metrics.json -o BENCH_9.json
 
   check  — compare an artifact against the checked-in baseline
-           (bench/baselines/BENCH_7.baseline.json by default). When the
+           (bench/baselines/BENCH_9.baseline.json by default). When the
            baseline does not exist yet, the artifact SEEDS it (first CI
            run on a branch that adds the gate) and the check passes:
 
-               python3 tools/bench_compare.py check BENCH_7.json
+               python3 tools/bench_compare.py check BENCH_9.json
 
 Structural regressions hard-fail regardless of tolerance:
 
@@ -39,7 +39,7 @@ import sys
 import metrics_report
 
 DEFAULT_BASELINE = os.path.join("bench", "baselines",
-                                "BENCH_7.baseline.json")
+                                "BENCH_9.baseline.json")
 SCHEMA = 1
 
 
@@ -158,7 +158,7 @@ def main():
     emit_cmd = sub.add_parser("emit", help="build the artifact")
     emit_cmd.add_argument("csv", help="kv_ycsb --smoke output")
     emit_cmd.add_argument("metrics", help="metrics snapshot JSON")
-    emit_cmd.add_argument("-o", "--output", default="BENCH_7.json")
+    emit_cmd.add_argument("-o", "--output", default="BENCH_9.json")
     emit_cmd.set_defaults(func=emit)
     check_cmd = sub.add_parser("check", help="gate against the baseline")
     check_cmd.add_argument("artifact", help="BENCH_N.json from `emit`")

@@ -1,0 +1,965 @@
+#!/usr/bin/env python3
+"""hohtm-analyze: path-sensitive transactional-effect analyzer.
+
+Where tools/hohtm_lint.py checks tokens, this tool checks *paths*: it
+parses every function and lambda body into a statement tree (branches,
+loops, switches, early returns, throw edges), then runs a forward
+abstract interpretation over the transactional effects the paper's
+precise-reclamation argument depends on.  The abstract state per path is
+
+    fresh    : tx.alloc results not yet published/consumed (var -> line)
+    revoked  : pointers revoked from the reservation on *every* path in
+    boundary : the window-boundary protocol position
+               ('none' | 'released' | 'reserved' | 'mixed')
+
+Joins take the union of `fresh` (may-be-leaked), the intersection of
+`revoked` (must-be-revoked), and collapse disagreeing boundary states to
+'mixed' (no findings are derived from 'mixed').  `throw` is an abort
+edge: the TM rolls the transaction back (LifecycleLog undoes tx.alloc,
+deferred deallocs are dropped), so abort exits are never checked.
+Commit exits -- `return` and fall-through -- are.
+
+Rules (suppress with `// hohtm-analyze: allow(<rule>)` on the finding's
+line or the line above):
+
+  alloc-escape            a tx.alloc result must reach a publish/link,
+                          an escape, or tx.dealloc on every commit path
+  unlink-without-revoke   tx.dealloc of a non-fresh pointer requires a
+                          revoke on every path leading to the dealloc --
+                          the precise-reclamation invariant itself
+  boundary-pairing        reserve while already reserved (a leaked
+                          window slot) and resume after release (using
+                          a boundary this transaction already settled)
+  atomic-protocol         cross-file: a field stored with release (or
+                          stronger) semantics anywhere must not be
+                          loaded relaxed elsewhere
+  gated-hook-reachability sched/trace/tsan hook internals may only be
+                          reached under their compile gate (#ifdef or
+                          `if constexpr (k*Build)`)
+
+Stdlib-only by design; shares the position-preserving lexer with the
+linter via tools/hohtm_cpp.py.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from hohtm_cpp import (  # noqa: E402
+    allow_re,
+    allowed,
+    collect,
+    lex,
+    line_of,
+    line_starts_of,
+    match_balanced,
+)
+
+TOOL = "hohtm-analyze"
+ALLOW_RE = allow_re(TOOL)
+
+RULES = {
+    "alloc-escape": (
+        "every tx.alloc/tx.alloc_flex result must be published (written "
+        "into the structure / passed on / returned) or tx.dealloc'd on "
+        "every commit path; a branch that returns while the node is "
+        "still private leaks it, because commit makes the allocation "
+        "permanent"
+    ),
+    "unlink-without-revoke": (
+        "tx.dealloc of a pointer that this transaction did not allocate "
+        "requires reservation .revoke(tx, p) on every path reaching the "
+        "dealloc: remove = unlink + revoke + dealloc in one transaction "
+        "is the paper's precise-reclamation discipline"
+    ),
+    "boundary-pairing": (
+        "window-boundary protocol violations: a reserve while the "
+        "boundary is already reserved leaks the previous slot, and a "
+        "resume/get after release uses a boundary this transaction "
+        "already settled"
+    ),
+    "atomic-protocol": (
+        "per-field memory-order consistency across files: a field "
+        "stored with release/acq_rel/seq_cst semantics anywhere must "
+        "not be loaded memory_order_relaxed elsewhere, or the intended "
+        "happens-before edge silently vanishes"
+    ),
+    "gated-hook-reachability": (
+        "sched/trace/tsan hook internals (detail::point_impl, "
+        "detail::managed_impl, detail::spin_wait_impl, "
+        "detail::g_mutation, __tsan_*) must be unreachable unless the "
+        "matching compile gate is active: inside #ifdef "
+        "HOHTM_*_ENABLED or an `if constexpr (k*Build)` branch"
+    ),
+}
+
+# Files allowed to reference hook internals directly (they define them);
+# mirrors tools/hohtm_lint.py GATE_EXEMPT.
+GATE_EXEMPT = (
+    "src/util/trace.hpp",
+    "src/util/trace.cpp",
+    "src/sched/schedpoint.hpp",
+    "src/sched/scheduler.hpp",
+    "src/sched/scheduler.cpp",
+    "src/util/tsan.hpp",
+)
+
+# Gated symbol -> (preprocessor macro, if-constexpr gate constant).
+GATED_SYMBOLS = [
+    (re.compile(r"\bdetail\s*::\s*point_impl\b"),
+     "HOHTM_SCHED_ENABLED", "kSchedBuild"),
+    (re.compile(r"\bdetail\s*::\s*spin_wait_impl\b"),
+     "HOHTM_SCHED_ENABLED", "kSchedBuild"),
+    (re.compile(r"\bdetail\s*::\s*managed_impl\b"),
+     "HOHTM_SCHED_ENABLED", "kSchedBuild"),
+    (re.compile(r"\bdetail\s*::\s*g_mutation\b"),
+     "HOHTM_SCHED_ENABLED", "kSchedBuild"),
+    (re.compile(r"\b__tsan_\w+"),
+     "HOHTM_TSAN_ENABLED", "kTsanBuild"),
+]
+
+GATE_CONSTANTS = ("kSchedBuild", "kTraceBuild", "kTsanBuild")
+
+DEFAULT_PATHS = ["src"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+
+# --------------------------------------------------------------------------
+# Statement tree.
+# --------------------------------------------------------------------------
+
+@dataclass
+class Simple:
+    text: str
+    start: int  # absolute offset into the file's blanked code
+
+
+@dataclass
+class Block:
+    stmts: list
+
+
+@dataclass
+class If:
+    cond: Simple
+    then: object
+    els: object  # may be None
+    constexpr: bool
+
+
+@dataclass
+class Loop:
+    cond: Simple  # may have empty text (for(;;))
+    body: object
+
+
+@dataclass
+class Switch:
+    cond: Simple
+    branches: list  # list[Block]
+    has_default: bool
+
+
+@dataclass
+class Return:
+    expr: Simple
+
+
+@dataclass
+class Throw:
+    start: int
+
+
+@dataclass
+class Jump:
+    kind: str  # 'break' | 'continue'
+
+
+_WS_RE = re.compile(r"\s+")
+_STMT_KW_RE = re.compile(
+    r"(if|while|for|do|switch|return|throw|break|continue|else|try|catch)\b")
+_CASE_LABEL_RE = re.compile(r"\bcase\b(?:[^:;{}]|::)*:|\bdefault\s*:")
+
+
+def _skip_ws(code: str, i: int, end: int) -> int:
+    while i < end and code[i].isspace():
+        i += 1
+    return i
+
+
+def parse_block(code: str, i: int, end: int) -> list:
+    stmts = []
+    while True:
+        i = _skip_ws(code, i, end)
+        if i >= end:
+            break
+        stmt, j = parse_stmt(code, i, end)
+        if stmt is not None:
+            stmts.append(stmt)
+        if j <= i:  # parser must always make progress
+            j = i + 1
+        i = j
+    return stmts
+
+
+def _parse_paren(code: str, i: int, end: int) -> tuple[Simple, int]:
+    """Parse a parenthesized condition/header starting at or after i."""
+    i = _skip_ws(code, i, end)
+    if i >= end or code[i] != "(":
+        return Simple("", i), i
+    j = min(match_balanced(code, i, "(", ")"), end)
+    return Simple(code[i + 1:j - 1], i + 1), j
+
+
+def _consume_simple(code: str, i: int, end: int) -> int:
+    """Index just past the `;` ending the simple statement at i (or the
+    enclosing-block `}` / end if none)."""
+    depth = 0
+    j = i
+    while j < end:
+        c = code[j]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            if depth == 0:
+                return j  # stray closer: end of enclosing block
+            depth -= 1
+        elif c == ";" and depth == 0:
+            return j + 1
+        j += 1
+    return end
+
+
+def parse_stmt(code: str, i: int, end: int):
+    c = code[i]
+    if c == ";":
+        return None, i + 1
+    if c == "{":
+        j = min(match_balanced(code, i, "{", "}"), end)
+        return Block(parse_block(code, i + 1, max(i + 1, j - 1))), j
+    if c == "#":  # preprocessor directive inside a body: skip the line(s)
+        j = i
+        while j < end:
+            nl = code.find("\n", j)
+            if nl == -1:
+                return None, end
+            if code[nl - 1] == "\\":
+                j = nl + 1
+                continue
+            return None, nl + 1
+        return None, end
+    m = _STMT_KW_RE.match(code, i)
+    kw = m.group(1) if m else None
+    if kw == "if":
+        j = _skip_ws(code, m.end(), end)
+        constexpr = code.startswith("constexpr", j)
+        if constexpr:
+            j += len("constexpr")
+        cond, j = _parse_paren(code, j, end)
+        j = _skip_ws(code, j, end)
+        then, j = parse_stmt(code, j, end)
+        k = _skip_ws(code, j, end)
+        els = None
+        if code.startswith("else", k) and not (
+                k + 4 < end and (code[k + 4].isalnum() or code[k + 4] == "_")):
+            k = _skip_ws(code, k + 4, end)
+            els, j = parse_stmt(code, k, end)
+        return If(cond, then, els, constexpr), j
+    if kw in ("while", "for"):
+        cond, j = _parse_paren(code, m.end(), end)
+        j = _skip_ws(code, j, end)
+        body, j = parse_stmt(code, j, end)
+        return Loop(cond, body), j
+    if kw == "do":
+        j = _skip_ws(code, m.end(), end)
+        body, j = parse_stmt(code, j, end)
+        j = _skip_ws(code, j, end)
+        if code.startswith("while", j):
+            cond, j = _parse_paren(code, j + 5, end)
+            j = _skip_ws(code, j, end)
+            if j < end and code[j] == ";":
+                j += 1
+            return Loop(cond, body), j
+        return Loop(Simple("", i), body), j
+    if kw == "switch":
+        cond, j = _parse_paren(code, m.end(), end)
+        j = _skip_ws(code, j, end)
+        if j >= end or code[j] != "{":
+            body, j = parse_stmt(code, j, end)
+            return Switch(cond, [Block([body] if body else [])], False), j
+        close = min(match_balanced(code, j, "{", "}"), end)
+        inner_lo, inner_hi = j + 1, max(j + 1, close - 1)
+        # Split the switch body at top-level case/default labels.
+        cuts, has_default = [], False
+        depth = 0
+        k = inner_lo
+        while k < inner_hi:
+            ch = code[k]
+            if ch in "({[":
+                depth += 1
+            elif ch in ")}]":
+                depth -= 1
+            elif depth == 0 and (ch == "c" or ch == "d"):
+                lm = _CASE_LABEL_RE.match(code, k, inner_hi)
+                if lm:
+                    cuts.append((k, lm.end()))
+                    has_default = has_default or code.startswith("default", k)
+                    k = lm.end()
+                    continue
+            k += 1
+        branches = []
+        for idx, (lo, label_end) in enumerate(cuts):
+            seg_end = cuts[idx + 1][0] if idx + 1 < len(cuts) else inner_hi
+            branches.append(Block(parse_block(code, label_end, seg_end)))
+        if not branches:
+            branches = [Block(parse_block(code, inner_lo, inner_hi))]
+        return Switch(cond, branches, has_default), close
+    if kw == "return":
+        j = _consume_simple(code, m.end(), end)
+        stop = j - 1 if j > m.end() and code[j - 1] == ";" else j
+        return Return(Simple(code[m.end():stop], m.end())), j
+    if kw == "throw":
+        j = _consume_simple(code, m.end(), end)
+        return Throw(i), j
+    if kw in ("break", "continue"):
+        j = _consume_simple(code, m.end(), end)
+        return Jump(kw), j
+    if kw == "try":
+        j = _skip_ws(code, m.end(), end)
+        body, j = parse_stmt(code, j, end)
+        return body, j
+    if kw == "catch":
+        cond, j = _parse_paren(code, m.end(), end)
+        j = _skip_ws(code, j, end)
+        body, j = parse_stmt(code, j, end)
+        # A handler runs on some paths only: model as a one-armed branch.
+        return If(Simple("", i), body, None, False), j
+    if kw == "else":  # stray else (shouldn't happen): treat as block
+        j = _skip_ws(code, m.end(), end)
+        return parse_stmt(code, j, end)
+    j = _consume_simple(code, i, end)
+    stop = j - 1 if j > i and code[j - 1] == ";" else j
+    return Simple(code[i:stop], i), j
+
+
+# --------------------------------------------------------------------------
+# Unit discovery: function and lambda bodies.
+# --------------------------------------------------------------------------
+
+_FN_TAIL_RE = re.compile(
+    r"\)\s*(?:(?:const|noexcept|override|final|mutable|&&|&)\s*)*"
+    r"(?:->\s*[\w:&*<>,\s]*?)?\s*$")
+_CONTROL_KW = ("if", "for", "while", "switch", "catch", "return",
+               "constexpr", "sizeof", "alignof", "decltype", "assert",
+               "requires")
+
+
+def _ident_before(code: str, i: int) -> str:
+    """The identifier ending at (exclusive) position i, skipping spaces."""
+    while i > 0 and code[i - 1].isspace():
+        i -= 1
+    j = i
+    while j > 0 and (code[j - 1].isalnum() or code[j - 1] == "_"):
+        j -= 1
+    return code[j:i]
+
+
+def _matching_open(code: str, close_idx: int, open_ch: str,
+                   close_ch: str) -> int:
+    depth = 0
+    for i in range(close_idx, -1, -1):
+        if code[i] == close_ch:
+            depth += 1
+        elif code[i] == open_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def find_units(code: str) -> list[tuple[int, int]]:
+    """Spans (open_brace, end) of every function and lambda body."""
+    units = []
+    i = code.find("{")
+    while i != -1:
+        k = i - 1
+        while k >= 0 and code[k].isspace():
+            k -= 1
+        if k >= 0 and code[k] == "]":
+            units.append((i, match_balanced(code, i, "{", "}")))
+        else:
+            tail = code[max(0, i - 400):i]
+            m = _FN_TAIL_RE.search(tail)
+            if m:
+                close = max(0, i - 400) + m.start()
+                popen = _matching_open(code, close, "(", ")")
+                if popen > 0:
+                    before = _ident_before(code, popen)
+                    kb = popen - 1
+                    while kb >= 0 and code[kb].isspace():
+                        kb -= 1
+                    if kb >= 0 and code[kb] == "]":
+                        units.append((i, match_balanced(code, i, "{", "}")))
+                    elif before and before not in _CONTROL_KW:
+                        units.append((i, match_balanced(code, i, "{", "}")))
+        i = code.find("{", i + 1)
+    return units
+
+
+def excise_nested(code: str, span: tuple[int, int],
+                  units: list[tuple[int, int]]) -> str:
+    """The body text of `span` with any nested unit bodies blanked (their
+    newlines kept, so offsets stay file-absolute)."""
+    lo, hi = span[0] + 1, span[1] - 1
+    body = list(code[lo:hi])
+    for u_lo, u_hi in units:
+        if u_lo > span[0] and u_hi <= span[1] and (u_lo, u_hi) != span:
+            for k in range(max(u_lo + 1, lo), min(u_hi - 1, hi)):
+                if body[k - lo] != "\n":
+                    body[k - lo] = " "
+    return "".join(body)
+
+
+# --------------------------------------------------------------------------
+# Abstract state.
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class State:
+    fresh: tuple       # sorted tuple of (var, alloc_line)
+    revoked: frozenset
+    boundary: str      # 'none' | 'released' | 'reserved' | 'mixed'
+
+    @staticmethod
+    def initial() -> "State":
+        return State((), frozenset(), "none")
+
+    def fresh_map(self) -> dict:
+        return dict(self.fresh)
+
+
+def _mk_state(fresh: dict, revoked: frozenset, boundary: str) -> State:
+    return State(tuple(sorted(fresh.items())), revoked, boundary)
+
+
+def join_states(states: list[State]) -> State:
+    if len(states) == 1:
+        return states[0]
+    fresh: dict = {}
+    for s in states:
+        for v, line in s.fresh:
+            fresh[v] = min(line, fresh.get(v, line))
+    revoked = frozenset.intersection(*[s.revoked for s in states])
+    bounds = {s.boundary for s in states}
+    boundary = bounds.pop() if len(bounds) == 1 else "mixed"
+    return _mk_state(fresh, revoked, boundary)
+
+
+# --------------------------------------------------------------------------
+# Effect extraction from a simple statement / condition.
+# --------------------------------------------------------------------------
+
+_ALLOC_RE = re.compile(
+    r"\b(\w+)\s*=\s*tx\s*\.\s*(?:template\s+)?alloc(?:_flex)?\s*<")
+_DEALLOC_RE = re.compile(r"\btx\s*\.\s*dealloc\s*\(")
+_REVOKE_RE = re.compile(r"(?:\.|->)\s*revoke\s*\(")
+_RELEASE_RE = re.compile(r"(?:\.|->)\s*(release_all|release)\s*\(")
+_RESERVE_RE = re.compile(r"(?:\.|->)\s*reserve\s*\(")
+_PARK_RE = re.compile(
+    r"(?:(?:\.|->)\s*park(?:_anchor|_cursor)?|\bpark_anchor"
+    r"|\bpark_scan_cursor)\s*\(")
+_RESUME_RE = re.compile(
+    r"(?:(?:\.|->)\s*(?:resume(?:_anchor|_cursor)?|get)|\bresume_anchor"
+    r"|\bresume_scan_cursor)\s*\(")
+_ASSIGN_RE = re.compile(r"\b(\w+)\s*=(?![=<>])")
+_ROOT_VAR_RE = re.compile(r"[\s*&(]*([A-Za-z_]\w*)")
+
+
+def split_args(s: str) -> list[str]:
+    parts, depth, cur = [], 0, []
+    for ch in s:
+        if ch in "([{<":
+            depth += 1
+        elif ch in ")]}>":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        parts.append("".join(cur))
+    return parts
+
+
+def _root_var(arg: str) -> str | None:
+    m = _ROOT_VAR_RE.match(arg)
+    return m.group(1) if m else None
+
+
+def _args_at(text: str, call_end: int) -> tuple[str, int, int]:
+    """(args_text, lo, hi) for the call whose `(` is at call_end - 1."""
+    popen = call_end - 1
+    pclose = match_balanced(text, popen, "(", ")")
+    return text[popen + 1:pclose - 1], popen + 1, pclose - 1
+
+
+class UnitAnalysis:
+    """Forward dataflow over one function/lambda body."""
+
+    MAX_LOOP_ITER = 6
+
+    def __init__(self, path: str, body: str, base: int,
+                 line_starts: list[int], pp_gates: dict,
+                 gate_exempt: bool, sink):
+        self.path = path
+        self.body = body          # file-absolute offsets: body[i] is
+        self.base = base          # code[base + i]
+        self.line_starts = line_starts
+        self.pp_gates = pp_gates  # line -> frozenset of active macros
+        self.gate_exempt = gate_exempt
+        self.sink = sink          # set of (line, rule, message)
+
+    def line(self, body_off: int) -> int:
+        return line_of(self.base + body_off, self.line_starts)
+
+    def report(self, body_off: int, rule: str, message: str) -> None:
+        self.sink.add((self.line(body_off), rule, message))
+
+    def run(self) -> list[tuple[str, State]]:
+        stmts = parse_block(self.body, 0, len(self.body))
+        exits = self.exec_block(stmts, State.initial(), frozenset())
+        for kind, st in exits:
+            if kind in ("fall", "return", "break", "continue"):
+                for var, line in st.fresh:
+                    self.sink.add((
+                        line, "alloc-escape",
+                        f"tx.alloc result '{var}' neither published nor "
+                        f"deallocated on some commit path"))
+        return exits
+
+    # -- statement execution ------------------------------------------------
+
+    def exec_block(self, stmts: list, st: State,
+                   gates: frozenset) -> list[tuple[str, State]]:
+        exits: list[tuple[str, State]] = []
+        falls = [st]
+        for s in stmts:
+            if not falls:
+                break
+            cur = join_states(falls)
+            falls = []
+            for kind, s2 in self.exec_stmt(s, cur, gates):
+                if kind == "fall":
+                    falls.append(s2)
+                else:
+                    exits.append((kind, s2))
+        if falls:
+            exits.append(("fall", join_states(falls)))
+        return exits
+
+    def _exec_one(self, stmt, st: State,
+                  gates: frozenset) -> list[tuple[str, State]]:
+        if stmt is None:
+            return [("fall", st)]
+        if isinstance(stmt, Block):
+            return self.exec_block(stmt.stmts, st, gates)
+        return self.exec_stmt(stmt, st, gates)
+
+    def exec_stmt(self, stmt, st: State,
+                  gates: frozenset) -> list[tuple[str, State]]:
+        if stmt is None:
+            return [("fall", st)]
+        if isinstance(stmt, Simple):
+            return [("fall", self.exec_simple(stmt, st, gates, False))]
+        if isinstance(stmt, Block):
+            return self.exec_block(stmt.stmts, st, gates)
+        if isinstance(stmt, Return):
+            st2 = self.exec_simple(stmt.expr, st, gates, False)
+            return [("return", st2)]
+        if isinstance(stmt, Throw):
+            return [("throw", st)]
+        if isinstance(stmt, Jump):
+            return [(stmt.kind, st)]
+        if isinstance(stmt, If):
+            st2 = self.exec_simple(stmt.cond, st, gates, True)
+            g_then, g_else = gates, gates
+            if stmt.constexpr:
+                for const in GATE_CONSTANTS:
+                    if re.search(r"!\s*" + const + r"\b", stmt.cond.text):
+                        g_else = g_else | {const}
+                    elif re.search(r"\b" + const + r"\b", stmt.cond.text):
+                        g_then = g_then | {const}
+            exits = self._exec_one(stmt.then, st2, g_then)
+            if stmt.els is not None:
+                exits = exits + self._exec_one(stmt.els, st2, g_else)
+            else:
+                exits = exits + [("fall", st2)]
+            return exits
+        if isinstance(stmt, Loop):
+            return self.exec_loop(stmt, st, gates)
+        if isinstance(stmt, Switch):
+            st2 = self.exec_simple(stmt.cond, st, gates, True)
+            exits: list[tuple[str, State]] = []
+            for br in stmt.branches:
+                for kind, s2 in self._exec_one(br, st2, gates):
+                    if kind == "break":
+                        kind = "fall"
+                    exits.append((kind, s2))
+            if not stmt.has_default:
+                exits.append(("fall", st2))
+            return exits
+        return [("fall", st)]
+
+    def exec_loop(self, stmt: Loop, st: State,
+                  gates: frozenset) -> list[tuple[str, State]]:
+        head = st
+        exits: set[tuple[str, State]] = set()
+        back: list[State] = []
+        for _ in range(self.MAX_LOOP_ITER):
+            st_c = self.exec_simple(stmt.cond, head, gates, True)
+            back = []
+            for kind, s2 in self._exec_one(stmt.body, st_c, gates):
+                if kind in ("fall", "continue"):
+                    back.append(s2)
+                elif kind == "break":
+                    exits.add(("fall", s2))
+                else:
+                    exits.add((kind, s2))
+            new_head = join_states([head] + back) if back else head
+            if new_head == head:
+                break
+            head = new_head
+        # Normal exit: condition evaluates false at the head.  For escape
+        # tracking, assume the body ran at least once: a publish inside
+        # the loop (skiplist tower linking) clears freshness at the exit,
+        # while revoked/boundary facts keep the conservative head join.
+        normal = self.exec_simple(stmt.cond, head, gates, True)
+        if back:
+            normal = State(join_states(back).fresh, normal.revoked,
+                           normal.boundary)
+        exits.add(("fall", normal))
+        return list(exits)
+
+    # -- effect interpretation ----------------------------------------------
+
+    def exec_simple(self, stmt: Simple, st: State, gates: frozenset,
+                    is_cond: bool) -> State:
+        text = stmt.text
+        if not text:
+            return st
+        base_off = stmt.start
+        fresh = st.fresh_map()
+        revoked = set(st.revoked)
+        boundary = st.boundary
+        since: dict[str, int] = {}     # var -> offset it became fresh here
+        consumed: list[tuple[int, int]] = []  # spans that are not escapes
+
+        events: list[tuple[int, int, object]] = []  # (offset, prio, action)
+        for m in _ASSIGN_RE.finditer(text):
+            events.append((m.start(1), 0, ("assign", m.group(1))))
+        for m in _ALLOC_RE.finditer(text):
+            events.append((m.start(1), 1, ("alloc", m.group(1))))
+        for m in _DEALLOC_RE.finditer(text):
+            args, lo, hi = _args_at(text, m.end())
+            events.append((m.start(), 1, ("dealloc", _root_var(args))))
+            consumed.append((lo, hi))
+        for m in _REVOKE_RE.finditer(text):
+            args, lo, hi = _args_at(text, m.end())
+            parts = split_args(args)
+            target = parts[1] if len(parts) > 1 and \
+                parts[0].strip() == "tx" else parts[0] if parts else ""
+            events.append((m.start(), 1, ("revoke", _root_var(target))))
+            consumed.append((lo, hi))
+        for m in _RELEASE_RE.finditer(text):
+            args, _, _ = _args_at(text, m.end())
+            parts = [p.strip() for p in split_args(args)]
+            if not parts or _root_var(parts[0]) != "tx":
+                continue  # std::vector::reserve-style false friends
+            if m.group(1) == "release" and len(parts) > 1:
+                continue  # targeted multi-slot release: protocol-neutral
+            events.append((m.start(), 1, ("settle", None)))
+        for m in _RESERVE_RE.finditer(text):
+            args, _, _ = _args_at(text, m.end())
+            parts = [p.strip() for p in split_args(args)]
+            if not parts or _root_var(parts[0]) != "tx":
+                continue
+            events.append((m.start(), 1, ("reserve", None)))
+        for m in _PARK_RE.finditer(text):
+            args, _, _ = _args_at(text, m.end())
+            parts = [p.strip() for p in split_args(args)]
+            if not parts or _root_var(parts[0]) != "tx":
+                continue
+            events.append((m.start(), 1, ("park", None)))
+        for m in _RESUME_RE.finditer(text):
+            args, _, _ = _args_at(text, m.end())
+            parts = [p.strip() for p in split_args(args)]
+            if not parts or _root_var(parts[0]) != "tx":
+                continue
+            events.append((m.start(), 1, ("resume", None)))
+        if not self.gate_exempt:
+            for pat, macro, const in GATED_SYMBOLS:
+                for m in pat.finditer(text):
+                    events.append(
+                        (m.start(), 1, ("gated", (macro, const, m.group(0)))))
+
+        for off, _, (op, arg) in sorted(events, key=lambda e: (e[0], e[1])):
+            abs_off = base_off + off
+            if op == "assign":
+                # Reassignment kills both freshness and revoked facts for
+                # the old value the name no longer denotes.
+                fresh.pop(arg, None)
+                revoked.discard(arg)
+            elif op == "alloc":
+                fresh[arg] = self.line(abs_off)
+                since[arg] = off
+            elif op == "dealloc":
+                if arg in fresh:
+                    del fresh[arg]  # alloc'd and freed in-tx: fine
+                elif arg is not None and arg not in revoked:
+                    self.report(
+                        abs_off, "unlink-without-revoke",
+                        f"tx.dealloc('{arg}') without a reservation revoke "
+                        f"on some path: unlinked nodes must be revoked "
+                        f"before they are freed")
+                else:
+                    revoked.discard(arg)
+            elif op == "revoke":
+                if arg is not None:
+                    revoked.add(arg)
+            elif op == "settle":
+                boundary = "released"
+            elif op == "reserve":
+                if boundary == "reserved":
+                    self.report(
+                        abs_off, "boundary-pairing",
+                        "reserve while the boundary is already reserved "
+                        "(missing release: the previous window slot leaks)")
+                boundary = "reserved"
+            elif op == "park":
+                boundary = "reserved"  # park = release + reserve atomically
+            elif op == "resume":
+                if boundary == "released":
+                    self.report(
+                        abs_off, "boundary-pairing",
+                        "resume/get after release: this transaction "
+                        "already settled the boundary it is resuming")
+            elif op == "gated":
+                macro, const, sym = arg
+                line = self.line(abs_off)
+                if macro not in self.pp_gates.get(line, frozenset()) and \
+                        const not in gates:
+                    self.report(
+                        abs_off, "gated-hook-reachability",
+                        f"'{sym}' reachable without its compile gate "
+                        f"(#ifdef {macro} or if constexpr ({const}))")
+
+        if not is_cond:
+            for var in [v for v in fresh]:
+                for m in re.finditer(r"\b%s\b" % re.escape(var), text):
+                    off = m.start()
+                    if off <= since.get(var, -1):
+                        continue
+                    if any(lo <= off < hi for lo, hi in consumed):
+                        continue
+                    del fresh[var]  # published / escaped
+                    break
+        return _mk_state(fresh, frozenset(revoked), boundary)
+
+
+# --------------------------------------------------------------------------
+# Preprocessor gate regions.
+# --------------------------------------------------------------------------
+
+_PP_RE = re.compile(r"^\s*#\s*(ifdef|ifndef|if|elif|else|endif)\b(.*)$")
+_PP_MACRO_RE = re.compile(r"\bHOHTM_\w+_ENABLED\b")
+
+
+def preprocessor_gates(text: str) -> dict[int, frozenset]:
+    """Map 1-based line -> frozenset of HOHTM_*_ENABLED macros whose
+    #if/#ifdef region encloses that line."""
+    gates: dict[int, frozenset] = {}
+    stack: list[tuple[str, frozenset]] = []  # (directive, macros)
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        m = _PP_RE.match(line)
+        if m:
+            kind, rest = m.group(1), m.group(2)
+            macros = frozenset(_PP_MACRO_RE.findall(rest))
+            if kind in ("ifdef", "if"):
+                stack.append((kind, macros))
+            elif kind == "ifndef":
+                stack.append((kind, frozenset()))
+            elif kind == "elif" and stack:
+                stack[-1] = ("if", macros)
+            elif kind == "else" and stack:
+                prev_kind, _ = stack[-1]
+                if prev_kind == "ifndef":
+                    # #ifndef X ... #else: the else-branch has X defined
+                    # only if the guard names a gate macro.
+                    stack[-1] = ("if", frozenset())
+                else:
+                    stack[-1] = ("if", frozenset())
+            elif kind == "endif" and stack:
+                stack.pop()
+        active = frozenset().union(*[s[1] for s in stack]) if stack \
+            else frozenset()
+        gates[lineno] = active
+    return gates
+
+
+# --------------------------------------------------------------------------
+# Cross-file atomic-protocol rule.
+# --------------------------------------------------------------------------
+
+_ATOMIC_WRITE_RE = re.compile(
+    r"(\w+)\s*(?:\.|->)\s*(store|exchange|fetch_add|fetch_sub|fetch_or"
+    r"|fetch_and|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\(")
+_ATOMIC_LOAD_RE = re.compile(r"(\w+)\s*(?:\.|->)\s*load\s*\(")
+_RELEASE_ORDERS = ("memory_order_release", "memory_order_acq_rel",
+                   "memory_order_seq_cst")
+
+
+def atomic_release_sites(rel: str, code: str,
+                         line_starts: list[int]) -> dict[str, str]:
+    """field -> '<file>:<line>' of one release-or-stronger write."""
+    sites: dict[str, str] = {}
+    for m in _ATOMIC_WRITE_RE.finditer(code):
+        args, _, _ = _args_at(code, m.end())
+        if any(order in args for order in _RELEASE_ORDERS):
+            sites.setdefault(
+                m.group(1), f"{rel}:{line_of(m.start(), line_starts)}")
+    return sites
+
+
+def atomic_relaxed_loads(code: str,
+                         line_starts: list[int]) -> list[tuple[str, int]]:
+    loads = []
+    for m in _ATOMIC_LOAD_RE.finditer(code):
+        args, _, _ = _args_at(code, m.end())
+        if "memory_order_relaxed" in args:
+            loads.append((m.group(1), line_of(m.start(), line_starts)))
+    return loads
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+class FileData:
+    def __init__(self, path: str, rel: str):
+        self.path = path
+        self.rel = rel
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        self.code, self.comments = lex(text)
+        self.line_starts = line_starts_of(self.code)
+        self.pp_gates = preprocessor_gates(text)
+
+
+def analyze_file(fd: FileData) -> list[Finding]:
+    sink: set[tuple[int, str, str]] = set()
+    units = find_units(fd.code)
+    exempt = fd.rel in GATE_EXEMPT
+    interesting = re.compile(
+        r"\btx\s*\.|revoke|release|reserve|park|resume|detail\s*::"
+        r"|__tsan_|\.get\s*\(")
+    for span in units:
+        body = excise_nested(fd.code, span, units)
+        if not interesting.search(body):
+            continue
+        UnitAnalysis(fd.rel, body, span[0] + 1, fd.line_starts,
+                     fd.pp_gates, exempt, sink).run()
+    findings = []
+    for line, rule, message in sorted(sink):
+        if not allowed(fd.comments, ALLOW_RE, line, rule):
+            findings.append(Finding(fd.rel, line, rule, message))
+    return findings
+
+
+def analyze_tree(root: str, paths: list[str]) -> list[Finding]:
+    files = collect(root, paths, TOOL)
+    data = [FileData(p, os.path.relpath(p, root).replace(os.sep, "/"))
+            for p in files]
+    findings: list[Finding] = []
+    for fd in data:
+        findings.extend(analyze_file(fd))
+    # Cross-file pass: release sites anywhere vs relaxed loads *elsewhere*.
+    # A file that itself release-writes the field owns a single-file
+    # protocol for it (the token-level atomic-order rule's domain), so its
+    # own relaxed loads are not flagged here.
+    release_sites: dict[str, str] = {}
+    release_files: dict[str, set] = {}
+    for fd in data:
+        for field, site in atomic_release_sites(
+                fd.rel, fd.code, fd.line_starts).items():
+            release_sites.setdefault(field, site)
+            release_files.setdefault(field, set()).add(fd.rel)
+    for fd in data:
+        for field, line in atomic_relaxed_loads(fd.code, fd.line_starts):
+            if field in release_sites and \
+                    fd.rel not in release_files[field]:
+                if not allowed(fd.comments, ALLOW_RE, line,
+                               "atomic-protocol"):
+                    findings.append(Finding(
+                        fd.rel, line, "atomic-protocol",
+                        f"relaxed load of '{field}', which is written "
+                        f"with release-or-stronger order at "
+                        f"{release_sites[field]}; the happens-before "
+                        f"edge does not reach this read"))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog=TOOL,
+        description="path-sensitive transactional-effect analyzer for the "
+                    "hand-over-hand TM tree")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help=f"files or directories (default: {DEFAULT_PATHS})")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of tools/)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as a JSON array")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, text in RULES.items():
+            print(f"{rule}\n    {text}")
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = args.paths or DEFAULT_PATHS
+    findings = analyze_tree(root, paths)
+
+    if args.json:
+        print(json.dumps([{"path": f.path, "line": f.line, "rule": f.rule,
+                           "message": f.message} for f in findings],
+                         indent=2))
+    else:
+        for f in findings:
+            print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    print(f"{TOOL}: {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""hohtm_cpp: the shared C++ source-handling layer for this repo's
+static-analysis tools (tools/hohtm_lint.py, tools/hohtm_analyze.py).
+
+Dependency-free by design (stdlib only). Provides:
+
+  * lex(text)            -- position-preserving comment/string blanking
+  * line_of(off, starts) -- byte offset -> 1-based line number
+  * line_starts_of(code) -- the offset table line_of consumes
+  * match_balanced(...)  -- balanced-delimiter extraction (multi-line
+                            argument lists, brace bodies)
+  * tx_body_spans(code)  -- byte ranges of atomically(...) lambda bodies
+  * collect(root, paths) -- the tools' shared file-collection walk
+  * allow_re(tool)       -- the `// <tool>: allow(rule-a, rule-b)`
+                            suppression-comment pattern
+  * allowed(...)         -- pragma lookup (same line or line above)
+
+Both tools import this module by path-relative sys.path (they live in the
+same directory), so running either script directly keeps working from any
+cwd. The lexer's contract is load-bearing for every rule: comments and
+string/char literal *contents* are replaced by spaces while newlines are
+kept, so byte offsets and line numbers in the blanked code match the
+original file exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+LINTED_EXTS = (".cpp", ".hpp", ".h", ".cc")
+
+
+# --------------------------------------------------------------------------
+# Lexer: blank comments and string/char literals, keep positions stable.
+# --------------------------------------------------------------------------
+
+def lex(text: str) -> tuple[str, dict[int, str]]:
+    """Return (code, comments): `code` is `text` with comments and string/
+    char literal *contents* replaced by spaces (newlines kept, so offsets
+    and line numbers survive); `comments` maps 1-based line number -> the
+    comment text seen on that line (for allow-pragma lookup)."""
+    out = []
+    comments: dict[int, str] = {}
+    i, n, line = 0, len(text), 1
+
+    def note_comment(s: str, start_line: int) -> None:
+        for off, part in enumerate(s.split("\n")):
+            comments[start_line + off] = comments.get(start_line + off, "") + part
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            note_comment(text[i:j], line)
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i:j + 2]
+            note_comment(seg, line)
+            out.append(re.sub(r"[^\n]", " ", seg))
+            line += seg.count("\n")
+            i = j + 2
+        elif c == '"' and text[i - 1] == "R" and i >= 1:
+            m = re.match(r'R"([^(\s]*)\(', text[i - 1:])
+            if m:
+                delim = ")" + m.group(1) + '"'
+                j = text.find(delim, i + len(m.group(0)) - 1)
+                j = n - len(delim) if j == -1 else j
+                seg = text[i:j + len(delim)]
+                out.append(re.sub(r"[^\n]", " ", seg))
+                line += seg.count("\n")
+                i = j + len(delim)
+            else:
+                out.append(c)
+                i += 1
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 1) + (text[j] if j < n else ""))
+            i = j + 1
+        else:
+            out.append(c)
+            if c == "\n":
+                line += 1
+            i += 1
+    return "".join(out), comments
+
+
+def line_starts_of(code: str) -> list[int]:
+    """Byte offset of the start of each line of `code` (for line_of)."""
+    starts = [0]
+    for ln in code.split("\n")[:-1]:
+        starts.append(starts[-1] + len(ln) + 1)
+    return starts
+
+
+def line_of(offset: int, line_starts: list[int]) -> int:
+    """1-based line number containing byte `offset` (binary search)."""
+    lo, hi = 0, len(line_starts) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if line_starts[mid] <= offset:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1
+
+
+def match_balanced(code: str, open_idx: int, open_ch: str, close_ch: str) -> int:
+    """Index just past the delimiter matching code[open_idx] (== open_ch),
+    or len(code) if unbalanced."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def tx_body_spans(code: str) -> list[tuple[int, int]]:
+    """Byte ranges of `atomically(...)` transaction bodies: the braces of
+    the lambda passed to an atomically( call."""
+    spans = []
+    for m in re.finditer(r"\batomically\s*(?:<[^>]*>)?\s*\(", code):
+        paren_open = code.index("(", m.end() - 1)
+        paren_end = match_balanced(code, paren_open, "(", ")")
+        brace = code.find("{", paren_open, paren_end)
+        if brace == -1:
+            continue
+        body_end = match_balanced(code, brace, "{", "}")
+        spans.append((brace, min(body_end, paren_end)))
+    return spans
+
+
+# --------------------------------------------------------------------------
+# Suppression pragmas: `// <tool>: allow(rule-a, rule-b)` on the finding's
+# line or the line directly above.
+# --------------------------------------------------------------------------
+
+def allow_re(tool: str) -> re.Pattern:
+    return re.compile(re.escape(tool) + r":\s*allow\(([^)]*)\)")
+
+
+def allowed(comments: dict[int, str], pattern: re.Pattern, line: int,
+            rule: str) -> bool:
+    for ln in (line, line - 1):
+        m = pattern.search(comments.get(ln, ""))
+        if m and rule in [r.strip() for r in m.group(1).split(",")]:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# File collection shared by the CLIs.
+# --------------------------------------------------------------------------
+
+def collect(root: str, paths: list[str], tool: str) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            files.append(full)
+        elif os.path.isdir(full):
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames[:] = [d for d in dirnames
+                               if not d.startswith((".", "build"))]
+                files.extend(
+                    os.path.join(dirpath, f)
+                    for f in filenames if f.endswith(LINTED_EXTS)
+                )
+        else:
+            print(f"{tool}: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(files)

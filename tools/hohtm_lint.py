@@ -17,10 +17,10 @@ the finding, or alone on the line directly above it, silences that rule
 for that line.  Several rules may be listed: `allow(rule-a, rule-b)`.
 Every rule is documented in docs/STATIC_ANALYSIS.md.
 
-Dependency-free by design (stdlib only): the lexer below strips comments
-and string/char literals while preserving line/column positions, tracks
-brace depth into `atomically(...)` transaction bodies, and extracts
-balanced multi-line argument lists for the memory-order rule.
+Dependency-free by design (stdlib only): the position-preserving lexer,
+balanced-delimiter extraction, and transaction-body tracking live in the
+shared tools/hohtm_cpp.py module (also used by tools/hohtm_analyze.py,
+the path-sensitive transactional-effect analyzer).
 """
 
 from __future__ import annotations
@@ -31,6 +31,11 @@ import os
 import re
 import sys
 from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import hohtm_cpp
+from hohtm_cpp import lex, line_of, match_balanced, tx_body_spans  # noqa: F401
 
 # --------------------------------------------------------------------------
 # Rule catalog. `paths` are path-prefix filters relative to the repo root
@@ -44,8 +49,9 @@ RULES = {
         "allocations back and frees stay precise"
     ),
     "atomic-order": (
-        "every std::atomic access in src/tm/ and src/core/ must pass an "
-        "explicit std::memory_order argument"
+        "every std::atomic access in src/tm/, src/core/, src/ds/, "
+        "src/kv/, src/reclaim/, and src/sched/ must pass an explicit "
+        "std::memory_order argument"
     ),
     "no-sleep-sync": (
         "no sleep_for/sleep_until/usleep or this_thread::yield based "
@@ -145,114 +151,8 @@ class Finding:
 
 
 # --------------------------------------------------------------------------
-# Lexer: blank comments and string/char literals, keep positions stable.
-# --------------------------------------------------------------------------
-
-def lex(text: str) -> tuple[str, dict[int, str]]:
-    """Return (code, comments): `code` is `text` with comments and string/
-    char literal *contents* replaced by spaces (newlines kept, so offsets
-    and line numbers survive); `comments` maps 1-based line number -> the
-    comment text seen on that line (for allow-pragma lookup)."""
-    out = []
-    comments: dict[int, str] = {}
-    i, n, line = 0, len(text), 1
-
-    def note_comment(s: str, start_line: int) -> None:
-        for off, part in enumerate(s.split("\n")):
-            comments[start_line + off] = comments.get(start_line + off, "") + part
-
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            note_comment(text[i:j], line)
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j == -1 else j
-            seg = text[i:j + 2]
-            note_comment(seg, line)
-            out.append(re.sub(r"[^\n]", " ", seg))
-            line += seg.count("\n")
-            i = j + 2
-        elif c == '"' and text[i - 1] == "R" and i >= 1:
-            m = re.match(r'R"([^(\s]*)\(', text[i - 1:])
-            if m:
-                delim = ")" + m.group(1) + '"'
-                j = text.find(delim, i + len(m.group(0)) - 1)
-                j = n - len(delim) if j == -1 else j
-                seg = text[i:j + len(delim)]
-                out.append(re.sub(r"[^\n]", " ", seg))
-                line += seg.count("\n")
-                i = j + len(delim)
-            else:
-                out.append(c)
-                i += 1
-        elif c in "\"'":
-            quote, j = c, i + 1
-            while j < n:
-                if text[j] == "\\":
-                    j += 2
-                    continue
-                if text[j] == quote or text[j] == "\n":
-                    break
-                j += 1
-            out.append(quote + " " * (j - i - 1) + (text[j] if j < n else ""))
-            i = j + 1
-        else:
-            out.append(c)
-            if c == "\n":
-                line += 1
-            i += 1
-    return "".join(out), comments
-
-
-def line_of(offset: int, line_starts: list[int]) -> int:
-    """1-based line number containing byte `offset` (binary search)."""
-    lo, hi = 0, len(line_starts) - 1
-    while lo < hi:
-        mid = (lo + hi + 1) // 2
-        if line_starts[mid] <= offset:
-            lo = mid
-        else:
-            hi = mid - 1
-    return lo + 1
-
-
-def match_balanced(code: str, open_idx: int, open_ch: str, close_ch: str) -> int:
-    """Index just past the delimiter matching code[open_idx] (== open_ch),
-    or len(code) if unbalanced."""
-    depth = 0
-    for i in range(open_idx, len(code)):
-        if code[i] == open_ch:
-            depth += 1
-        elif code[i] == close_ch:
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return len(code)
-
-
-def tx_body_spans(code: str) -> list[tuple[int, int]]:
-    """Byte ranges of `atomically(...)` transaction bodies: the braces of
-    the lambda passed to an atomically( call."""
-    spans = []
-    for m in re.finditer(r"\batomically\s*(?:<[^>]*>)?\s*\(", code):
-        paren_open = code.index("(", m.end() - 1)
-        paren_end = match_balanced(code, paren_open, "(", ")")
-        brace = code.find("{", paren_open, paren_end)
-        if brace == -1:
-            continue
-        body_end = match_balanced(code, brace, "{", "}")
-        spans.append((brace, min(body_end, paren_end)))
-    return spans
-
-
-# --------------------------------------------------------------------------
-# The linter proper.
+# The linter proper. (The lexer and balanced-delimiter helpers live in
+# tools/hohtm_cpp.py, shared with tools/hohtm_analyze.py.)
 # --------------------------------------------------------------------------
 
 class Linter:
@@ -327,8 +227,11 @@ class Linter:
                 )
 
     # -- rule 2 ------------------------------------------------------------
+    ATOMIC_ORDER_DIRS = ("src/tm/", "src/core/", "src/ds/", "src/kv/",
+                         "src/reclaim/", "src/sched/")
+
     def _check_atomic_order(self, rel, code, line_starts, add):
-        if not (rel.startswith("src/tm/") or rel.startswith("src/core/")):
+        if not rel.startswith(self.ATOMIC_ORDER_DIRS):
             return
         for m in ATOMIC_CALL_RE.finditer(code):
             paren = code.index("(", m.end() - 1)
@@ -477,27 +380,10 @@ class Linter:
 # --------------------------------------------------------------------------
 
 DEFAULT_DIRS = ("src", "tests", "bench", "examples")
-LINTED_EXTS = (".cpp", ".hpp", ".h", ".cc")
 
 
 def collect(root: str, paths: list[str]) -> list[str]:
-    files: list[str] = []
-    for p in paths:
-        full = p if os.path.isabs(p) else os.path.join(root, p)
-        if os.path.isfile(full):
-            files.append(full)
-        elif os.path.isdir(full):
-            for dirpath, dirnames, filenames in os.walk(full):
-                dirnames[:] = [d for d in dirnames
-                               if not d.startswith((".", "build"))]
-                files.extend(
-                    os.path.join(dirpath, f)
-                    for f in filenames if f.endswith(LINTED_EXTS)
-                )
-        else:
-            print(f"hohtm-lint: no such path: {p}", file=sys.stderr)
-            sys.exit(2)
-    return sorted(files)
+    return hohtm_cpp.collect(root, paths, "hohtm-lint")
 
 
 def main(argv: list[str]) -> int:
