@@ -4,7 +4,7 @@
 // (RrNull, unbounded window) against representative reservation
 // algorithms. --workload=X restricts the run to one mix.
 //
-// Rows use the 31-column KV layout (emit_kv_row): the standard cell
+// Rows use the 32-column KV layout (emit_kv_row): the standard cell
 // columns plus kv_hits,kv_misses,kv_migrations,kv_resizes and the scan
 // triple kv_scans,kv_scan_windows,kv_scan_resumes, so the resize
 // traffic the D mix generates and the cursor handovers the E mix

@@ -3,7 +3,7 @@
 # and run a fast benchmark pass. Mirrors what a CI pipeline would do.
 #
 # Usage: scripts/check.sh [--lint] [--analyze] [--tsan] [--asan] [--ubsan]
-#                         [--sched] [--metrics] [--full-bench]
+#                         [--sched] [--metrics] [--net] [--full-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +16,7 @@ SCHED=0
 LINT=0
 ANALYZE=0
 METRICS=0
+NET=0
 FULL_BENCH=0
 for arg in "$@"; do
   case "$arg" in
@@ -73,6 +74,18 @@ for arg in "$@"; do
       # the perf-smoke artifact gate (tools/bench_compare.py against
       # bench/baselines/BENCH_9.baseline.json — seeds it when absent).
       METRICS=1
+      ;;
+    --net)
+      # Serving-tier stage (docs/SERVING.md): the `net`-labeled unit
+      # tests (frame codec fuzzing, loopback differential oracle,
+      # backpressure, stalled-client reclamation), then the
+      # kv_loopback --smoke gate — pipelined clients over real sockets,
+      # self-asserting that depth-16 pipelines fuse into fewer commits
+      # AND fewer quiescence waits per op than depth-1, and that a
+      # stalled client leaves the watchdog clean with a Gauge-exact
+      # footprint — and finally summarize_bench.py rendering the
+      # serving-tier table from the 36-column rows.
+      NET=1
       ;;
     --full-bench) FULL_BENCH=1 ;;
     *)
@@ -194,6 +207,25 @@ if [ "$METRICS" -eq 1 ]; then
   exit 0
 fi
 
+if [ "$NET" -eq 1 ]; then
+  echo "== tests (serving tier: ctest -L net)"
+  if ! ctest --test-dir "$BUILD_DIR" --output-on-failure -L net; then
+    echo "FAIL: serving-tier tests" >&2
+    exit 1
+  fi
+  echo "== loopback smoke (bench/kv_loopback --smoke)"
+  NET_OUT="$BUILD_DIR/net_smoke.txt"
+  "./$BUILD_DIR/bench/kv_loopback" --smoke > "$NET_OUT"
+  if ! grep -q "serving tier" \
+      <(python3 tools/summarize_bench.py "$NET_OUT"); then
+    echo "FAIL: loopback smoke produced no serving-tier table" >&2
+    exit 1
+  fi
+  echo "-- kv_loopback (smoke) ok"
+  echo "NET CHECKS PASSED"
+  exit 0
+fi
+
 echo "== tsan-annotation smoke (default build must be hook-free)"
 # src/util/tsan.hpp compiles to nothing outside tsan builds; a __tsan_*
 # reference in the default archive would mean the gate leaked.
@@ -236,7 +268,7 @@ echo "== kv smoke (bench/kv_ycsb --smoke)"
 # binary self-asserts consistency, settled migration, and Gauge-precise
 # reclamation, then re-runs the cell unfused vs fused and requires
 # window fusion to cut commits per op with zero added aborts (PR 6),
-# printing 31-column rows. summarize_bench.py must render the kv
+# printing 32-column rows. summarize_bench.py must render the kv
 # workload table from them.
 KV_OUT="$BUILD_DIR/kv_smoke.txt"
 "./$BUILD_DIR/bench/kv_ycsb" --smoke > "$KV_OUT"

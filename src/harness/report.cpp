@@ -17,7 +17,7 @@ std::string cause_columns() {
   return names;
 }
 
-// The shared 24-column cell body (everything but the trailing newline),
+// The shared 25-column cell body (everything but the trailing newline),
 // so the KV variant appends its columns to an identical prefix.
 void print_cell_columns(const std::string& figure, const std::string& panel,
                         const std::string& series, int threads,
@@ -44,7 +44,17 @@ void print_cell_columns(const std::string& figure, const std::string& panel,
   std::printf(",%llu,%llu",
               static_cast<unsigned long long>(c.attributed_losses()),
               static_cast<unsigned long long>(c.attributed_aborts()));
+  std::printf(",%llu", static_cast<unsigned long long>(c.quiescence_waits));
 }
+
+// The shared tail of every `# columns:` header line (after the abort
+// causes) — kept in one place so the base/kv/net variants cannot drift.
+constexpr const char* kBaseTailColumns =
+    ",res_lost,fused_windows,commit_p50_ns,commit_p95_ns,commit_p99_ns"
+    ",commit_max_ns,live_peak,res_lost_attr,aborts_attr,quiescence_waits";
+constexpr const char* kKvColumns =
+    ",kv_hits,kv_misses,kv_migrations,kv_resizes"
+    ",kv_scans,kv_scan_windows,kv_scan_resumes";
 
 }  // namespace
 
@@ -53,9 +63,8 @@ void emit_header(const std::string& figure, const std::string& description) {
   std::printf("# %s: %s\n", figure.c_str(), description.c_str());
   std::printf(
       "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
-      ",res_lost,fused_windows,commit_p50_ns,commit_p95_ns,commit_p99_ns"
-      ",commit_max_ns,live_peak,res_lost_attr,aborts_attr\n",
-      cause_columns().c_str());
+      "%s\n",
+      cause_columns().c_str(), kBaseTailColumns);
   std::fflush(stdout);
 }
 
@@ -86,11 +95,8 @@ void emit_kv_header(const std::string& figure,
   std::printf("# %s: %s\n", figure.c_str(), description.c_str());
   std::printf(
       "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
-      ",res_lost,fused_windows,commit_p50_ns,commit_p95_ns,commit_p99_ns"
-      ",commit_max_ns,live_peak,res_lost_attr,aborts_attr"
-      ",kv_hits,kv_misses,kv_migrations,kv_resizes"
-      ",kv_scans,kv_scan_windows,kv_scan_resumes\n",
-      cause_columns().c_str());
+      "%s%s\n",
+      cause_columns().c_str(), kBaseTailColumns, kKvColumns);
   std::fflush(stdout);
 }
 
@@ -106,6 +112,40 @@ void emit_kv_row(const std::string& figure, const std::string& panel,
               static_cast<unsigned long long>(kv.scans),
               static_cast<unsigned long long>(kv.scan_windows),
               static_cast<unsigned long long>(kv.scan_resumes));
+  for (const FootprintSample& s : cell.footprint)
+    emit_timeline_row(figure, panel, series, threads, s.t_ms, s.live);
+  std::fflush(stdout);
+}
+
+void emit_net_header(const std::string& figure,
+                     const std::string& description) {
+  install_standard_sections();  // every bench is metrics-snapshot capable
+  std::printf("# %s: %s\n", figure.c_str(), description.c_str());
+  std::printf(
+      "# columns: figure,panel,series,threads,mops,cv_pct,commits,aborts%s"
+      "%s%s,net_batches,net_fused_ops,net_bytes_in,net_bytes_out\n",
+      cause_columns().c_str(), kBaseTailColumns, kKvColumns);
+  std::fflush(stdout);
+}
+
+void emit_net_row(const std::string& figure, const std::string& panel,
+                  const std::string& series, int threads,
+                  const CellResult& cell, const KvRowExtra& kv,
+                  const NetRowExtra& net) {
+  print_cell_columns(figure, panel, series, threads, cell);
+  std::printf(",%llu,%llu,%llu,%llu,%llu,%llu,%llu",
+              static_cast<unsigned long long>(kv.hits),
+              static_cast<unsigned long long>(kv.misses),
+              static_cast<unsigned long long>(kv.migrations),
+              static_cast<unsigned long long>(kv.resizes),
+              static_cast<unsigned long long>(kv.scans),
+              static_cast<unsigned long long>(kv.scan_windows),
+              static_cast<unsigned long long>(kv.scan_resumes));
+  std::printf(",%llu,%llu,%llu,%llu\n",
+              static_cast<unsigned long long>(net.batches),
+              static_cast<unsigned long long>(net.fused_ops),
+              static_cast<unsigned long long>(net.bytes_in),
+              static_cast<unsigned long long>(net.bytes_out));
   for (const FootprintSample& s : cell.footprint)
     emit_timeline_row(figure, panel, series, threads, s.t_ms, s.live);
   std::fflush(stdout);

@@ -27,10 +27,13 @@ namespace hohtm::harness {
 /// (max live-object count observed during the cell). PR 7 appends the
 /// attribution pair: res_lost_attr (losses whose revoker was named via
 /// the RevocationBoard) and aborts_attr (conflict aborts with a known
-/// aborter slot) — 24 columns, and emit_header now prints a
-/// `# columns:` line naming them all. tools/summarize_bench.py keys on
-/// that header when present and still understands every historical
-/// headerless width (6, 15, 20, 22 columns).
+/// aborter slot), and emit_header now prints a `# columns:` line naming
+/// them all. PR 10 appends quiescence_waits (fences executed by
+/// Quiescence::wait_until / wait_all_inactive during the timed phase —
+/// the precise-reclamation synchrony an op mix pays) — 25 columns.
+/// tools/summarize_bench.py keys on that header when present and still
+/// understands every historical headerless width (6, 15, 20, 22, 24
+/// columns).
 ///
 /// When footprint sampling is on (HOH_BENCH_FOOTPRINT_MS), each cell is
 /// followed by its reclamation-footprint timeline, one sample per row:
@@ -65,7 +68,7 @@ struct KvRowExtra {
   std::uint64_t scan_resumes = 0;
 };
 
-/// 31-column variant of the bench CSV: the 24 emit_row columns plus
+/// 32-column variant of the bench CSV: the 25 emit_row columns plus
 /// kv_hits,kv_misses,kv_migrations,kv_resizes,kv_scans,kv_scan_windows,
 /// kv_scan_resumes. summarize_bench.py and trace_report.py accept both
 /// layouts via the `# columns:` header (historical headerless widths
@@ -74,5 +77,24 @@ void emit_kv_header(const std::string& figure, const std::string& description);
 void emit_kv_row(const std::string& figure, const std::string& panel,
                  const std::string& series, int threads,
                  const CellResult& cell, const KvRowExtra& kv);
+
+/// Serving-tier telemetry appended by the kv_loopback bench (PR 10):
+/// pipeline batches submitted through the ring as kBatch requests, ops
+/// that committed inside a fused same-shard group (2+ ops in one window
+/// transaction), and raw wire traffic (see docs/SERVING.md).
+struct NetRowExtra {
+  std::uint64_t batches = 0;
+  std::uint64_t fused_ops = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// 36-column variant: the 32 emit_kv_row columns plus
+/// net_batches,net_fused_ops,net_bytes_in,net_bytes_out.
+void emit_net_header(const std::string& figure, const std::string& description);
+void emit_net_row(const std::string& figure, const std::string& panel,
+                  const std::string& series, int threads,
+                  const CellResult& cell, const KvRowExtra& kv,
+                  const NetRowExtra& net);
 
 }  // namespace hohtm::harness

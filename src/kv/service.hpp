@@ -18,6 +18,7 @@ enum class ResultCode : std::uint8_t {
   kOk = 0,      // the op did what it says (get hit, put applied, del hit)
   kNotFound,    // get/del on an absent key
   kStopped,     // service shut down before the request ran
+  kShutdown,    // submit() rejected: stop() already began (fail-fast)
 };
 
 /// Completion record a client hands in with its request and blocks on.
@@ -33,14 +34,27 @@ struct Completion {
   /// canonical scan order. The worker fills this before signalling, so
   /// the waiter owns it race-free once wait() returns.
   std::vector<std::pair<std::string, std::string>> entries;
+  /// kBatch: batching-efficiency counters from Store::run_batch (ops
+  /// committed inside fused groups, fused group transactions).
+  std::uint64_t fused_ops = 0;
+  std::uint64_t batch_txs = 0;
+  /// Optional post-signal hook for poll-style waiters (the net event
+  /// loop's eventfd kick). Runs after the release store + notify, and
+  /// must touch ONLY its argument: a concurrent wait()er may already
+  /// have destroyed this Completion by the time the hook runs.
+  void (*on_signal)(void*) = nullptr;
+  void* on_signal_arg = nullptr;
 
   void wait() noexcept {
     while (state.load(std::memory_order_acquire) == 0) state.wait(0);
   }
   void signal(ResultCode code) noexcept {
+    void (*hook)(void*) = on_signal;
+    void* hook_arg = on_signal_arg;
     rc = code;
     state.store(1, std::memory_order_release);
     state.notify_all();
+    if (hook != nullptr) hook(hook_arg);
   }
   void reset() noexcept {
     state.store(0, std::memory_order_relaxed);
@@ -49,6 +63,10 @@ struct Completion {
     scan_count = 0;
     created = false;
     entries.clear();
+    fused_ops = 0;
+    batch_txs = 0;
+    on_signal = nullptr;
+    on_signal_arg = nullptr;
   }
 };
 
@@ -63,6 +81,10 @@ struct Request {
   std::size_t scan_limit = 0;
   Completion* done = nullptr;
   bool collect = false;
+  /// kBatch: the pipelined ops, owned by the submitter and alive until
+  /// `done` signals; the worker writes each op's result fields in place.
+  BatchOp* batch = nullptr;
+  std::uint32_t batch_len = 0;
 };
 
 /// Bounded MPMC submission ring (Vyukov per-cell sequence numbers), with
@@ -199,8 +221,32 @@ class Service {
 
   /// Enqueue a request. `req.done` must outlive the completion signal.
   /// Blocks while the ring is full; callable from any number of client
-  /// threads.
-  void submit(Request req) { ring_.push(std::move(req)); }
+  /// threads. A submit that races stop() fails fast: it returns false
+  /// and signals `req.done` with kShutdown instead of parking the
+  /// request (and its waiter) behind a drained ring forever.
+  bool submit(Request req) {
+    // Dekker handshake with stop(): the submitter publishes itself then
+    // checks the flag; stop() publishes the flag then waits for the
+    // submitter count to drain. seq_cst on both sides so one of the two
+    // always observes the other — acquire/release alone would let both
+    // loads pass both stores and push into a ring no worker will drain.
+    submitters_.fetch_add(1, std::memory_order_seq_cst);
+    if (stopped_.load(std::memory_order_seq_cst)) {
+      submitters_.fetch_sub(1, std::memory_order_seq_cst);
+      submitters_.notify_all();
+      if (req.done != nullptr) req.done->signal(ResultCode::kShutdown);
+      return false;
+    }
+    ring_.push(std::move(req));
+    submitters_.fetch_sub(1, std::memory_order_seq_cst);
+    // seq_cst so this load cannot stay stale past stop()'s flag store:
+    // either it sees the flag (and notifies the waiter), or the whole
+    // decrement is seq_cst-before stop()'s count probe, which then reads
+    // zero and never parks. A weaker order could do neither — skipping
+    // the notify a parked stop() depends on.
+    if (stopped_.load(std::memory_order_seq_cst)) submitters_.notify_all();
+    return true;
+  }
 
   /// Convenience synchronous client calls (one Completion on the stack).
   ResultCode get(std::string key, std::string& value_out) {
@@ -250,11 +296,19 @@ class Service {
   }
 
   /// Stop and join the workers. Idempotent; implied by the destructor.
-  /// Every request submitted before stop() is served; anything a racing
-  /// client queued behind the sentinels is answered kStopped so no
-  /// waiter hangs. Submitting after stop() returns is unsupported.
+  /// Every request whose submit() won the race against stop() is served
+  /// or answered kStopped; a submit() that loses is rejected with
+  /// kShutdown — either way no waiter hangs.
   void stop() {
-    if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+    if (stopped_.exchange(true, std::memory_order_seq_cst)) return;
+    // Wait out in-flight submitters (the other half of the submit()
+    // handshake) so the sentinels land after every accepted request.
+    for (;;) {
+      const std::size_t in_flight =
+          submitters_.load(std::memory_order_seq_cst);
+      if (in_flight == 0) break;
+      submitters_.wait(in_flight, std::memory_order_seq_cst);
+    }
     for (std::size_t i = 0; i < workers_.size(); ++i)
       ring_.push(Request{OpCode::kStop, {}, {}, 0, nullptr});
     for (std::thread& w : workers_) w.join();
@@ -355,6 +409,58 @@ class Service {
           }
           break;
         }
+        case OpCode::kBatch: {
+          // Pipelined group: stats ops answer locally, everything else
+          // goes through Store::run_batch, which fuses consecutive
+          // same-shard runs into single window transactions.
+          BatchCounters bc;
+          BatchOp* ops = req.batch;
+          const std::size_t n = req.batch_len;
+          std::size_t i = 0;
+          while (i < n) {
+            if (ops[i].op == OpCode::kStats) {
+              ops[i].out = stats_snapshot();
+              ops[i].hit = true;
+              ++i;
+              continue;
+            }
+            std::size_t j = i;
+            while (j < n && ops[j].op != OpCode::kStats) ++j;
+            store_.run_batch(ops + i, j - i, bc);
+            i = j;
+          }
+          for (i = 0; i < n; ++i) {
+            switch (ops[i].op) {
+              case OpCode::kGet:
+                stats.gets.fetch_add(1, std::memory_order_relaxed);
+                break;
+              case OpCode::kPut:
+                stats.puts.fetch_add(1, std::memory_order_relaxed);
+                break;
+              case OpCode::kDel:
+                stats.dels.fetch_add(1, std::memory_order_relaxed);
+                break;
+              case OpCode::kScan:
+                stats.scans.fetch_add(1, std::memory_order_relaxed);
+                break;
+              default:
+                break;
+            }
+          }
+          if (done != nullptr) {
+            done->fused_ops = bc.fused_ops;
+            done->batch_txs = bc.batch_txs;
+            done->signal(ResultCode::kOk);
+          }
+          break;
+        }
+        case OpCode::kStats: {
+          if (done != nullptr) {
+            done->value = stats_snapshot();
+            done->signal(ResultCode::kOk);
+          }
+          break;
+        }
         case OpCode::kStop:
           break;  // handled above
       }
@@ -365,6 +471,7 @@ class Service {
   RequestRing ring_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
+  std::atomic<std::size_t> submitters_{0};  // submit()s inside the gate
   std::atomic<std::size_t> worker_seq_{0};
   util::CachePadded<AtomicStats> worker_stats_[util::kMaxThreads];
 };

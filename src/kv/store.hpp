@@ -28,8 +28,42 @@
 namespace hohtm::kv {
 
 /// Request opcodes shared by Store telemetry, Service, and the trace
-/// taxonomy (util::Ev::kKvOpStart carries the index).
-enum class OpCode : std::uint8_t { kGet = 0, kPut, kDel, kScan, kStop };
+/// taxonomy (util::Ev::kKvOpStart carries the index). kBatch carries a
+/// pipelined group of ops through the Service ring in one request;
+/// kStats asks for a Service::stats_snapshot() (both PR 10, the serving
+/// tier — see docs/SERVING.md).
+enum class OpCode : std::uint8_t {
+  kGet = 0,
+  kPut,
+  kDel,
+  kScan,
+  kStop,
+  kBatch,
+  kStats,
+};
+
+/// One operation inside a pipelined batch (an OpCode::kBatch request).
+/// The serving tier decodes a pipeline read into an array of these; the
+/// Service worker hands contiguous runs to Store::run_batch, which fuses
+/// consecutive same-shard ops into one window transaction. Result fields
+/// are written by the executor and read back by the submitter after the
+/// batch's Completion signals.
+struct BatchOp {
+  OpCode op = OpCode::kGet;
+  std::string key;
+  std::string value;       // kPut payload
+  std::uint32_t scan_limit = 0;
+  // Results:
+  bool hit = false;        // get/del: key was present; put: newly inserted
+  std::string out;         // get: value copy; stats: JSON snapshot
+  std::uint32_t scan_count = 0;
+};
+
+/// Batching-efficiency telemetry accumulated by Store::run_batch.
+struct BatchCounters {
+  std::uint64_t fused_ops = 0;   // ops committed inside a 2+-op fused group
+  std::uint64_t batch_txs = 0;   // fused group transactions committed
+};
 
 namespace detail {
 
@@ -322,6 +356,52 @@ class Store {
   template <class F>
   std::size_t scan(std::size_t limit, F&& fn) {
     return scan_impl(true, std::string_view{}, limit, std::forward<F>(fn));
+  }
+
+  /// Shard that owns `key` — the serving tier's grouping key: consecutive
+  /// pipeline ops with equal shard_of_key can fuse into one transaction.
+  std::size_t shard_of_key(std::string_view key) const noexcept {
+    return shard_index(detail::hash_bytes(key));
+  }
+
+  /// Execute a pipelined batch in order, fusing runs of consecutive
+  /// same-shard keyed ops (get/put/del) into single window transactions
+  /// under the tuner's fusion budget (docs/SERVING.md, "Batch-boundary
+  /// fusion"). A fused group of k ops pays one commit — and, when it
+  /// frees nodes, one quiescence fence — instead of k. Scans execute
+  /// unfused via their own multi-window machinery; result fields are
+  /// written into each BatchOp. Ops that cannot fuse (budget drained,
+  /// window overflow, racing grow, fusion disabled) fall back to the
+  /// ordinary one-op-per-window path, so semantics match issuing the
+  /// ops back to back.
+  void run_batch(BatchOp* ops, std::size_t n, BatchCounters& bc) {
+    const auto keyed = [](OpCode op) {
+      return op == OpCode::kGet || op == OpCode::kPut || op == OpCode::kDel;
+    };
+    std::size_t i = 0;
+    while (i < n) {
+      BatchOp& op = ops[i];
+      if (op.op == OpCode::kScan) {
+        op.scan_count = static_cast<std::uint32_t>(scan_from(
+            op.key, op.scan_limit, [](std::string_view, std::string_view) {}));
+        op.hit = op.scan_count > 0;
+        ++i;
+        continue;
+      }
+      if (!keyed(op.op)) {  // kStats handled by the Service worker
+        ++i;
+        continue;
+      }
+      const std::size_t sh = shard_of_key(op.key);
+      std::size_t j = i + 1;
+      while (j < n && keyed(ops[j].op) && shard_of_key(ops[j].key) == sh) ++j;
+      if (j - i == 1 || fusion_gate_ == nullptr) {
+        run_single(ops[i]);
+        ++i;
+      } else {
+        i = run_fused_group(shards_[sh].value, sh, ops, i, j, bc);
+      }
+    }
   }
 
   /// Number of entries; one transaction per shard (diagnostic use).
@@ -642,6 +722,178 @@ class Store {
         handed_over = true;  // Step::kHandover
       }
     }
+  }
+
+  /// One batch op through the ordinary one-window-per-tx path.
+  void run_single(BatchOp& op) {
+    switch (op.op) {
+      case OpCode::kGet:
+        op.hit = get(op.key, op.out);
+        break;
+      case OpCode::kPut:
+        op.hit = put(op.key, op.value);
+        break;
+      case OpCode::kDel:
+        op.hit = del(op.key);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Commit a run of consecutive same-shard keyed ops [begin, end) as
+  /// ONE fused transaction: each op past the first — and each mid-chain
+  /// window overflow — consumes one unit of the tuner-granted fusion
+  /// budget, exactly as if the per-op commit/begin boundary had been
+  /// elided (ds::FusionState). Returns the index after the last op that
+  /// executed; the caller re-dispatches the remainder (budget drained,
+  /// window overflow, or a grow that raced the migration prologue).
+  /// Aborted attempts rerun the whole group from `begin`, so the local
+  /// result slots are re-written per attempt and consumed only up to
+  /// `done`.
+  std::size_t run_fused_group(Shard& sh, std::size_t shard, BatchOp* ops,
+                              std::size_t begin, std::size_t end,
+                              BatchCounters& bc) {
+    const ds::WindowPlan plan = fusion_gate_->plan_op();
+    ds::FusionState fusion(plan.fusion_budget);
+    struct Feedback {
+      ds::WindowTuner* gate;
+      ~Feedback() {
+        if (gate != nullptr) gate->observe();
+      }
+    } feedback{fusion_gate_.get()};
+    const std::size_t len = end - begin;
+    std::vector<std::uint64_t> hashes(len);
+    for (std::size_t k = 0; k < len; ++k)
+      hashes[k] = detail::hash_bytes(ops[begin + k].key);
+    // Migrate every member's old bucket up front so the common case
+    // commits without tripping the in-transaction check below.
+    for (std::size_t k = 0; k < len; ++k) migrate_for(sh, hashes[k]);
+    struct OpResult {
+      bool hit = false;
+      bool inserted = false;
+      std::size_t walked = 0;
+      std::string out;
+    };
+    std::vector<OpResult> res(len);
+    std::size_t done = begin;
+    TM::atomically([&](Tx& tx) {
+      fusion.on_attempt_start();
+      done = begin;
+      reservation_.register_thread(tx);
+      detail::Table* old = tx.read(sh.old);
+      detail::Table* cur = tx.read(sh.cur);
+      int used = initial_scatter();
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::uint64_t h = hashes[k - begin];
+        if (old != nullptr &&
+            tx.read(old->slots()[detail::bucket_index(
+                h, old->log2, opt_.log2_shards)]) != detail::moved_tag())
+          break;  // a grow raced the prologue: leave the rest to run_batch
+        if (k > begin) {
+          if (!fusion.try_fuse()) break;
+          used = 0;  // the elided per-op boundary: a fresh window, same tx
+        }
+        OpResult& r = res[k - begin];
+        r = OpResult{};
+        BatchOp& o = ops[k];
+        detail::Node** link = &cur->slots()[detail::bucket_index(
+            h, cur->log2, opt_.log2_shards)];
+        detail::Node* curr = tx.read(*link);
+        bool overflow = false;
+        while (curr != nullptr &&
+               detail::precedes(curr->hash, curr->key(), h, o.key)) {
+          if (used >= plan.window) {
+            if (!fusion.try_fuse()) {
+              overflow = true;
+              break;
+            }
+            used = 0;
+          }
+          link = &curr->next;
+          curr = tx.read(*link);
+          ++used;
+          ++r.walked;
+        }
+        if (overflow) break;
+        const bool found =
+            curr != nullptr && curr->hash == h && curr->key() == o.key;
+        switch (o.op) {
+          case OpCode::kGet:
+            if (found) {
+              const std::string_view v = curr->value();
+              r.out.assign(v.data(), v.size());
+              r.hit = true;
+            }
+            break;
+          case OpCode::kPut:
+            if (found) {
+              // Same replace discipline as put(): new node in, old node
+              // revoked and freed in this very transaction.
+              rr::SiteScope site(tm::RevokeSite::kKvReplace);
+              detail::Node* fresh =
+                  make_node(tx, h, o.key, o.value, tx.read(curr->next));
+              tx.write(*link, fresh);
+              reservation_.revoke(tx, curr);
+              tx.dealloc(curr);
+            } else {
+              detail::Node* fresh = make_node(tx, h, o.key, o.value, curr);
+              tx.write(*link, fresh);
+              r.hit = true;
+              r.inserted = true;
+            }
+            break;
+          case OpCode::kDel:
+            if (found) {
+              rr::SiteScope site(tm::RevokeSite::kKvDelete);
+              tx.write(*link, tx.read(curr->next));
+              reservation_.revoke(tx, curr);
+              tx.dealloc(curr);
+              r.hit = true;
+            }
+            break;
+          default:
+            break;
+        }
+        done = k + 1;
+      }
+      reservation_.release(tx);
+    });
+    fusion.on_commit();
+    if (done == begin) {
+      // Nothing executed (budget drained on the head op's own chain, or
+      // its bucket needs migration): the normal path handles both.
+      run_single(ops[begin]);
+      return begin + 1;
+    }
+    bc.batch_txs += 1;
+    if (done - begin >= 2) bc.fused_ops += done - begin;
+    bool want_grow = false;
+    for (std::size_t k = begin; k < done; ++k) {
+      OpResult& r = res[k - begin];
+      BatchOp& o = ops[k];
+      o.hit = r.hit;
+      o.out = std::move(r.out);
+      util::trace_event(util::Ev::kKvOpStart,
+                        static_cast<std::uint64_t>(o.op));
+      const std::uint32_t cell =
+          ContentionMap::cell_of(hashes[k - begin], opt_.log2_shards);
+      ContentionMap::note(static_cast<std::uint32_t>(shard), cell,
+                          ContentionMap::kOpWeight);
+      const bool revoked = (o.op == OpCode::kPut && !r.hit) ||
+                           (o.op == OpCode::kDel && r.hit);
+      if (revoked)
+        ContentionMap::note(static_cast<std::uint32_t>(shard), cell,
+                            ContentionMap::kRevokeWeight);
+      if (r.inserted &&
+          r.walked >= static_cast<std::size_t>(opt_.grow_chain))
+        want_grow = true;
+      util::trace_event(util::Ev::kKvOpDone,
+                        static_cast<std::uint64_t>(o.op));
+    }
+    if (want_grow) try_grow(sh);
+    after_op(sh, OpCode::kBatch);  // one helper window for the whole group
+    return done;
   }
 
   /// Drive migration of the old bucket holding `h` to completion (no-op

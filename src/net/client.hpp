@@ -1,0 +1,101 @@
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace hohtm::net {
+
+/// Blocking pipelined client for tests and the loopback bench: queue any
+/// number of requests, flush() them in one write, then recv() responses
+/// in order. Sequence numbers are assigned automatically and returned so
+/// callers can assert per-connection in-order completion.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connect(std::uint16_t port) {
+    fd_ = connect_tcp(port);
+    return fd_ >= 0;
+  }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int fd() const noexcept { return fd_; }
+
+  std::uint32_t queue_get(std::string_view key) {
+    encode_get(outbuf_, next_seq_, key);
+    return next_seq_++;
+  }
+  std::uint32_t queue_put(std::string_view key, std::string_view value) {
+    encode_put(outbuf_, next_seq_, key, value);
+    return next_seq_++;
+  }
+  std::uint32_t queue_del(std::string_view key) {
+    encode_del(outbuf_, next_seq_, key);
+    return next_seq_++;
+  }
+  std::uint32_t queue_scan(std::string_view key, std::uint32_t limit) {
+    encode_scan(outbuf_, next_seq_, key, limit);
+    return next_seq_++;
+  }
+  std::uint32_t queue_stats() {
+    encode_stats(outbuf_, next_seq_);
+    return next_seq_++;
+  }
+
+  /// Write every queued frame in one burst (the pipelining that makes
+  /// the server's batch boundary). Returns bytes written, 0 on failure.
+  std::size_t flush() {
+    if (outbuf_.empty()) return 0;
+    const std::size_t n = outbuf_.size();
+    const bool ok = write_all(fd_, outbuf_.data(), n);
+    outbuf_.clear();
+    return ok ? n : 0;
+  }
+
+  /// Raw bytes straight to the socket — the torn-frame tests drip-feed
+  /// partial frames through this.
+  bool send_raw(std::string_view bytes) {
+    return write_all(fd_, bytes.data(), bytes.size());
+  }
+
+  /// Blocking read of the next response frame; false on EOF/error.
+  bool recv(NetResponse& out) {
+    for (;;) {
+      const DecodeResult d = dec_.next(out);
+      if (d == DecodeResult::kFrame) return true;
+      if (d != DecodeResult::kNeedMore) return false;
+      char buf[65536];
+      const ssize_t r = ::read(fd_, buf, sizeof(buf));
+      if (r > 0) {
+        dec_.feed(buf, static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r < 0 && errno == EINTR) continue;
+      return false;  // EOF or hard error
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint32_t next_seq_ = 1;
+  std::string outbuf_;
+  ResponseDecoder dec_;
+};
+
+}  // namespace hohtm::net

@@ -1,0 +1,359 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace hohtm::net {
+
+/// Wire protocol for the serving tier (docs/SERVING.md). Length-prefixed
+/// little-endian frames, designed for pipelining: a client may write any
+/// number of request frames back to back; the server answers with one
+/// response frame per request, in submission order per connection.
+///
+/// Request frame:
+///   u32 len      bytes after this field
+///   u8  op       1=GET 2=PUT 3=DEL 4=SCAN 5=STATS
+///   u32 seq      client-chosen id, echoed verbatim in the response
+///   payload      GET/DEL: u32 klen, key bytes
+///                PUT:     u32 klen, u32 vlen, key bytes, value bytes
+///                SCAN:    u32 klen, u32 limit, key bytes
+///                STATS:   empty
+///
+/// Response frame:
+///   u32 len      bytes after this field
+///   u8  op       echoed request opcode
+///   u8  status   0=ok 1=not_found 2=stopped 3=shutdown 4=bad_frame
+///   u32 seq      echoed request seq
+///   payload      GET ok:  u32 vlen, value bytes
+///                PUT:     u8 created
+///                DEL:     empty
+///                SCAN:    u32 count (count-only keeps frames bounded)
+///                STATS:   u32 vlen, JSON snapshot bytes
+///
+/// The decoder is incremental: feed() accepts arbitrary byte slices
+/// (torn frames, coalesced reads) and next() yields complete frames —
+/// the splitter fuzz test proves every partition of a stream decodes to
+/// byte-identical results.
+
+enum class WireOp : std::uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kDel = 3,
+  kScan = 4,
+  kStats = 5,
+};
+
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kStopped = 2,
+  kShutdown = 3,
+  kBadFrame = 4,
+};
+
+/// Frames larger than this are protocol violations: the decoder reports
+/// kTooBig without buffering them, and the server answers bad_frame and
+/// closes (docs/SERVING.md, "Framing rules").
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// A decoded request frame.
+struct NetOp {
+  WireOp op = WireOp::kGet;
+  std::uint32_t seq = 0;
+  std::string key;
+  std::string value;
+  std::uint32_t scan_limit = 0;
+};
+
+/// A decoded response frame.
+struct NetResponse {
+  WireOp op = WireOp::kGet;
+  WireStatus status = WireStatus::kOk;
+  std::uint32_t seq = 0;
+  std::string value;   // get value / stats JSON
+  bool created = false;
+  std::uint32_t scan_count = 0;
+};
+
+enum class DecodeResult : std::uint8_t {
+  kFrame,     // one complete frame decoded into `out`
+  kNeedMore,  // the buffered bytes end mid-frame
+  kTooBig,    // declared length exceeds the frame cap
+  kMalformed, // bad opcode / payload inconsistent with the length
+};
+
+namespace detail {
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out.append(b, 4);
+}
+
+inline std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+/// Incremental frame buffer shared by the request and response decoders:
+/// feed() appends, frame() peeks one complete length-prefixed body.
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(std::uint32_t max_frame) : max_frame_(max_frame) {}
+
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  /// kFrame: `*body`/`*body_len` point at the complete frame body (valid
+  /// until the next feed/consume); caller must consume() after decoding.
+  DecodeResult frame(const char** body, std::size_t* body_len) {
+    compact();
+    const std::size_t avail = buf_.size() - off_;
+    if (avail < 4) return DecodeResult::kNeedMore;
+    const std::uint32_t len = get_u32(buf_.data() + off_);
+    if (len > max_frame_) return DecodeResult::kTooBig;
+    if (avail < 4 + static_cast<std::size_t>(len))
+      return DecodeResult::kNeedMore;
+    *body = buf_.data() + off_ + 4;
+    *body_len = len;
+    return DecodeResult::kFrame;
+  }
+
+  void consume(std::size_t body_len) { off_ += 4 + body_len; }
+
+  bool empty() const { return off_ == buf_.size(); }
+
+ private:
+  void compact() {
+    // Reclaim consumed prefix bytes once they dominate the buffer, so a
+    // long-lived pipelined connection doesn't grow its buffer forever.
+    if (off_ > 4096 && off_ * 2 > buf_.size()) {
+      buf_.erase(0, off_);
+      off_ = 0;
+    }
+  }
+
+  std::uint32_t max_frame_;
+  std::string buf_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace detail
+
+// ---- Request encoding (client side) ----
+
+inline void encode_get(std::string& out, std::uint32_t seq,
+                       std::string_view key) {
+  detail::put_u32(out, static_cast<std::uint32_t>(1 + 4 + 4 + key.size()));
+  out.push_back(static_cast<char>(WireOp::kGet));
+  detail::put_u32(out, seq);
+  detail::put_u32(out, static_cast<std::uint32_t>(key.size()));
+  out.append(key.data(), key.size());
+}
+
+inline void encode_del(std::string& out, std::uint32_t seq,
+                       std::string_view key) {
+  detail::put_u32(out, static_cast<std::uint32_t>(1 + 4 + 4 + key.size()));
+  out.push_back(static_cast<char>(WireOp::kDel));
+  detail::put_u32(out, seq);
+  detail::put_u32(out, static_cast<std::uint32_t>(key.size()));
+  out.append(key.data(), key.size());
+}
+
+inline void encode_put(std::string& out, std::uint32_t seq,
+                       std::string_view key, std::string_view value) {
+  detail::put_u32(out, static_cast<std::uint32_t>(1 + 4 + 4 + 4 + key.size() +
+                                                  value.size()));
+  out.push_back(static_cast<char>(WireOp::kPut));
+  detail::put_u32(out, seq);
+  detail::put_u32(out, static_cast<std::uint32_t>(key.size()));
+  detail::put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.append(key.data(), key.size());
+  out.append(value.data(), value.size());
+}
+
+inline void encode_scan(std::string& out, std::uint32_t seq,
+                        std::string_view key, std::uint32_t limit) {
+  detail::put_u32(out, static_cast<std::uint32_t>(1 + 4 + 4 + 4 + key.size()));
+  out.push_back(static_cast<char>(WireOp::kScan));
+  detail::put_u32(out, seq);
+  detail::put_u32(out, static_cast<std::uint32_t>(key.size()));
+  detail::put_u32(out, limit);
+  out.append(key.data(), key.size());
+}
+
+inline void encode_stats(std::string& out, std::uint32_t seq) {
+  detail::put_u32(out, 1 + 4);
+  out.push_back(static_cast<char>(WireOp::kStats));
+  detail::put_u32(out, seq);
+}
+
+// ---- Response encoding (server side) ----
+
+inline void encode_response(std::string& out, const NetResponse& r) {
+  std::uint32_t payload = 0;
+  const bool get_ok =
+      r.op == WireOp::kGet && r.status == WireStatus::kOk;
+  const bool stats_ok =
+      r.op == WireOp::kStats && r.status == WireStatus::kOk;
+  if (get_ok || stats_ok)
+    payload = static_cast<std::uint32_t>(4 + r.value.size());
+  else if (r.op == WireOp::kPut)
+    payload = 1;
+  else if (r.op == WireOp::kScan)
+    payload = 4;
+  detail::put_u32(out, 1 + 1 + 4 + payload);
+  out.push_back(static_cast<char>(r.op));
+  out.push_back(static_cast<char>(r.status));
+  detail::put_u32(out, r.seq);
+  if (get_ok || stats_ok) {
+    detail::put_u32(out, static_cast<std::uint32_t>(r.value.size()));
+    out.append(r.value.data(), r.value.size());
+  } else if (r.op == WireOp::kPut) {
+    out.push_back(r.created ? 1 : 0);
+  } else if (r.op == WireOp::kScan) {
+    detail::put_u32(out, r.scan_count);
+  }
+}
+
+/// Incremental request decoder (server side).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_frame = kMaxFrameBytes)
+      : buf_(max_frame) {}
+
+  void feed(const char* data, std::size_t n) { buf_.feed(data, n); }
+
+  DecodeResult next(NetOp& out) {
+    const char* body = nullptr;
+    std::size_t len = 0;
+    const DecodeResult r = buf_.frame(&body, &len);
+    if (r != DecodeResult::kFrame) return r;
+    if (!decode_body(body, len, out)) return DecodeResult::kMalformed;
+    buf_.consume(len);
+    return DecodeResult::kFrame;
+  }
+
+  bool buffered() const { return !buf_.empty(); }
+
+ private:
+  static bool decode_body(const char* p, std::size_t len, NetOp& out) {
+    if (len < 1 + 4) return false;
+    const std::uint8_t op = static_cast<std::uint8_t>(p[0]);
+    if (op < static_cast<std::uint8_t>(WireOp::kGet) ||
+        op > static_cast<std::uint8_t>(WireOp::kStats))
+      return false;
+    out.op = static_cast<WireOp>(op);
+    out.seq = detail::get_u32(p + 1);
+    out.key.clear();
+    out.value.clear();
+    out.scan_limit = 0;
+    const char* q = p + 5;
+    std::size_t rest = len - 5;
+    switch (out.op) {
+      case WireOp::kGet:
+      case WireOp::kDel: {
+        if (rest < 4) return false;
+        const std::uint32_t klen = detail::get_u32(q);
+        if (rest != 4 + static_cast<std::size_t>(klen)) return false;
+        out.key.assign(q + 4, klen);
+        return true;
+      }
+      case WireOp::kPut: {
+        if (rest < 8) return false;
+        const std::uint32_t klen = detail::get_u32(q);
+        const std::uint32_t vlen = detail::get_u32(q + 4);
+        if (rest != 8 + static_cast<std::size_t>(klen) +
+                        static_cast<std::size_t>(vlen))
+          return false;
+        out.key.assign(q + 8, klen);
+        out.value.assign(q + 8 + klen, vlen);
+        return true;
+      }
+      case WireOp::kScan: {
+        if (rest < 8) return false;
+        const std::uint32_t klen = detail::get_u32(q);
+        out.scan_limit = detail::get_u32(q + 4);
+        if (rest != 8 + static_cast<std::size_t>(klen)) return false;
+        out.key.assign(q + 8, klen);
+        return true;
+      }
+      case WireOp::kStats:
+        return rest == 0;
+    }
+    return false;
+  }
+
+  detail::FrameBuffer buf_;
+};
+
+/// Incremental response decoder (client side).
+class ResponseDecoder {
+ public:
+  explicit ResponseDecoder(std::uint32_t max_frame = kMaxFrameBytes)
+      : buf_(max_frame) {}
+
+  void feed(const char* data, std::size_t n) { buf_.feed(data, n); }
+
+  DecodeResult next(NetResponse& out) {
+    const char* body = nullptr;
+    std::size_t len = 0;
+    const DecodeResult r = buf_.frame(&body, &len);
+    if (r != DecodeResult::kFrame) return r;
+    if (!decode_body(body, len, out)) return DecodeResult::kMalformed;
+    buf_.consume(len);
+    return DecodeResult::kFrame;
+  }
+
+  bool buffered() const { return !buf_.empty(); }
+
+ private:
+  static bool decode_body(const char* p, std::size_t len, NetResponse& out) {
+    if (len < 1 + 1 + 4) return false;
+    const std::uint8_t op = static_cast<std::uint8_t>(p[0]);
+    const std::uint8_t st = static_cast<std::uint8_t>(p[1]);
+    if (op < static_cast<std::uint8_t>(WireOp::kGet) ||
+        op > static_cast<std::uint8_t>(WireOp::kStats))
+      return false;
+    if (st > static_cast<std::uint8_t>(WireStatus::kBadFrame)) return false;
+    out.op = static_cast<WireOp>(op);
+    out.status = static_cast<WireStatus>(st);
+    out.seq = detail::get_u32(p + 2);
+    out.value.clear();
+    out.created = false;
+    out.scan_count = 0;
+    const char* q = p + 6;
+    std::size_t rest = len - 6;
+    const bool carries_value =
+        (out.op == WireOp::kGet || out.op == WireOp::kStats) &&
+        out.status == WireStatus::kOk;
+    if (carries_value) {
+      if (rest < 4) return false;
+      const std::uint32_t vlen = detail::get_u32(q);
+      if (rest != 4 + static_cast<std::size_t>(vlen)) return false;
+      out.value.assign(q + 4, vlen);
+      return true;
+    }
+    if (out.op == WireOp::kPut) {
+      if (rest != 1) return false;
+      out.created = p[6] != 0;
+      return true;
+    }
+    if (out.op == WireOp::kScan) {
+      if (rest != 4) return false;
+      out.scan_count = detail::get_u32(q);
+      return true;
+    }
+    return rest == 0;
+  }
+
+  detail::FrameBuffer buf_;
+};
+
+}  // namespace hohtm::net

@@ -88,6 +88,12 @@ struct StatCounters {
   /// boundary. Under correct fallback behaviour this equals
   /// by_cause[kFusionFallback]; the sched mutant tests lean on that.
   std::uint64_t fused_aborts = 0;
+  /// Quiescence fences executed by this thread (Quiescence::wait_until /
+  /// wait_all_inactive entries). Backends only fence commits that carry
+  /// deferred frees, so this counts the precise-reclamation synchrony an
+  /// operation mix actually pays — the denominator the serving tier's
+  /// batch fusion drives down (quiescence-waits/op, docs/SERVING.md).
+  std::uint64_t quiescence_waits = 0;
   std::uint64_t by_cause[kAbortCauseCount] = {};
 
   /// Causal attribution ("who aborted whom"): one bucket per possible
@@ -174,6 +180,7 @@ struct StatCounters {
     reservation_losses += other.reservation_losses;
     fused_windows += other.fused_windows;
     fused_aborts += other.fused_aborts;
+    quiescence_waits += other.quiescence_waits;
     for (std::size_t i = 0; i < kAbortCauseCount; ++i)
       by_cause[i] += other.by_cause[i];
     for (std::size_t i = 0; i < kAttrSlots; ++i) {

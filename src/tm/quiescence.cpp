@@ -1,5 +1,6 @@
 #include "tm/quiescence.hpp"
 
+#include "tm/config.hpp"
 #include "util/backoff.hpp"
 #include "util/trace.hpp"
 
@@ -9,6 +10,7 @@ void Quiescence::wait_until(std::uint64_t ts) const noexcept {
   // Bug-injection mutant for the schedule explorer: skipping the fence
   // must let it catch a use-after-free ordering within a bounded search.
   if (sched::mutate(sched::Mutation::kSkipQuiescenceWait)) return;
+  Stats::mine().quiescence_waits += 1;
   const std::uint64_t stall_start = util::trace_quiesce_enter();
   // Under the virtual scheduler, block on the whole-fence predicate so
   // the wait is a single disabled-until-true step whose enabledness does
@@ -34,6 +36,7 @@ void Quiescence::wait_until(std::uint64_t ts) const noexcept {
 }
 
 void Quiescence::wait_all_inactive() const noexcept {
+  Stats::mine().quiescence_waits += 1;
   const std::uint64_t stall_start = util::trace_quiesce_enter();
   sched::spin_wait(sched::Op::kQuiesceWait, [this] { return all_inactive(); });
   const std::size_t n = util::ThreadRegistry::high_watermark();

@@ -175,5 +175,105 @@ TEST(KvService, LargeValuesRoundTripThroughTheRing) {
   EXPECT_EQ(value, big);
 }
 
+// The submit-after-stop hazard, closed: once stop() has begun, submit()
+// fails fast — no push into a ring nobody drains — and the request's
+// Completion still signals, with the dedicated kShutdown code.
+TEST(KvService, SubmitAfterStopFailsFastWithShutdown) {
+  Store store;
+  Service svc(store, 1, 3);
+  svc.put("pre", "v", nullptr);
+  svc.stop();
+  kv::Completion done;
+  kv::Request req;
+  req.op = kv::OpCode::kGet;
+  req.key = "pre";
+  req.done = &done;
+  EXPECT_FALSE(svc.submit(std::move(req)));
+  done.wait();  // already signalled: returns immediately, no worker left
+  EXPECT_EQ(done.rc, kv::ResultCode::kShutdown);
+  // The synchronous wrappers surface the same code instead of hanging.
+  std::string value;
+  EXPECT_EQ(svc.get("pre", value), kv::ResultCode::kShutdown);
+  EXPECT_EQ(svc.put("x", "y", nullptr), kv::ResultCode::kShutdown);
+  EXPECT_EQ(svc.del("pre"), kv::ResultCode::kShutdown);
+}
+
+// Clients racing stop(): every synchronous call must return — served
+// (kOk/kNotFound), drained at shutdown (kStopped), or rejected at the
+// gate (kShutdown) — and nothing may deadlock against the drain loop.
+TEST(KvService, SubmittersRacingStopAlwaysComplete) {
+  for (int round = 0; round < 20; ++round) {
+    Store store;
+    Service svc(store, 2, 2);
+    constexpr int kClients = 4;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> clients;
+    std::atomic<int> rejected{0};
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        go.wait(false);
+        for (int i = 0; i < 50; ++i) {
+          const kv::ResultCode rc =
+              svc.put("r" + std::to_string(c), std::to_string(i), nullptr);
+          ASSERT_TRUE(rc == kv::ResultCode::kOk ||
+                      rc == kv::ResultCode::kStopped ||
+                      rc == kv::ResultCode::kShutdown);
+          if (rc == kv::ResultCode::kShutdown) {
+            rejected.fetch_add(1);
+            break;  // the service is gone; later calls would all reject
+          }
+        }
+      });
+    }
+    go.store(true);
+    go.notify_all();
+    svc.stop();
+    for (auto& t : clients) t.join();
+  }
+}
+
+// The serving tier's bridge into the store: one kBatch request carrying
+// a pipeline of ops executes them in order, reports per-op results, and
+// fuses consecutive same-shard runs (single shard here, so the whole
+// batch is one run) into fewer transactions than ops.
+TEST(KvService, BatchRequestExecutesInOrderAndFuses) {
+  Store::Options opt;
+  opt.log2_shards = 0;
+  opt.window = 16;
+  opt.fusion_cap = 16;
+  Store store(opt);
+  Service svc(store, 1, 3);
+  // The contention-gated tuner grants fusion budgets only after a clean
+  // streak (ds::WindowTuner::kFuseStreak) — warm the lone worker past it.
+  for (int i = 0; i < 16; ++i)
+    svc.put("warm" + std::to_string(i), "v", nullptr);
+  std::vector<kv::BatchOp> ops(6);
+  ops[0] = {kv::OpCode::kPut, "bk", "v1"};
+  ops[1] = {kv::OpCode::kGet, "bk"};
+  ops[2] = {kv::OpCode::kPut, "bk", "v2"};   // overwrite, in order
+  ops[3] = {kv::OpCode::kGet, "bk"};
+  ops[4] = {kv::OpCode::kDel, "bk"};
+  ops[5] = {kv::OpCode::kGet, "bk"};
+  kv::Completion done;
+  kv::Request req;
+  req.op = kv::OpCode::kBatch;
+  req.done = &done;
+  req.batch = ops.data();
+  req.batch_len = static_cast<std::uint32_t>(ops.size());
+  ASSERT_TRUE(svc.submit(std::move(req)));
+  done.wait();
+  EXPECT_EQ(done.rc, kv::ResultCode::kOk);
+  EXPECT_TRUE(ops[0].hit);   // created
+  EXPECT_TRUE(ops[1].hit);
+  EXPECT_EQ(ops[1].out, "v1");
+  EXPECT_FALSE(ops[2].hit);  // overwrite, not a create
+  EXPECT_EQ(ops[3].out, "v2");
+  EXPECT_TRUE(ops[4].hit);
+  EXPECT_FALSE(ops[5].hit);  // deleted two ops earlier
+  // Program order held AND the run fused: 6 ops, fewer transactions.
+  EXPECT_GT(done.fused_ops, 0u);
+  EXPECT_LT(done.batch_txs, ops.size());
+}
+
 }  // namespace
 }  // namespace hohtm

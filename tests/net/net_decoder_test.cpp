@@ -1,0 +1,298 @@
+// Protocol-layer tests for the serving tier (docs/SERVING.md): encode /
+// decode round trips for every frame type, plus the seeded byte-stream
+// splitter — the decoder must produce byte-identical frame sequences
+// under EVERY torn/coalesced partition of a valid stream, including
+// 1-byte reads and chunks straddling frame boundaries.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "util/random.hpp"
+
+namespace net = hohtm::net;
+
+namespace {
+
+// A representative request stream touching every opcode, empty keys and
+// values, and payloads spanning several length scales.
+std::string sample_request_stream(std::vector<net::NetOp>* expect) {
+  std::string wire;
+  const auto want = [&](net::WireOp op, std::uint32_t seq, std::string key,
+                        std::string value, std::uint32_t limit) {
+    net::NetOp e;
+    e.op = op;
+    e.seq = seq;
+    e.key = std::move(key);
+    e.value = std::move(value);
+    e.scan_limit = limit;
+    if (expect != nullptr) expect->push_back(std::move(e));
+  };
+  net::encode_get(wire, 1, "alpha");
+  want(net::WireOp::kGet, 1, "alpha", "", 0);
+  net::encode_put(wire, 2, "beta", std::string(300, 'v'));
+  want(net::WireOp::kPut, 2, "beta", std::string(300, 'v'), 0);
+  net::encode_del(wire, 3, "");
+  want(net::WireOp::kDel, 3, "", "", 0);
+  net::encode_scan(wire, 4, "gamma", 17);
+  want(net::WireOp::kScan, 4, "gamma", "", 17);
+  net::encode_stats(wire, 5);
+  want(net::WireOp::kStats, 5, "", "", 0);
+  net::encode_put(wire, 6, std::string(40, 'k'), "");
+  want(net::WireOp::kPut, 6, std::string(40, 'k'), "", 0);
+  net::encode_get(wire, 0xdeadbeef, "last");
+  want(net::WireOp::kGet, 0xdeadbeef, "last", "", 0);
+  return wire;
+}
+
+std::string sample_response_stream(std::vector<net::NetResponse>* expect) {
+  std::string wire;
+  const auto emit = [&](net::NetResponse r) {
+    net::encode_response(wire, r);
+    if (expect != nullptr) expect->push_back(std::move(r));
+  };
+  net::NetResponse get_ok;
+  get_ok.op = net::WireOp::kGet;
+  get_ok.status = net::WireStatus::kOk;
+  get_ok.seq = 1;
+  get_ok.value = std::string(123, 'x');
+  emit(get_ok);
+  net::NetResponse get_miss;
+  get_miss.op = net::WireOp::kGet;
+  get_miss.status = net::WireStatus::kNotFound;
+  get_miss.seq = 2;
+  emit(get_miss);
+  net::NetResponse put_ok;
+  put_ok.op = net::WireOp::kPut;
+  put_ok.status = net::WireStatus::kOk;
+  put_ok.seq = 3;
+  put_ok.created = true;
+  emit(put_ok);
+  net::NetResponse del_miss;
+  del_miss.op = net::WireOp::kDel;
+  del_miss.status = net::WireStatus::kNotFound;
+  del_miss.seq = 4;
+  emit(del_miss);
+  net::NetResponse scan_ok;
+  scan_ok.op = net::WireOp::kScan;
+  scan_ok.status = net::WireStatus::kOk;
+  scan_ok.seq = 5;
+  scan_ok.scan_count = 42;
+  emit(scan_ok);
+  net::NetResponse stats_ok;
+  stats_ok.op = net::WireOp::kStats;
+  stats_ok.status = net::WireStatus::kOk;
+  stats_ok.seq = 6;
+  stats_ok.value = "{\"service\":{}}";
+  emit(stats_ok);
+  net::NetResponse shut;
+  shut.op = net::WireOp::kDel;
+  shut.status = net::WireStatus::kShutdown;
+  shut.seq = 7;
+  emit(shut);
+  return wire;
+}
+
+void expect_same_op(const net::NetOp& a, const net::NetOp& b) {
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.scan_limit, b.scan_limit);
+}
+
+void expect_same_response(const net::NetResponse& a,
+                          const net::NetResponse& b) {
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.created, b.created);
+  EXPECT_EQ(a.scan_count, b.scan_count);
+}
+
+/// Decode `wire` fed through the given chunk partition; the chunk list
+/// is a sequence of split points covering [0, wire.size()).
+std::vector<net::NetOp> decode_with_splits(const std::string& wire,
+                                           const std::vector<std::size_t>&
+                                               splits) {
+  net::FrameDecoder dec;
+  std::vector<net::NetOp> out;
+  std::size_t pos = 0;
+  for (const std::size_t cut : splits) {
+    dec.feed(wire.data() + pos, cut - pos);
+    pos = cut;
+    net::NetOp op;
+    while (dec.next(op) == net::DecodeResult::kFrame)
+      out.push_back(std::move(op));
+  }
+  return out;
+}
+
+TEST(NetDecoder, RequestRoundTripUnsplit) {
+  std::vector<net::NetOp> expect;
+  const std::string wire = sample_request_stream(&expect);
+  net::FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  std::vector<net::NetOp> got;
+  net::NetOp op;
+  while (dec.next(op) == net::DecodeResult::kFrame) got.push_back(op);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    expect_same_op(got[i], expect[i]);
+  EXPECT_FALSE(dec.buffered());
+}
+
+TEST(NetDecoder, ResponseRoundTripUnsplit) {
+  std::vector<net::NetResponse> expect;
+  const std::string wire = sample_response_stream(&expect);
+  net::ResponseDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  std::vector<net::NetResponse> got;
+  net::NetResponse r;
+  while (dec.next(r) == net::DecodeResult::kFrame) got.push_back(r);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    expect_same_response(got[i], expect[i]);
+  EXPECT_FALSE(dec.buffered());
+}
+
+TEST(NetDecoder, OneByteReads) {
+  std::vector<net::NetOp> expect;
+  const std::string wire = sample_request_stream(&expect);
+  std::vector<std::size_t> splits;
+  for (std::size_t i = 1; i <= wire.size(); ++i) splits.push_back(i);
+  const std::vector<net::NetOp> got = decode_with_splits(wire, splits);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    expect_same_op(got[i], expect[i]);
+}
+
+// Every chunk size from 1 to the stream length: each one produces some
+// partition with chunks straddling frame boundaries.
+TEST(NetDecoder, EveryFixedChunkSize) {
+  std::vector<net::NetOp> expect;
+  const std::string wire = sample_request_stream(&expect);
+  for (std::size_t chunk = 1; chunk <= wire.size(); ++chunk) {
+    std::vector<std::size_t> splits;
+    for (std::size_t i = chunk; i < wire.size(); i += chunk)
+      splits.push_back(i);
+    splits.push_back(wire.size());
+    const std::vector<net::NetOp> got = decode_with_splits(wire, splits);
+    ASSERT_EQ(got.size(), expect.size()) << "chunk=" << chunk;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      expect_same_op(got[i], expect[i]);
+  }
+}
+
+// Seeded random partitions: many rounds of arbitrary torn/coalesced
+// splits, each re-encoded from the decoded ops and required to be
+// byte-identical to the original stream.
+TEST(NetDecoder, SeededRandomSplitsReEncodeByteIdentical) {
+  std::vector<net::NetOp> expect;
+  const std::string wire = sample_request_stream(&expect);
+  hohtm::util::Xoshiro256 rng(0x5eed5eedULL);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::size_t> splits;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      pos += 1 + static_cast<std::size_t>(rng.next_below(64));
+      if (pos > wire.size()) pos = wire.size();
+      splits.push_back(pos);
+    }
+    const std::vector<net::NetOp> got = decode_with_splits(wire, splits);
+    ASSERT_EQ(got.size(), expect.size()) << "round=" << round;
+    std::string reencoded;
+    for (const net::NetOp& op : got) {
+      switch (op.op) {
+        case net::WireOp::kGet:
+          net::encode_get(reencoded, op.seq, op.key);
+          break;
+        case net::WireOp::kPut:
+          net::encode_put(reencoded, op.seq, op.key, op.value);
+          break;
+        case net::WireOp::kDel:
+          net::encode_del(reencoded, op.seq, op.key);
+          break;
+        case net::WireOp::kScan:
+          net::encode_scan(reencoded, op.seq, op.key, op.scan_limit);
+          break;
+        case net::WireOp::kStats:
+          net::encode_stats(reencoded, op.seq);
+          break;
+      }
+    }
+    ASSERT_EQ(reencoded, wire) << "round=" << round;
+  }
+}
+
+TEST(NetDecoder, SplitResponsesDecodeIdentically) {
+  std::vector<net::NetResponse> expect;
+  const std::string wire = sample_response_stream(&expect);
+  hohtm::util::Xoshiro256 rng(0xfeedULL);
+  for (int round = 0; round < 100; ++round) {
+    net::ResponseDecoder dec;
+    std::vector<net::NetResponse> got;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      std::size_t next =
+          pos + 1 + static_cast<std::size_t>(rng.next_below(48));
+      if (next > wire.size()) next = wire.size();
+      dec.feed(wire.data() + pos, next - pos);
+      pos = next;
+      net::NetResponse r;
+      while (dec.next(r) == net::DecodeResult::kFrame)
+        got.push_back(std::move(r));
+    }
+    ASSERT_EQ(got.size(), expect.size()) << "round=" << round;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      expect_same_response(got[i], expect[i]);
+  }
+}
+
+TEST(NetDecoder, OversizedFrameRejectedWithoutBuffering) {
+  net::FrameDecoder dec(/*max_frame=*/64);
+  std::string wire;
+  net::encode_put(wire, 1, "key", std::string(500, 'v'));
+  // Feed only the length prefix: the decoder must flag kTooBig from the
+  // declared length alone, before the payload ever arrives.
+  dec.feed(wire.data(), 4);
+  net::NetOp op;
+  EXPECT_EQ(dec.next(op), net::DecodeResult::kTooBig);
+}
+
+TEST(NetDecoder, BadOpcodeIsMalformed) {
+  net::FrameDecoder dec;
+  std::string wire;
+  net::encode_get(wire, 1, "k");
+  wire[4] = 0x7f;  // clobber the opcode byte
+  dec.feed(wire.data(), wire.size());
+  net::NetOp op;
+  EXPECT_EQ(dec.next(op), net::DecodeResult::kMalformed);
+}
+
+TEST(NetDecoder, LengthPayloadMismatchIsMalformed) {
+  net::FrameDecoder dec;
+  std::string wire;
+  net::encode_get(wire, 1, "key");
+  // Shrink the inner klen so it disagrees with the frame length.
+  wire[9] = 1;
+  dec.feed(wire.data(), wire.size());
+  net::NetOp op;
+  EXPECT_EQ(dec.next(op), net::DecodeResult::kMalformed);
+}
+
+TEST(NetDecoder, TruncatedBodyIsMalformed) {
+  net::FrameDecoder dec;
+  std::string wire;
+  net::detail::put_u32(wire, 3);  // declares 3 body bytes: too few for op+seq
+  wire.append("abc", 3);
+  dec.feed(wire.data(), wire.size());
+  net::NetOp op;
+  EXPECT_EQ(dec.next(op), net::DecodeResult::kMalformed);
+}
+
+}  // namespace

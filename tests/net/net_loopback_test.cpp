@@ -1,0 +1,352 @@
+// End-to-end serving-tier tests over real loopback sockets
+// (docs/SERVING.md): pipelined multi-connection runs checked against a
+// std::map differential oracle, in-order completion, per-connection
+// backpressure, torn writes, oversized-frame rejection, idle timeout,
+// and the stalled-client reclamation scenario — a connection parked
+// mid-pipeline must leave the reclamation-stall watchdog clean and the
+// footprint Gauge-exact while other clients churn.
+
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rr.hpp"
+#include "net/client.hpp"
+#include "reclaim/gauge.hpp"
+#include "reclaim/watchdog.hpp"
+#include "util/random.hpp"
+
+namespace hohtm {
+namespace {
+
+using TM = tm::Norec;
+using RR = rr::RrV<TM>;
+using Store = kv::Store<TM, RR>;
+using Service = kv::Service<TM, RR>;
+using Server = net::Server<TM, RR>;
+
+kv::Store<TM, RR>::Options small_store() {
+  kv::Store<TM, RR>::Options opt;
+  opt.log2_shards = 1;
+  opt.log2_buckets = 3;
+  opt.fusion_cap = 8;
+  return opt;
+}
+
+TEST(NetLoopback, RoundTripEveryOpcode) {
+  Store store(small_store());
+  Service svc(store, 2);
+  Server server(svc, Server::Options{});
+  ASSERT_TRUE(server.ok());
+
+  net::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  client.queue_put("alpha", "1");
+  client.queue_get("alpha");
+  client.queue_get("missing");
+  client.queue_del("alpha");
+  client.queue_del("alpha");
+  client.queue_put("scan-a", "x");
+  client.queue_put("scan-b", "y");
+  // Scans start at the given key's canonical (hash, key) position and
+  // are inclusive, so scanning from a live key yields at least itself.
+  client.queue_scan("scan-a", 100);
+  client.queue_stats();
+  ASSERT_GT(client.flush(), 0u);
+
+  net::NetResponse r;
+  ASSERT_TRUE(client.recv(r));  // put alpha
+  EXPECT_EQ(r.status, net::WireStatus::kOk);
+  EXPECT_TRUE(r.created);
+  ASSERT_TRUE(client.recv(r));  // get alpha
+  EXPECT_EQ(r.status, net::WireStatus::kOk);
+  EXPECT_EQ(r.value, "1");
+  ASSERT_TRUE(client.recv(r));  // get missing
+  EXPECT_EQ(r.status, net::WireStatus::kNotFound);
+  ASSERT_TRUE(client.recv(r));  // del alpha
+  EXPECT_EQ(r.status, net::WireStatus::kOk);
+  ASSERT_TRUE(client.recv(r));  // del alpha again
+  EXPECT_EQ(r.status, net::WireStatus::kNotFound);
+  ASSERT_TRUE(client.recv(r));  // put scan-a
+  ASSERT_TRUE(client.recv(r));  // put scan-b
+  ASSERT_TRUE(client.recv(r));  // scan
+  EXPECT_EQ(r.status, net::WireStatus::kOk);
+  EXPECT_GE(r.scan_count, 1u);
+  EXPECT_LE(r.scan_count, 2u);
+  ASSERT_TRUE(client.recv(r));  // stats
+  EXPECT_EQ(r.status, net::WireStatus::kOk);
+  EXPECT_NE(r.value.find("\"service\""), std::string::npos);
+
+  client.close();
+  server.stop();
+  svc.stop();
+}
+
+// Multi-connection pipelined mixed-op run against per-connection
+// std::map oracles (disjoint keyspaces make each oracle independent),
+// with the in-order-completion assertion: every response carries the
+// next expected seq for its connection, strictly increasing.
+TEST(NetLoopback, MultiConnectionPipelinedDifferentialOracle) {
+  Store store(small_store());
+  Service svc(store, 2);
+  Server server(svc, Server::Options{});
+  ASSERT_TRUE(server.ok());
+
+  constexpr int kConns = 4;
+  constexpr int kRounds = 12;
+  constexpr int kPipeline = 16;
+  std::vector<std::thread> clients;
+  clients.reserve(kConns);
+  for (int c = 0; c < kConns; ++c) {
+    clients.emplace_back([&, c] {
+      net::Client client;
+      ASSERT_TRUE(client.connect(server.port()));
+      std::map<std::string, std::string> oracle;
+      util::Xoshiro256 rng(0x1000 + static_cast<std::uint64_t>(c));
+      const std::string prefix = "c" + std::to_string(c) + "-";
+      std::uint32_t expect_seq = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        // Queue a pipeline of mixed ops and remember the model answers.
+        struct Expected {
+          net::WireOp op;
+          std::uint32_t seq;
+          bool hit;
+          std::string value;
+        };
+        std::vector<Expected> expect;
+        for (int i = 0; i < kPipeline; ++i) {
+          const std::string key =
+              prefix + std::to_string(rng.next_below(32));
+          const std::uint64_t kind = rng.next_below(4);
+          if (kind < 2) {
+            const std::string value =
+                "v" + std::to_string(rng.next_below(1000));
+            const bool created = oracle.find(key) == oracle.end();
+            oracle[key] = value;
+            expect.push_back({net::WireOp::kPut, client.queue_put(key, value),
+                              created, ""});
+          } else if (kind == 2) {
+            const auto it = oracle.find(key);
+            expect.push_back({net::WireOp::kGet, client.queue_get(key),
+                              it != oracle.end(),
+                              it != oracle.end() ? it->second : ""});
+          } else {
+            const bool present = oracle.erase(key) > 0;
+            expect.push_back(
+                {net::WireOp::kDel, client.queue_del(key), present, ""});
+          }
+        }
+        ASSERT_GT(client.flush(), 0u);
+        for (const Expected& e : expect) {
+          net::NetResponse r;
+          ASSERT_TRUE(client.recv(r));
+          EXPECT_EQ(r.op, e.op);
+          // In-order completion: seqs echo back strictly in submission
+          // order on this connection.
+          EXPECT_GT(r.seq, expect_seq);
+          expect_seq = r.seq;
+          EXPECT_EQ(r.seq, e.seq);
+          switch (e.op) {
+            case net::WireOp::kPut:
+              EXPECT_EQ(r.status, net::WireStatus::kOk);
+              EXPECT_EQ(r.created, e.hit);
+              break;
+            case net::WireOp::kGet:
+              EXPECT_EQ(r.status, e.hit ? net::WireStatus::kOk
+                                        : net::WireStatus::kNotFound);
+              if (e.hit) EXPECT_EQ(r.value, e.value);
+              break;
+            default:
+              EXPECT_EQ(r.status, e.hit ? net::WireStatus::kOk
+                                        : net::WireStatus::kNotFound);
+              break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const Server::Counters c = server.counters();
+  EXPECT_GE(c.accepted, static_cast<std::uint64_t>(kConns));
+  EXPECT_GT(c.batches, 0u);
+  server.stop();
+  svc.stop();
+}
+
+// Per-connection backpressure: a 64-op pipeline against a 4-op in-flight
+// window must answer everything correctly while never exceeding the
+// window (high-water counter), the reads throttled by EPOLLIN removal.
+TEST(NetLoopback, BackpressureBoundsInflightWindow) {
+  Store store(small_store());
+  Service svc(store, 2);
+  Server::Options opt;
+  opt.max_inflight_ops = 4;
+  Server server(svc, opt);
+  ASSERT_TRUE(server.ok());
+
+  net::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  constexpr int kOps = 64;
+  for (int i = 0; i < kOps; ++i)
+    client.queue_put("bp" + std::to_string(i), "v" + std::to_string(i));
+  ASSERT_GT(client.flush(), 0u);
+  for (int i = 0; i < kOps; ++i) {
+    net::NetResponse r;
+    ASSERT_TRUE(client.recv(r));
+    EXPECT_EQ(r.status, net::WireStatus::kOk);
+    EXPECT_TRUE(r.created);
+  }
+  std::string value;
+  for (int i = 0; i < kOps; ++i) {
+    client.queue_get("bp" + std::to_string(i));
+    ASSERT_GT(client.flush(), 0u);
+    net::NetResponse r;
+    ASSERT_TRUE(client.recv(r));
+    EXPECT_EQ(r.value, "v" + std::to_string(i));
+  }
+  const Server::Counters c = server.counters();
+  EXPECT_LE(c.max_inflight, 4u);
+  EXPECT_GT(c.batches, 0u);
+  server.stop();
+  svc.stop();
+}
+
+// Torn frames over a real socket: drip-feed an encoded pipeline one byte
+// at a time; the incremental decoder must reassemble it exactly.
+TEST(NetLoopback, TornWritesReassemble) {
+  Store store(small_store());
+  Service svc(store, 1);
+  Server server(svc, Server::Options{});
+  ASSERT_TRUE(server.ok());
+
+  net::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  std::string wire;
+  net::encode_put(wire, 1, "torn", "value");
+  net::encode_get(wire, 2, "torn");
+  for (char byte : wire) ASSERT_TRUE(client.send_raw({&byte, 1}));
+  net::NetResponse r;
+  ASSERT_TRUE(client.recv(r));
+  EXPECT_EQ(r.seq, 1u);
+  EXPECT_TRUE(r.created);
+  ASSERT_TRUE(client.recv(r));
+  EXPECT_EQ(r.seq, 2u);
+  EXPECT_EQ(r.value, "value");
+  server.stop();
+  svc.stop();
+}
+
+TEST(NetLoopback, OversizedFrameRejectedAndConnectionClosed) {
+  Store store(small_store());
+  Service svc(store, 1);
+  Server::Options opt;
+  opt.max_frame_bytes = 128;
+  Server server(svc, opt);
+  ASSERT_TRUE(server.ok());
+
+  net::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  std::string wire;
+  net::encode_put(wire, 1, "ok-key", "small");  // fits: served normally
+  net::encode_put(wire, 2, "big-key", std::string(4096, 'x'));  // rejected
+  ASSERT_TRUE(client.send_raw(wire));
+  net::NetResponse r;
+  ASSERT_TRUE(client.recv(r));
+  EXPECT_EQ(r.seq, 1u);
+  EXPECT_EQ(r.status, net::WireStatus::kOk);
+  ASSERT_TRUE(client.recv(r));
+  EXPECT_EQ(r.status, net::WireStatus::kBadFrame);
+  EXPECT_FALSE(client.recv(r));  // server closed after the rejection
+  EXPECT_GE(server.counters().rejected_frames, 1u);
+  server.stop();
+  svc.stop();
+}
+
+TEST(NetLoopback, IdleConnectionTimesOut) {
+  Store store(small_store());
+  Service svc(store, 1);
+  Server::Options opt;
+  opt.idle_timeout_ms = 20;
+  Server server(svc, opt);
+  ASSERT_TRUE(server.ok());
+
+  net::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  // Park mid-frame: a length prefix promising more than we send.
+  ASSERT_TRUE(client.send_raw(std::string("\x40\x00\x00\x00", 4)));
+  net::NetResponse r;
+  EXPECT_FALSE(client.recv(r));  // blocks until the server reaps us: EOF
+  EXPECT_GE(server.counters().timeouts, 1u);
+  server.stop();
+  svc.stop();
+}
+
+// The serving-robustness story (ISSUE 10 acceptance): a client parked
+// mid-pipeline holds no reservation and no quiescence fence — workers
+// never block on a socket — so reclamation stays watchdog-clean and
+// precise while other clients churn updates (which free nodes), and the
+// final footprint is Gauge-exact.
+TEST(NetLoopback, StalledClientLeavesWatchdogCleanAndFootprintExact) {
+  reclaim::Watchdog::reset_for_testing();
+  const std::int64_t baseline = reclaim::Gauge::live();
+  {
+    Store store(small_store());
+    Service svc(store, 2);
+    Server server(svc, Server::Options{});
+    ASSERT_TRUE(server.ok());
+
+    net::Client stalled;
+    ASSERT_TRUE(stalled.connect(server.port()));
+    // A full op followed by a torn frame: the op is served, the torn
+    // tail parks the connection mid-pipeline indefinitely.
+    std::string wire;
+    net::encode_put(wire, 1, "stalled-key", "v");
+    wire.append("\x30\x00\x00\x00\x02", 5);  // header + 1 of 0x30 body bytes
+    ASSERT_TRUE(stalled.send_raw(wire));
+    net::NetResponse r;
+    ASSERT_TRUE(stalled.recv(r));
+    EXPECT_EQ(r.seq, 1u);
+
+    // Arm the watchdog baselines, churn node-freeing traffic from a
+    // healthy connection, then probe past the threshold: nothing may
+    // register as a reclamation stall.
+    const std::uint64_t t0 = 1;
+    reclaim::Watchdog::check(t0);
+    net::Client healthy;
+    ASSERT_TRUE(healthy.connect(server.port()));
+    for (int round = 0; round < 8; ++round) {
+      for (int i = 0; i < 16; ++i) {
+        const std::string key = "churn" + std::to_string(i);
+        healthy.queue_put(key, "v" + std::to_string(round));
+        healthy.queue_del(key);
+      }
+      ASSERT_GT(healthy.flush(), 0u);
+      for (int i = 0; i < 32; ++i) ASSERT_TRUE(healthy.recv(r));
+    }
+    const reclaim::Watchdog::Report report = reclaim::Watchdog::check(
+        t0 + reclaim::Watchdog::threshold_ns() + 1);
+    EXPECT_EQ(report.stalled_threads, 0);
+    EXPECT_EQ(reclaim::Watchdog::stall_events(), 0u);
+
+    server.stop();
+    svc.stop();
+    store.finish_migration();
+    // Gauge-exact footprint: one tracked node per live entry plus one
+    // tracked table per shard (old tables are freed once migration
+    // settles); every delete/overwrite freed its node precisely.
+    const std::int64_t shards = 1 << small_store().log2_shards;
+    EXPECT_EQ(reclaim::Gauge::live(),
+              baseline + static_cast<std::int64_t>(store.size()) + shards);
+  }
+  // Store destroyed: footprint returns exactly to the baseline.
+  EXPECT_EQ(reclaim::Gauge::live(), baseline);
+}
+
+}  // namespace
+}  // namespace hohtm

@@ -179,6 +179,24 @@ class RenderCliTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("CHECK FAILED", proc.stderr)
 
+    def test_net_counters_render_serving_tier_section(self):
+        doc = snapshot()
+        doc["counters"].update({"net.batches": 250, "net.fused_ops": 3985,
+                                "net.bytes_in": 292988,
+                                "net.bytes_out": 187515})
+        proc = self.run_tool(doc)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("## serving tier", proc.stdout)
+        self.assertIn("batches: 250, fused ops: 3985 (15.94 per batch)",
+                      proc.stdout)
+        self.assertIn("wire: 292988 bytes in, 187515 bytes out",
+                      proc.stdout)
+
+    def test_netless_snapshot_renders_no_serving_tier(self):
+        proc = self.run_tool(snapshot())
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("serving tier", proc.stdout)
+
     def test_stalled_watchdog_renders_loudly(self):
         doc = snapshot()
         doc["sections"]["watchdog"]["stalled_threads"] = 2

@@ -3,9 +3,9 @@
 tools/trace_report.py: every CSV layout the benches have ever emitted
 must keep loading (legacy 6-column, telemetry 15-column, observability
 20-column, kv 24-column, their fusion-era 17/22/26-column successors,
-and the scan-era 31-column kv layout), malformed rows must be skipped
-rather than crash the report, and timeline rows must route to
-trace_report.py only."""
+the scan-era 31-column kv layout, and the serving-era 25/32/36-column
+layouts), malformed rows must be skipped rather than crash the report,
+and timeline rows must route to trace_report.py only."""
 
 import io
 import os
@@ -69,6 +69,24 @@ SCAN_KV_ROW = ("kv,ycsb-e,RR-V,16,10.5000,0.90,"
                "1000,50,10,20,5,3,7,4,2,1,64,"
                "2048,8192,16384,30000,512,9,6,"
                "3800,200,96,3,480,1320,2")
+# Serving-era layouts (PR 10): quiescence_waits joins the base tail
+# after aborts_attr (25 columns), the kv layout grows to 32, and the
+# loopback bench appends net_batches,net_fused_ops,net_bytes_in,
+# net_bytes_out after the scan triple (36). All three widths are
+# disjoint from every earlier layout, so the rows decode even when the
+# header got stripped.
+QWAITS_HEADER = ATTR_HEADER + ",quiescence_waits"
+QWAITS_ROW = ATTR_ROW + ",210"
+NET_KV_HEADER = (QWAITS_HEADER +
+                 ",kv_hits,kv_misses,kv_migrations,kv_resizes"
+                 ",kv_scans,kv_scan_windows,kv_scan_resumes")
+NET_KV_ROW = ("kv,ycsb-a,RR-V,16,10.5000,0.90,"
+              "1000,50,10,20,5,3,7,4,2,1,64,"
+              "2048,8192,16384,30000,512,9,6,210,"
+              "3800,200,96,3,0,0,0")
+NET_HEADER = (NET_KV_HEADER +
+              ",net_batches,net_fused_ops,net_bytes_in,net_bytes_out")
+NET_ROW = NET_KV_ROW + ",250,3985,292988,187515"
 
 
 def write(rows):
@@ -237,6 +255,45 @@ class LoadTest(unittest.TestCase):
         self.assertEqual(counters["aborts_attr"], 6)
         self.assertEqual(counters["fused_windows"], 64)
 
+    def test_header_driven_serving_columns(self):
+        rows = self.load([NET_HEADER, NET_ROW])
+        self.assertEqual(len(rows), 1)
+        counters = rows[0][-1]
+        self.assertEqual(counters["quiescence_waits"], 210)
+        self.assertEqual(counters["net_batches"], 250)
+        self.assertEqual(counters["net_fused_ops"], 3985)
+        self.assertEqual(counters["net_bytes_in"], 292988)
+        self.assertEqual(counters["net_bytes_out"], 187515)
+        self.assertEqual(counters["kv_hits"], 3800)
+        self.assertEqual(counters["live_peak"], 512)
+
+    def test_headerless_25_decodes_quiescence_column(self):
+        rows = self.load([QWAITS_ROW])
+        self.assertEqual(len(rows), 1)
+        counters = rows[0][-1]
+        self.assertEqual(counters["quiescence_waits"], 210)
+        self.assertEqual(counters["res_lost_attr"], 9)
+        self.assertEqual(counters["fused_windows"], 64)
+        self.assertNotIn("kv_hits", counters)
+
+    def test_headerless_32_decodes_serving_kv_columns(self):
+        rows = self.load([NET_KV_ROW])
+        self.assertEqual(len(rows), 1)
+        counters = rows[0][-1]
+        self.assertEqual(counters["quiescence_waits"], 210)
+        self.assertEqual(counters["kv_hits"], 3800)
+        self.assertEqual(counters["kv_scan_resumes"], 0)
+        self.assertNotIn("net_batches", counters)
+
+    def test_headerless_36_decodes_net_columns(self):
+        rows = self.load([NET_ROW])
+        self.assertEqual(len(rows), 1)
+        counters = rows[0][-1]
+        self.assertEqual(counters["net_batches"], 250)
+        self.assertEqual(counters["net_fused_ops"], 3985)
+        self.assertEqual(counters["quiescence_waits"], 210)
+        self.assertEqual(counters["kv_migrations"], 96)
+
     def test_timeline_rows_are_skipped(self):
         rows = self.load([
             "timeline,fig5,alloc,rr-fa,4,10.00,123",
@@ -312,6 +369,28 @@ class CliTest(unittest.TestCase):
         proc = self.run_tool("summarize_bench.py", [OBSERVABILITY_ROW])
         self.assertEqual(proc.returncode, 0, proc.stderr)
         self.assertNotIn("kv workload", proc.stdout)
+
+    def test_summarize_renders_net_table(self):
+        proc = self.run_tool("summarize_bench.py", [NET_HEADER, NET_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("serving tier", proc.stdout)
+        self.assertIn("250", proc.stdout)    # batches
+        self.assertIn("16.00", proc.stdout)  # 4000 keyed / 250 batches
+        self.assertIn("99.62", proc.stdout)  # 3985 fused of 4000 keyed
+
+    def test_summarize_renders_quiescence_column(self):
+        proc = self.run_tool("summarize_bench.py",
+                             [QWAITS_HEADER, QWAITS_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("qwaits", proc.stdout)
+        self.assertIn("210.00", proc.stdout)  # 210 waits per 1k commits
+
+    def test_netless_rows_render_no_serving_table(self):
+        proc = self.run_tool("summarize_bench.py",
+                             [SCAN_KV_HEADER, SCAN_KV_ROW])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("serving tier", proc.stdout)
+        self.assertNotIn("qwaits", proc.stdout)
 
     def test_summarize_empty_input_fails(self):
         proc = self.run_tool("summarize_bench.py", ["# nothing here"])

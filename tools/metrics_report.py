@@ -86,6 +86,21 @@ def emit_heatmap(cells):
               f"{str(c['weight']).rjust(8)}  {bar}")
 
 
+def emit_net(counters):
+    """Serving-tier counters (PR 10): pipeline batches through the ring,
+    ops committed inside fused groups (with the per-batch fusion yield),
+    and raw wire traffic — registered by net::Server as net.* counters."""
+    batches = counters.get("net.batches", 0)
+    fused = counters.get("net.fused_ops", 0)
+    if not batches and not fused:
+        return
+    print("\n## serving tier")
+    print(f"  batches: {batches}, fused ops: {fused} "
+          f"({fused / max(batches, 1):.2f} per batch)")
+    print(f"  wire: {counters.get('net.bytes_in', 0)} bytes in, "
+          f"{counters.get('net.bytes_out', 0)} bytes out")
+
+
 def emit_watchdog(wd):
     if not wd:
         return
@@ -143,6 +158,7 @@ def main():
         emit_scalars("tm", {k: v for k, v in tm.items()
                             if isinstance(v, int)})
         emit_attribution(tm, args.top)
+    emit_net(doc.get("counters", {}))
     emit_heatmap(sections.get("kv_heatmap", []))
     emit_watchdog(sections.get("watchdog", {}))
     if args.check:

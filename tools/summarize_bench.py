@@ -31,11 +31,17 @@ falls back to detection by column count:
                     res_lost_attr,aborts_attr (PR 7), the four kv
                     columns, and the range-scan triple kv_scans,
                     kv_scan_windows,kv_scan_resumes (PR 8).
+  serving era (25/32/36): PR 10 appends quiescence_waits after
+                    aborts_attr in every layout (base 25, kv 32), and
+                    the net layout (36) adds net_batches,net_fused_ops,
+                    net_bytes_in,net_bytes_out after the scan triple
+                    (report.hpp emit_net_row).
 
 (The attribution-era 24/28-column layouts emitted since PR 7 always
 carry their header, so the 24-column collision with the pre-fusion kv
 layout never bites in practice; 31 is disjoint from every earlier
-width, so scan-era kv rows decode even without their header.)
+width, so scan-era kv rows decode even without their header, and the
+serving-era widths {25, 32, 36} are disjoint from everything above.)
 
 `timeline,...` rows (the reclamation-footprint samples) are skipped
 here; tools/trace_report.py renders those, along with the latency
@@ -83,6 +89,19 @@ KV_SCAN_FIELDS = [
 ]
 SCAN_ERA_KV_FIELDS = (CAUSE_FIELDS_V2 + OBSERVABILITY_FIELDS +
                       ATTRIBUTION_FIELDS + KV_FIELDS + KV_SCAN_FIELDS)
+# Serving-era layouts (PR 10): quiescence_waits joins the base tail, and
+# the loopback bench appends the four net columns after the scan triple.
+QUIESCENCE_FIELDS = [
+    "quiescence_waits",
+]
+NET_FIELDS = [
+    "net_batches", "net_fused_ops", "net_bytes_in", "net_bytes_out",
+]
+SERVING_ERA_BASE_FIELDS = (CAUSE_FIELDS_V2 + OBSERVABILITY_FIELDS +
+                           ATTRIBUTION_FIELDS + QUIESCENCE_FIELDS)
+SERVING_ERA_KV_FIELDS = (SERVING_ERA_BASE_FIELDS + KV_FIELDS +
+                         KV_SCAN_FIELDS)
+SERVING_ERA_NET_FIELDS = SERVING_ERA_KV_FIELDS + NET_FIELDS
 
 
 def parse_header_line(line, headers):
@@ -111,7 +130,15 @@ def header_counters(parts, headers):
 
 def fallback_counters(parts):
     """Count-based decoding for headerless rows (pre-PR-7 captures,
-    plus the 31-column scan-era kv rows whose header got stripped)."""
+    plus the scan/serving-era rows whose header got stripped — their
+    widths {31, 25, 32, 36} are disjoint from every earlier layout)."""
+    for fields in (SERVING_ERA_NET_FIELDS, SERVING_ERA_KV_FIELDS,
+                   SERVING_ERA_BASE_FIELDS):
+        if len(parts) == 6 + len(fields):
+            try:
+                return dict(zip(fields, (int(v) for v in parts[6:])))
+            except ValueError:
+                break  # malformed row: fall through to the older layouts
     if len(parts) == 6 + len(SCAN_ERA_KV_FIELDS):  # 31: scan-era kv
         try:
             return dict(zip(SCAN_ERA_KV_FIELDS,
@@ -223,6 +250,8 @@ def summarize(rows, only_figure=None, show_causes=False):
                                  counter_cells)
             emit_kv_table(figure, panel, series_order[key], top,
                           counter_cells)
+            emit_net_table(figure, panel, series_order[key], top,
+                           counter_cells)
 
 
 def emit_cause_table(figure, panel, series_list, threads, counter_cells):
@@ -246,6 +275,10 @@ def emit_cause_table(figure, panel, series_list, threads, counter_cells):
     if any("res_lost_attr" in c for _, c in have):
         causes += [("res_lost_attr", "lost_attr"),
                    ("aborts_attr", "aborts_attr")]
+    # Quiescence fences (PR 10 layouts): the precise-reclamation
+    # synchrony cost, the denominator batch fusion drives down.
+    if any("quiescence_waits" in c for _, c in have):
+        causes += [("quiescence_waits", "qwaits")]
     show_peak = any("live_peak" in c for _, c in have)
     header = ("series".ljust(14) + f"{'aborts/1k':>11}" +
               "".join(f"{label:>12}" for _, label in causes) +
@@ -297,6 +330,33 @@ def emit_kv_table(figure, panel, series_list, threads, counter_cells):
             row += (f"{scans:10d}" + f"{windows:10d}" +
                     f"{windows / max(scans, 1):9.2f}" +
                     f"{c.get('kv_scan_resumes', 0):9d}")
+        print(row)
+
+
+def emit_net_table(figure, panel, series_list, threads, counter_cells):
+    """Serving-tier columns (PR 10, the kv_loopback bench): pipeline
+    batches submitted through the ring, ops committed inside fused
+    same-shard groups (with ops-per-batch and the fused share of the
+    keyed ops), and raw wire traffic."""
+    have = [(s, counter_cells.get((figure, panel, s, threads)))
+            for s in series_list]
+    have = [(s, c) for s, c in have if c and "net_batches" in c]
+    if not have:
+        return
+    header = ("series".ljust(14) + f"{'batches':>10}" +
+              f"{'ops/batch':>10}" + f"{'fused_ops':>11}" +
+              f"{'fused%':>8}" + f"{'bytes_in':>12}" + f"{'bytes_out':>12}")
+    print(f"   serving tier @ {threads} threads")
+    print(header)
+    print("-" * len(header))
+    for series, c in have:
+        keyed = max(c.get("kv_hits", 0) + c.get("kv_misses", 0), 1)
+        batches = c["net_batches"]
+        row = (series.ljust(14) + f"{batches:10d}" +
+               f"{keyed / max(batches, 1):10.2f}" +
+               f"{c['net_fused_ops']:11d}" +
+               f"{100.0 * c['net_fused_ops'] / keyed:8.2f}" +
+               f"{c['net_bytes_in']:12d}" + f"{c['net_bytes_out']:12d}")
         print(row)
 
 

@@ -73,14 +73,15 @@ def load(path):
             # header for this width; otherwise fall back to the
             # historical count-based layouts (the fusion-era 22/26-column
             # rows carry two extra telemetry columns ahead of it, and the
-            # 31-column scan-era kv rows only append after live_peak; see
-            # summarize_bench.py CAUSE_FIELDS_V2 / SCAN_ERA_KV_FIELDS).
+            # 31-column scan-era kv rows and the serving-era 25/32/36
+            # rows only append after live_peak; see summarize_bench.py
+            # CAUSE_FIELDS_V2 / SCAN_ERA_KV_FIELDS / SERVING_ERA_*).
             names = headers.get(len(parts))
             if names is not None and LATENCY_COLS[0] in names:
                 lat_start = names.index(LATENCY_COLS[0])
                 peak_at = (names.index("live_peak")
                            if "live_peak" in names else lat_start + 4)
-            elif len(parts) in (22, 26, 31):
+            elif len(parts) in (22, 26, 31, 25, 32, 36):
                 lat_start, peak_at = 17, 21
             elif len(parts) in (20, 24):
                 lat_start, peak_at = 15, 19
